@@ -1,0 +1,151 @@
+//! Property-based tests: every algorithm agrees with the ground truth
+//! oracles on randomized instance families.
+
+use bcc_algorithms::sketch::{edge_slot, slot_edge, Decode, L0Sketch};
+use bcc_algorithms::{
+    BoruvkaMinLabel, FullGraphBroadcast, Kt0Upgrade, NeighborIdBroadcast, Problem, Truncated,
+};
+use bcc_graphs::connectivity::connected_components;
+use bcc_graphs::{generators, Graph};
+use bcc_model::{Decision, Instance, Simulator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..12, any::<u64>(), 0usize..20).prop_map(|(n, seed, extra)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = (extra % (n * (n - 1) / 2 + 1)).min(n + 4);
+        generators::gnm(n, m, &mut rng)
+    })
+}
+
+fn truth(g: &Graph) -> Decision {
+    if g.is_connected() {
+        Decision::Yes
+    } else {
+        Decision::No
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two full-knowledge algorithms solve Connectivity exactly on
+    /// arbitrary graphs, with correct component labels.
+    #[test]
+    fn full_knowledge_algorithms_exact(g in arb_graph()) {
+        let sim = Simulator::new(1_000_000);
+        let inst = Instance::new_kt1(g.clone()).unwrap();
+        let expect = truth(&g);
+        for algo in [
+            &FullGraphBroadcast::new(Problem::ConnectedComponents) as &dyn bcc_model::Algorithm,
+            &NeighborIdBroadcast::new(Problem::ConnectedComponents),
+            &BoruvkaMinLabel::new(Problem::ConnectedComponents),
+        ] {
+            let out = sim.run(&inst, algo, 0);
+            prop_assert_eq!(out.system_decision(), expect, "{}", algo.name());
+            // Component labels: min vertex id per component.
+            let comps = connected_components(&g);
+            let labels: Vec<u64> = out.component_labels().iter().map(|l| l.unwrap()).collect();
+            for v in 0..g.num_vertices() {
+                prop_assert_eq!(labels[v], comps.label[v] as u64, "{} vertex {}", algo.name(), v);
+            }
+        }
+    }
+
+    /// The KT-0 upgrade preserves the inner algorithm's answers on any
+    /// wiring.
+    #[test]
+    fn kt0_upgrade_transparent(g in arb_graph(), wiring in any::<u64>()) {
+        let expect = truth(&g);
+        let inst = Instance::new_kt0(g, wiring).unwrap();
+        let algo = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::Connectivity));
+        let out = Simulator::new(1_000_000).run(&inst, &algo, 0);
+        prop_assert_eq!(out.system_decision(), expect);
+    }
+
+    /// Truncation is exact: runs exactly min(t, inner-completion)
+    /// rounds and never exceeds t.
+    #[test]
+    fn truncation_respects_budget(n in 6usize..20, t in 0usize..12) {
+        let inst = Instance::new_kt1(generators::cycle(n)).unwrap();
+        let algo = Truncated::new(NeighborIdBroadcast::new(Problem::TwoCycle), t);
+        let out = Simulator::new(1_000_000).run(&inst, &algo, 0);
+        prop_assert!(out.stats().rounds <= t);
+    }
+
+    /// Edge-slot encoding is a bijection for every n.
+    #[test]
+    fn edge_slot_bijection(n in 2usize..40) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let s = edge_slot(n, i, j);
+                prop_assert!(s < n * (n - 1) / 2);
+                prop_assert!(seen.insert(s));
+                prop_assert_eq!(slot_edge(n, s), (i, j));
+            }
+        }
+    }
+
+    /// L0 sketches are linear: sketch(x) + sketch(y) = sketch(x + y),
+    /// exactly, for random sparse updates.
+    #[test]
+    fn l0_linearity(seed in any::<u64>(), m in 16usize..200) {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a = L0Sketch::zero(m, 5);
+        let mut b = L0Sketch::zero(m, 5);
+        let mut direct = L0Sketch::zero(m, 5);
+        for _ in 0..10 {
+            let i = rng.gen_range(0..m);
+            let v = rng.gen_range(-3i64..=3);
+            if rng.gen() {
+                a.update(i, v);
+            } else {
+                b.update(i, v);
+            }
+            direct.update(i, v);
+        }
+        prop_assert_eq!(a.added(&b), direct);
+    }
+
+    /// A decoded sample always belongs to the true support with the
+    /// true value.
+    #[test]
+    fn l0_decode_sound(seed in any::<u64>()) {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = 300;
+        let mut s = L0Sketch::zero(m, seed);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..rng.gen_range(0..25) {
+            let i = rng.gen_range(0..m);
+            let v = if rng.gen() { 1i64 } else { -1 };
+            s.update(i, v);
+            *truth.entry(i).or_insert(0i64) += v;
+        }
+        truth.retain(|_, v| *v != 0);
+        match s.decode() {
+            Decode::Zero => prop_assert!(truth.is_empty()),
+            Decode::Sample { index, value } => {
+                prop_assert_eq!(truth.get(&index), Some(&value));
+            }
+            Decode::Fail => prop_assert!(!truth.is_empty()),
+        }
+    }
+
+    /// Sketch serialization roundtrips for random contents.
+    #[test]
+    fn l0_serialization_roundtrip(seed in any::<u64>(), m in 8usize..128) {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = L0Sketch::zero(m, 3);
+        for _ in 0..8 {
+            s.update(rng.gen_range(0..m), rng.gen_range(-5i64..=5));
+        }
+        let bits = s.to_bits();
+        prop_assert_eq!(bits.len(), L0Sketch::bits(m));
+        prop_assert_eq!(L0Sketch::from_bits(m, 3, &bits), s);
+    }
+}

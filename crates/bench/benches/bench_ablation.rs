@@ -1,0 +1,56 @@
+//! Ablations of the design choices DESIGN.md calls out: sketch phase
+//! budget, Borůvka bandwidth, and transcript recording overhead.
+
+use bcc_algorithms::{BoruvkaMinLabel, Problem, SketchConnectivity};
+use bcc_bench::kt1_cycle;
+use bcc_model::testing::EchoBit;
+use bcc_model::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    // Sketch phase budget: fewer phases = faster but riskier; the
+    // default is 2·log2(n) + 4.
+    let inst = kt1_cycle(12);
+    for phases in [2usize, 6, 12] {
+        let algo = SketchConnectivity::with_phase_budget(Problem::Connectivity, phases);
+        group.bench_with_input(BenchmarkId::new("sketch_phase_budget", phases), &phases, |b, _| {
+            let sim = Simulator::with_bandwidth(50_000_000, 256).without_transcripts();
+            b.iter(|| sim.run(&inst, &algo, 3).stats().rounds)
+        });
+    }
+
+    // Borůvka bandwidth: the BCC(1) vs BCC(log n) regimes.
+    let inst64 = kt1_cycle(64);
+    for b_width in [1usize, 6, 64] {
+        let algo = BoruvkaMinLabel::new(Problem::Connectivity);
+        group.bench_with_input(BenchmarkId::new("boruvka_bandwidth", b_width), &b_width, |b, &bw| {
+            let sim = Simulator::with_bandwidth(1_000_000, bw).without_transcripts();
+            b.iter(|| sim.run(&inst64, &algo, 0).stats().rounds)
+        });
+    }
+
+    // Transcript recording overhead (the reason without_transcripts
+    // exists).
+    for &record in &[true, false] {
+        let inst32 = kt1_cycle(32);
+        group.bench_with_input(
+            BenchmarkId::new("transcripts_8_rounds", record),
+            &record,
+            |b, &rec| {
+                let sim = if rec {
+                    Simulator::new(8)
+                } else {
+                    Simulator::new(8).without_transcripts()
+                };
+                b.iter(|| sim.run(&inst32, &EchoBit, 0).stats().rounds)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! F1 bench: port-preserving crossings and Lemma 3.4 checks.
+
+use bcc_bench::kt0_cycle;
+use bcc_core::crossing::{cross_instance, indistinguishable_after, DirectedEdge};
+use bcc_model::testing::EchoBit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossing");
+    group.sample_size(20);
+    for n in [16usize, 64, 256] {
+        let inst = kt0_cycle(n);
+        let e1 = DirectedEdge::new(0, 1);
+        let e2 = DirectedEdge::new(n / 2, n / 2 + 1);
+        group.bench_with_input(BenchmarkId::new("cross_instance", n), &n, |b, _| {
+            b.iter(|| cross_instance(&inst, e1, e2).unwrap())
+        });
+        let crossed = cross_instance(&inst, e1, e2).unwrap();
+        group.bench_with_input(BenchmarkId::new("lemma_3_4_check_t4", n), &n, |b, _| {
+            b.iter(|| indistinguishable_after(&inst, &crossed, &EchoBit, 4, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

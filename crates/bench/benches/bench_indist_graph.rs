@@ -1,0 +1,23 @@
+//! E2 bench: building the exact indistinguishability graph and
+//! extracting k-matchings.
+
+use bcc_core::indist::IndistGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indist");
+    group.sample_size(10);
+    for n in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::new("round_zero", n), &n, |b, &n| {
+            b.iter(|| IndistGraph::round_zero(n))
+        });
+        let g = IndistGraph::round_zero(n);
+        group.bench_with_input(BenchmarkId::new("k_matching_v2", n), &n, |b, _| {
+            b.iter(|| g.k_matching_saturating_v2(1).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E6 bench: exact PartitionComp information accounting.
+
+use bcc_core::infobound::partition_comp_information;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infobound");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, &n| {
+            b.iter(|| partition_comp_information(n, None).mutual_information)
+        });
+        group.bench_with_input(BenchmarkId::new("budget_4", n), &n, |b, &n| {
+            b.iter(|| partition_comp_information(n, Some(4)).mutual_information)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

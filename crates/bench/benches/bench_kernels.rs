@@ -1,0 +1,65 @@
+//! Cross-cutting kernels: union-find, matching, partition join,
+//! simulator round throughput.
+
+use bcc_graphs::matching::{hopcroft_karp, BipartiteGraph};
+use bcc_graphs::{generators, UnionFind};
+use bcc_model::testing::EchoBit;
+use bcc_model::{Instance, Simulator};
+use bcc_partitions::random::uniform_partition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+
+    for n in [1_000usize, 10_000] {
+        let edges: Vec<(usize, usize)> = (0..2 * n)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("union_find", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut uf = UnionFind::new(n);
+                for &(u, v) in &edges {
+                    if u != v {
+                        uf.union(u, v);
+                    }
+                }
+                uf.num_sets()
+            })
+        });
+    }
+
+    for n in [100usize, 400] {
+        let mut g = BipartiteGraph::new(n, n);
+        for l in 0..n {
+            for _ in 0..4 {
+                g.add_edge(l, rng.gen_range(0..n));
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &n, |b, _| {
+            b.iter(|| hopcroft_karp(&g).size())
+        });
+    }
+
+    for n in [16usize, 30] {
+        let pa = uniform_partition(n, &mut rng);
+        let pb = uniform_partition(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("partition_join", n), &n, |b, _| {
+            b.iter(|| pa.join(&pb).num_blocks())
+        });
+    }
+
+    for n in [32usize, 128] {
+        let inst = Instance::new_kt1(generators::cycle(n)).unwrap();
+        let sim = Simulator::new(8);
+        group.bench_with_input(BenchmarkId::new("simulator_8_rounds", n), &n, |b, _| {
+            b.iter(|| sim.run(&inst, &EchoBit, 0).stats().rounds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

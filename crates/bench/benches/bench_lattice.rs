@@ -1,0 +1,26 @@
+//! E10 bench: the partition-lattice machinery behind Theorem 2.3.
+
+use bcc_partitions::lattice::{verify_dowling_wilson, PartitionLattice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        group.bench_with_input(BenchmarkId::new("zeta_matrix", n), &n, |b, &n| {
+            let lat = PartitionLattice::new(n);
+            b.iter(|| lat.zeta_matrix().rank())
+        });
+        group.bench_with_input(BenchmarkId::new("dowling_wilson", n), &n, |b, &n| {
+            b.iter(|| verify_dowling_wilson(n))
+        });
+    }
+    group.bench_function("mobius_matrix_n4", |b| {
+        let lat = PartitionLattice::new(4);
+        b.iter(|| lat.mobius_matrix())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E11 bench: distributed Borůvka MST vs the Kruskal oracle.
+
+use bcc_algorithms::BoruvkaMst;
+use bcc_graphs::generators;
+use bcc_graphs::weighted::WeightedGraph;
+use bcc_model::{Instance, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for n in [16usize, 48] {
+        let g = generators::gnm(n, 3 * n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("kruskal_oracle", n), &n, |b, _| {
+            let wg = WeightedGraph::from_graph_hashed(&g, 7);
+            b.iter(|| wg.minimum_spanning_forest().total_weight)
+        });
+        let inst = Instance::new_kt1(g.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("boruvka_bcc1", n), &n, |b, _| {
+            let sim = Simulator::new(10_000_000).without_transcripts();
+            b.iter(|| sim.run(&inst, &BoruvkaMst::new(7), 0).stats().rounds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 bench: exact rank of the Partition matrices.
+
+use bcc_comm::bounds::certify_rank;
+use bcc_partitions::matrices::{partition_join_matrix, two_partition_matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        group.bench_with_input(BenchmarkId::new("build_M_n", n), &n, |b, &n| {
+            b.iter(|| partition_join_matrix(n))
+        });
+        let jm = partition_join_matrix(n);
+        group.bench_with_input(BenchmarkId::new("rank_M_n", n), &n, |b, _| {
+            b.iter(|| certify_rank(&jm).rank)
+        });
+    }
+    for n in [6usize, 8] {
+        let jm = two_partition_matrix(n);
+        group.bench_with_input(BenchmarkId::new("rank_E_n", n), &n, |b, _| {
+            b.iter(|| certify_rank(&jm).rank)
+        });
+        group.bench_with_input(BenchmarkId::new("rank_E_n_gf2", n), &n, |b, _| {
+            b.iter(|| jm.to_gf2().rank())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

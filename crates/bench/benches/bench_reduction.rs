@@ -1,0 +1,28 @@
+//! F2 bench: gadget construction and Theorem 4.3 verification.
+
+use bcc_comm::reduction::{gadget_graph, verify_theorem_4_3, Gadget};
+use bcc_partitions::random::{uniform_matching_partition, uniform_partition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for n in [8usize, 16, 30] {
+        let pa = uniform_partition(n, &mut rng);
+        let pb = uniform_partition(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("general_gadget", n), &n, |b, _| {
+            b.iter(|| gadget_graph(Gadget::General, &pa, &pb))
+        });
+        let ma = uniform_matching_partition(n, &mut rng);
+        let mb = uniform_matching_partition(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("two_regular_check_4_3", n), &n, |b, _| {
+            b.iter(|| verify_theorem_4_3(Gadget::TwoRegular, &ma, &mb))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

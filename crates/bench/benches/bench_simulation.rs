@@ -1,0 +1,26 @@
+//! E5 bench: the Alice/Bob simulation of KT-1 BCC(1) algorithms.
+
+use bcc_algorithms::{NeighborIdBroadcast, Problem};
+use bcc_comm::reduction::Gadget;
+use bcc_comm::simulate::simulate_two_party;
+use bcc_partitions::random::uniform_matching_partition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let algo = NeighborIdBroadcast::new(Problem::MultiCycle);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for n in [6usize, 10, 16] {
+        let pa = uniform_matching_partition(n, &mut rng);
+        let pb = uniform_matching_partition(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("two_party_sim", n), &n, |b, _| {
+            b.iter(|| simulate_two_party(Gadget::TwoRegular, &algo, &pa, &pb, 0, 1_000_000).rounds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

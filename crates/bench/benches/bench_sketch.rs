@@ -1,0 +1,46 @@
+//! E8 bench: L0 sketches and sketch connectivity across bandwidths.
+
+use bcc_algorithms::sketch::L0Sketch;
+use bcc_algorithms::{Problem, SketchConnectivity};
+use bcc_bench::kt1_cycle;
+use bcc_model::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch");
+    group.sample_size(10);
+    for m in [128usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("l0_update_x32", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut s = L0Sketch::zero(m, 7);
+                for i in 0..32 {
+                    s.update((i * 37) % m, 1);
+                }
+                s.decode()
+            })
+        });
+        let mut s1 = L0Sketch::zero(m, 7);
+        s1.update(3, 1);
+        let mut s2 = L0Sketch::zero(m, 7);
+        s2.update(5, -1);
+        group.bench_with_input(BenchmarkId::new("l0_add_decode", m), &m, |b, _| {
+            b.iter(|| s1.added(&s2).decode())
+        });
+    }
+    let algo = SketchConnectivity::new(Problem::Connectivity);
+    for bandwidth in [64usize, 1024] {
+        let inst = kt1_cycle(12);
+        group.bench_with_input(
+            BenchmarkId::new("connectivity_cycle12", bandwidth),
+            &bandwidth,
+            |b, &bw| {
+                let sim = Simulator::with_bandwidth(50_000_000, bw);
+                b.iter(|| sim.run(&inst, &algo, 1).stats().rounds)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E1 bench: the Theorem 3.5 star distribution and error measurement.
+
+use bcc_algorithms::HashVoteDecider;
+use bcc_core::hard::{distributional_error, star_distribution};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("star");
+    group.sample_size(10);
+    for n in [27usize, 54, 108] {
+        group.bench_with_input(BenchmarkId::new("build_distribution", n), &n, |b, &n| {
+            b.iter(|| star_distribution(n))
+        });
+        let dist = star_distribution(n);
+        let algo = HashVoteDecider::new(2);
+        group.bench_with_input(BenchmarkId::new("measure_error_t2", n), &n, |b, _| {
+            b.iter(|| distributional_error(&dist, &algo, 2, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

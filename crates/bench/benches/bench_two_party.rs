@@ -1,0 +1,27 @@
+//! E4 bench: the trivial Partition protocol.
+
+use bcc_comm::driver::run_protocol;
+use bcc_comm::protocols::{TrivialJoinAlice, TrivialJoinBob};
+use bcc_partitions::random::uniform_partition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_party");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for n in [8usize, 16, 32] {
+        let pa = uniform_partition(n, &mut rng);
+        let pb = uniform_partition(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("trivial_join", n), &n, |b, _| {
+            b.iter(|| {
+                let mut alice = TrivialJoinAlice::new(pa.clone());
+                let mut bob = TrivialJoinBob::new(pb.clone());
+                run_protocol(&mut alice, &mut bob, 8).bits_exchanged
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

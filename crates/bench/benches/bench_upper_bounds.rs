@@ -1,0 +1,56 @@
+//! E7 bench: the upper-bound algorithms on cycles (the tightness side).
+
+use bcc_algorithms::{
+    BoruvkaMinLabel, FullGraphBroadcast, Kt0Upgrade, NeighborIdBroadcast, Problem,
+};
+use bcc_bench::{kt0_cycle, kt1_cycle};
+use bcc_model::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upper_bounds");
+    group.sample_size(10);
+    let sim = Simulator::new(1_000_000);
+    for n in [16usize, 64, 128] {
+        let kt1 = kt1_cycle(n);
+        let kt0 = kt0_cycle(n);
+        group.bench_with_input(BenchmarkId::new("neighbor_kt1", n), &n, |b, _| {
+            b.iter(|| {
+                sim.run(&kt1, &NeighborIdBroadcast::new(Problem::TwoCycle), 0)
+                    .stats()
+                    .rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("neighbor_kt0_upgraded", n), &n, |b, _| {
+            b.iter(|| {
+                sim.run(
+                    &kt0,
+                    &Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+                    0,
+                )
+                .stats()
+                .rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("boruvka", n), &n, |b, _| {
+            b.iter(|| {
+                sim.run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity), 0)
+                    .stats()
+                    .rounds
+            })
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("full_broadcast", n), &n, |b, _| {
+                b.iter(|| {
+                    sim.run(&kt1, &FullGraphBroadcast::new(Problem::Connectivity), 0)
+                        .stats()
+                        .rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

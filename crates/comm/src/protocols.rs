@@ -1,0 +1,253 @@
+//! Concrete protocols for `Partition` and `PartitionComp`.
+//!
+//! The paper's upper bound (Section 4): "Alice sends all the connected
+//! components induced by E_A to Bob" — for the `Partition` problem
+//! Alice's components *are* her partition, so the trivial protocol
+//! encodes `P_A` in `n·⌈log₂ n⌉` bits, Bob computes the join, and a
+//! short reply completes the exchange. Its cost is `O(n log n)` bits —
+//! matching the Ω(n log n) lower bound of Corollary 2.4, so the
+//! 2-party complexity of `Partition` is settled up to constants.
+
+use crate::driver::Party;
+use bcc_model::codec::{bits_needed, bits_to_u64, u64_to_bits};
+use bcc_partitions::SetPartition;
+
+/// Encodes a partition as its RGS, `⌈log₂ n⌉` bits per element.
+pub fn encode_partition(p: &SetPartition) -> Vec<bool> {
+    let n = p.ground_size();
+    let w = bits_needed(n.max(2));
+    p.rgs()
+        .iter()
+        .flat_map(|&b| u64_to_bits(b as u64, w))
+        .collect()
+}
+
+/// Decodes a partition encoded by [`encode_partition`].
+///
+/// # Panics
+///
+/// Panics if the bit string has the wrong length or is not a valid
+/// RGS.
+pub fn decode_partition(n: usize, bits: &[bool]) -> SetPartition {
+    let w = bits_needed(n.max(2));
+    assert_eq!(bits.len(), n * w, "wrong encoding length");
+    let rgs: Vec<usize> = bits
+        .chunks(w)
+        .map(|chunk| bits_to_u64(chunk) as usize)
+        .collect();
+    SetPartition::from_rgs(rgs).expect("encoded RGS is valid")
+}
+
+/// Bits of the trivial protocol's first message for ground size `n`.
+pub fn trivial_message_bits(n: usize) -> usize {
+    n * bits_needed(n.max(2))
+}
+
+/// The decision-`Partition` protocol: Alice sends `P_A` (RGS-encoded);
+/// Bob replies one bit: is `P_A ∨ P_B` trivial?
+#[derive(Debug)]
+pub struct TrivialJoinAlice {
+    input: SetPartition,
+    answer: Option<bool>,
+}
+
+impl TrivialJoinAlice {
+    /// Alice with input `P_A`.
+    pub fn new(input: SetPartition) -> Self {
+        TrivialJoinAlice {
+            input,
+            answer: None,
+        }
+    }
+}
+
+impl Party<bool> for TrivialJoinAlice {
+    fn send(&mut self) -> Vec<bool> {
+        encode_partition(&self.input)
+    }
+
+    fn receive(&mut self, bits: &[bool]) {
+        if let Some(&b) = bits.first() {
+            self.answer = Some(b);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.answer
+    }
+}
+
+/// Bob's side of the decision protocol.
+#[derive(Debug)]
+pub struct TrivialJoinBob {
+    input: SetPartition,
+    answer: Option<bool>,
+}
+
+impl TrivialJoinBob {
+    /// Bob with input `P_B`.
+    pub fn new(input: SetPartition) -> Self {
+        TrivialJoinBob {
+            input,
+            answer: None,
+        }
+    }
+}
+
+impl Party<bool> for TrivialJoinBob {
+    fn send(&mut self) -> Vec<bool> {
+        match self.answer {
+            Some(b) => vec![b],
+            None => vec![],
+        }
+    }
+
+    fn receive(&mut self, bits: &[bool]) {
+        let n = self.input.ground_size();
+        if bits.len() == trivial_message_bits(n) {
+            let pa = decode_partition(n, bits);
+            self.answer = Some(pa.join(&self.input).is_trivial());
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.answer
+    }
+}
+
+/// The `PartitionComp` protocol (Theorem 4.5's object): Alice sends
+/// `P_A`; Bob computes and replies with the join; both output it.
+/// Cost `2·n·⌈log₂ n⌉` bits.
+#[derive(Debug)]
+pub struct JoinCompAlice {
+    input: SetPartition,
+    join: Option<SetPartition>,
+}
+
+impl JoinCompAlice {
+    /// Alice with input `P_A`.
+    pub fn new(input: SetPartition) -> Self {
+        JoinCompAlice { input, join: None }
+    }
+}
+
+impl Party<SetPartition> for JoinCompAlice {
+    fn send(&mut self) -> Vec<bool> {
+        encode_partition(&self.input)
+    }
+
+    fn receive(&mut self, bits: &[bool]) {
+        let n = self.input.ground_size();
+        if bits.len() == trivial_message_bits(n) {
+            self.join = Some(decode_partition(n, bits));
+        }
+    }
+
+    fn output(&self) -> Option<SetPartition> {
+        self.join.clone()
+    }
+}
+
+/// Bob's side of `PartitionComp`.
+#[derive(Debug)]
+pub struct JoinCompBob {
+    input: SetPartition,
+    join: Option<SetPartition>,
+}
+
+impl JoinCompBob {
+    /// Bob with input `P_B`.
+    pub fn new(input: SetPartition) -> Self {
+        JoinCompBob { input, join: None }
+    }
+}
+
+impl Party<SetPartition> for JoinCompBob {
+    fn send(&mut self) -> Vec<bool> {
+        match &self.join {
+            Some(j) => encode_partition(j),
+            None => vec![],
+        }
+    }
+
+    fn receive(&mut self, bits: &[bool]) {
+        let n = self.input.ground_size();
+        if bits.len() == trivial_message_bits(n) {
+            let pa = decode_partition(n, bits);
+            self.join = Some(pa.join(&self.input));
+        }
+    }
+
+    fn output(&self) -> Option<SetPartition> {
+        self.join.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_protocol, run_with_bit_budget};
+    use bcc_partitions::enumerate::all_partitions;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for p in all_partitions(6) {
+            let bits = encode_partition(&p);
+            assert_eq!(bits.len(), trivial_message_bits(6));
+            assert_eq!(decode_partition(6, &bits), p);
+        }
+    }
+
+    #[test]
+    fn decision_protocol_correct_on_all_pairs() {
+        let n = 4;
+        for pa in all_partitions(n) {
+            for pb in all_partitions(n) {
+                let expect = pa.join(&pb).is_trivial();
+                let mut alice = TrivialJoinAlice::new(pa.clone());
+                let mut bob = TrivialJoinBob::new(pb.clone());
+                let run = run_protocol(&mut alice, &mut bob, 10);
+                assert_eq!(run.alice_output, Some(expect), "PA={pa} PB={pb}");
+                assert_eq!(run.bob_output, Some(expect));
+                assert_eq!(run.bits_exchanged, trivial_message_bits(n) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn comp_protocol_computes_join() {
+        let n = 5;
+        let pairs = [
+            (
+                vec![vec![0, 1], vec![2, 3], vec![4]],
+                vec![vec![0, 1, 3], vec![2], vec![4]],
+            ),
+            (
+                vec![vec![0], vec![1], vec![2], vec![3], vec![4]],
+                vec![vec![0, 1, 2, 3, 4]],
+            ),
+        ];
+        for (ba, bb) in pairs {
+            let pa = SetPartition::from_blocks(n, &ba).unwrap();
+            let pb = SetPartition::from_blocks(n, &bb).unwrap();
+            let mut alice = JoinCompAlice::new(pa.clone());
+            let mut bob = JoinCompBob::new(pb.clone());
+            let run = run_protocol(&mut alice, &mut bob, 10);
+            let expect = pa.join(&pb);
+            assert_eq!(run.alice_output, Some(expect.clone()));
+            assert_eq!(run.bob_output, Some(expect));
+            assert_eq!(run.bits_exchanged, 2 * trivial_message_bits(n));
+        }
+    }
+
+    #[test]
+    fn budget_starves_the_protocol() {
+        let pa = SetPartition::finest(6);
+        let pb = SetPartition::trivial(6);
+        let mut alice = JoinCompAlice::new(pa);
+        let mut bob = JoinCompBob::new(pb);
+        let run = run_with_bit_budget(&mut alice, &mut bob, 5, 10);
+        assert!(run.bob_output.is_none());
+        assert!(run.bits_exchanged <= 5);
+    }
+}

@@ -1,0 +1,252 @@
+//! Randomized protocols for `Partition` — an exploration harness for
+//! the paper's open **Question 2** ("can we get an Ω(n log n) lower
+//! bound on the randomized constant-error communication complexity of
+//! Partition / TwoPartition?").
+//!
+//! The paper notes the randomized complexity of `Partition` is a
+//! long-standing open problem. This module does **not** claim a bound
+//! in either direction; it provides concrete randomized protocols
+//! whose error-vs-communication trade-off can be *measured*, so the
+//! open question has an empirical landscape:
+//!
+//! - [`SampledConstraintAlice`]/[`SampledConstraintBob`]: using shared randomness, the
+//!   parties agree on `k` random element pairs `(i, j)`; Alice sends
+//!   the `k` bits `[i ∼_{P_A} j]`. Bob overlays these sampled
+//!   constraints on his own full partition and answers "join trivial?"
+//!   from the union–find closure. The protocol has **one-sided
+//!   error**: a YES answer is always correct (sampled constraints are
+//!   true), while a NO may be a false negative (a needed merge was
+//!   never sampled). Cost: `k` bits. Intuition suggests
+//!   `k = Θ(n log n)` samples are needed to catch all merges
+//!   (coupon-collector over Alice's blocks) — consistent with a
+//!   positive answer to Question 2, though of course not a proof.
+
+use crate::driver::Party;
+use bcc_graphs::UnionFind;
+use bcc_partitions::SetPartition;
+
+/// Derives the shared pair sequence from the public seed.
+fn shared_pairs(n: usize, k: usize, seed: u64) -> Vec<(usize, usize)> {
+    // splitmix64 stream; both parties compute the same pairs.
+    let mut z = seed;
+    let mut next = move || {
+        z = z.wrapping_add(0x9e3779b97f4a7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    };
+    (0..k)
+        .map(|_| {
+            let a = (next() % n as u64) as usize;
+            let mut b = (next() % n as u64) as usize;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            (a, b)
+        })
+        .collect()
+}
+
+/// Alice's side of the sampled-constraint protocol.
+#[derive(Debug)]
+pub struct SampledConstraintAlice {
+    input: SetPartition,
+    pairs: Vec<(usize, usize)>,
+    answer: Option<bool>,
+}
+
+impl SampledConstraintAlice {
+    /// Alice with input `P_A`, sampling `k` pairs from `seed`.
+    pub fn new(input: SetPartition, k: usize, seed: u64) -> Self {
+        let pairs = shared_pairs(input.ground_size(), k, seed);
+        SampledConstraintAlice {
+            input,
+            pairs,
+            answer: None,
+        }
+    }
+}
+
+impl Party<bool> for SampledConstraintAlice {
+    fn send(&mut self) -> Vec<bool> {
+        self.pairs
+            .iter()
+            .map(|&(a, b)| self.input.same_block(a, b))
+            .collect()
+    }
+
+    fn receive(&mut self, bits: &[bool]) {
+        if let Some(&b) = bits.first() {
+            self.answer = Some(b);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.answer
+    }
+}
+
+/// Bob's side: overlays the sampled constraints on his partition and
+/// decides by union–find closure.
+#[derive(Debug)]
+pub struct SampledConstraintBob {
+    input: SetPartition,
+    pairs: Vec<(usize, usize)>,
+    answer: Option<bool>,
+}
+
+impl SampledConstraintBob {
+    /// Bob with input `P_B`, sampling the same `k` pairs.
+    pub fn new(input: SetPartition, k: usize, seed: u64) -> Self {
+        let pairs = shared_pairs(input.ground_size(), k, seed);
+        SampledConstraintBob {
+            input,
+            pairs,
+            answer: None,
+        }
+    }
+}
+
+impl Party<bool> for SampledConstraintBob {
+    fn send(&mut self) -> Vec<bool> {
+        match self.answer {
+            Some(b) => vec![b],
+            None => vec![],
+        }
+    }
+
+    fn receive(&mut self, bits: &[bool]) {
+        if bits.len() != self.pairs.len() {
+            return; // starved run: no decision possible yet
+        }
+        let n = self.input.ground_size();
+        let mut uf = UnionFind::new(n);
+        // Bob's own blocks.
+        for block in self.input.blocks() {
+            for w in block.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+        // Alice's sampled positive constraints.
+        for (&(a, b), &same) in self.pairs.iter().zip(bits) {
+            if same {
+                uf.union(a, b);
+            }
+        }
+        self.answer = Some(uf.num_sets() == 1);
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.answer
+    }
+}
+
+/// Runs the sampled-constraint protocol once; returns `(answer, bits)`.
+pub fn run_sampled(pa: &SetPartition, pb: &SetPartition, k: usize, seed: u64) -> (bool, usize) {
+    let mut alice = SampledConstraintAlice::new(pa.clone(), k, seed);
+    let mut bob = SampledConstraintBob::new(pb.clone(), k, seed);
+    let run = crate::driver::run_protocol(&mut alice, &mut bob, 4);
+    (
+        run.bob_output.expect("protocol completes"),
+        run.bits_exchanged,
+    )
+}
+
+/// Measures the one-sided error of the sampled-constraint protocol on
+/// a set of input pairs, over several shared seeds: returns
+/// `(false-negative rate on trivial-join inputs, any false positives)`.
+pub fn measure_error(
+    inputs: &[(SetPartition, SetPartition)],
+    k: usize,
+    seeds: &[u64],
+) -> (f64, bool) {
+    let mut trivial_trials = 0usize;
+    let mut false_negatives = 0usize;
+    let mut false_positive = false;
+    for (pa, pb) in inputs {
+        let truth = pa.join(pb).is_trivial();
+        for &seed in seeds {
+            let (said, _) = run_sampled(pa, pb, k, seed);
+            if truth {
+                trivial_trials += 1;
+                if !said {
+                    false_negatives += 1;
+                }
+            } else if said {
+                false_positive = true;
+            }
+        }
+    }
+    let rate = if trivial_trials == 0 {
+        0.0
+    } else {
+        false_negatives as f64 / trivial_trials as f64
+    };
+    (rate, false_positive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_partitions::enumerate::all_partitions;
+    use bcc_partitions::random::uniform_partition;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_sided_error_never_false_positive() {
+        // Exhaustive at n = 4 with small k: YES answers are always
+        // correct regardless of sampling.
+        let inputs: Vec<_> = all_partitions(4)
+            .flat_map(|a| all_partitions(4).map(move |b| (a.clone(), b)))
+            .collect();
+        for k in [1usize, 4, 16] {
+            let (_, false_positive) = measure_error(&inputs, k, &[0, 1, 2]);
+            assert!(!false_positive, "false positive at k={k}");
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_budget() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 8;
+        // Bias toward trivial-join pairs (coarse partitions).
+        let inputs: Vec<_> = (0..20)
+            .map(|_| {
+                (
+                    uniform_partition(n, &mut rng),
+                    uniform_partition(n, &mut rng),
+                )
+            })
+            .filter(|(a, b)| a.join(b).is_trivial())
+            .collect();
+        assert!(!inputs.is_empty());
+        let seeds: Vec<u64> = (0..8).collect();
+        let e_small = measure_error(&inputs, 4, &seeds).0;
+        let e_large = measure_error(&inputs, 256, &seeds).0;
+        assert!(
+            e_large <= e_small,
+            "error did not shrink: {e_small} -> {e_large}"
+        );
+        assert!(e_large < 0.1, "large budget still errs {e_large}");
+    }
+
+    #[test]
+    fn cost_is_exactly_k_plus_one() {
+        let pa = SetPartition::trivial(6);
+        let pb = SetPartition::finest(6);
+        let (ans, bits) = run_sampled(&pa, &pb, 33, 5);
+        assert_eq!(bits, 33 + 1);
+        // PA trivial: join trivial; sampled constraints from the
+        // one-block partition are all "same block", so Bob merges every
+        // sampled pair... success depends on coverage; with k = 33 on
+        // n = 6 coverage is near-certain.
+        assert!(ans);
+    }
+
+    #[test]
+    fn shared_pairs_deterministic() {
+        assert_eq!(shared_pairs(10, 5, 42), shared_pairs(10, 5, 42));
+        assert_ne!(shared_pairs(10, 5, 42), shared_pairs(10, 5, 43));
+    }
+}

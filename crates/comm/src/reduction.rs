@@ -1,0 +1,282 @@
+//! The Section 4.2 gadget graphs `G(P_A, P_B)` (Figure 2) and the
+//! executable Theorem 4.3.
+//!
+//! Vertex layout (0-indexed; the paper's IDs `i, n+i, 2n+i, 3n+i`):
+//!
+//! - **General gadget** (from `Partition`): `a_i = i`, `ℓ_i = n + i`,
+//!   `r_i = 2n + i`, `b_i = 3n + i`. Edges: the matching
+//!   `(ℓ_i, r_i)`; Alice attaches `a_k` to `ℓ_j` for every `j` in her
+//!   `k`-th block (leftover `a_k` attach to `ℓ* = ℓ_0`); Bob mirrors
+//!   on `B`–`R`.
+//! - **2-regular gadget** (from `TwoPartition`): only `ℓ_i = i` and
+//!   `r_i = n + i`; the matching `(ℓ_i, r_i)` plus an `L`-edge per
+//!   Alice block `{i, j}` and an `R`-edge per Bob block. Every vertex
+//!   has degree exactly 2, so the graph is a disjoint union of cycles,
+//!   each of length ≥ 4 — a `MultiCycle` instance.
+//!
+//! **Theorem 4.3**: the partition induced on `L` (equivalently `R`) by
+//! the connected components of `G(P_A, P_B)` is exactly `P_A ∨ P_B`.
+
+use bcc_graphs::connectivity::connected_components;
+use bcc_graphs::Graph;
+use bcc_partitions::SetPartition;
+
+/// Which of the two Figure 2 constructions to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gadget {
+    /// The 4n-vertex construction from `Partition`.
+    General,
+    /// The 2n-vertex 2-regular construction from `TwoPartition`.
+    TwoRegular,
+}
+
+impl Gadget {
+    /// Number of gadget vertices for ground size `n`.
+    pub fn num_vertices(self, n: usize) -> usize {
+        match self {
+            Gadget::General => 4 * n,
+            Gadget::TwoRegular => 2 * n,
+        }
+    }
+
+    /// The vertex IDs hosted by Alice (the rest are Bob's).
+    pub fn alice_vertices(self, n: usize) -> std::ops::Range<usize> {
+        match self {
+            Gadget::General => 0..2 * n, // A ∪ L
+            Gadget::TwoRegular => 0..n,  // L
+        }
+    }
+}
+
+/// The shared (input-independent) edges: the `(ℓ_i, r_i)` matching.
+pub fn shared_edges(gadget: Gadget, n: usize) -> Vec<(usize, usize)> {
+    match gadget {
+        Gadget::General => (0..n).map(|i| (n + i, 2 * n + i)).collect(),
+        Gadget::TwoRegular => (0..n).map(|i| (i, n + i)).collect(),
+    }
+}
+
+/// Alice's edges, a function of `P_A` only.
+///
+/// # Panics
+///
+/// Panics if (for [`Gadget::TwoRegular`]) `P_A` is not a
+/// perfect-matching partition.
+pub fn alice_edges(gadget: Gadget, pa: &SetPartition) -> Vec<(usize, usize)> {
+    let n = pa.ground_size();
+    match gadget {
+        Gadget::General => {
+            let mut edges = Vec::new();
+            let blocks = pa.blocks();
+            for (k, block) in blocks.iter().enumerate() {
+                for &j in block {
+                    edges.push((k, n + j));
+                }
+            }
+            // Leftover a_k attach to ℓ* = ℓ_0.
+            for k in blocks.len()..n {
+                edges.push((k, n));
+            }
+            edges
+        }
+        Gadget::TwoRegular => {
+            assert!(
+                pa.is_perfect_matching(),
+                "TwoRegular gadget requires a perfect-matching partition"
+            );
+            pa.blocks().iter().map(|b| (b[0], b[1])).collect()
+        }
+    }
+}
+
+/// Bob's edges, a function of `P_B` only (mirrored on `R`/`B`).
+///
+/// # Panics
+///
+/// Panics if (for [`Gadget::TwoRegular`]) `P_B` is not a
+/// perfect-matching partition.
+pub fn bob_edges(gadget: Gadget, pb: &SetPartition) -> Vec<(usize, usize)> {
+    let n = pb.ground_size();
+    match gadget {
+        Gadget::General => {
+            let mut edges = Vec::new();
+            let blocks = pb.blocks();
+            for (k, block) in blocks.iter().enumerate() {
+                for &j in block {
+                    edges.push((3 * n + k, 2 * n + j));
+                }
+            }
+            for k in blocks.len()..n {
+                edges.push((3 * n + k, 2 * n));
+            }
+            edges
+        }
+        Gadget::TwoRegular => {
+            assert!(
+                pb.is_perfect_matching(),
+                "TwoRegular gadget requires a perfect-matching partition"
+            );
+            pb.blocks().iter().map(|b| (n + b[0], n + b[1])).collect()
+        }
+    }
+}
+
+/// Builds the full gadget graph `G(P_A, P_B)`.
+///
+/// # Panics
+///
+/// Panics if ground sets differ, or the 2-regular gadget is requested
+/// for non-matching partitions.
+pub fn gadget_graph(gadget: Gadget, pa: &SetPartition, pb: &SetPartition) -> Graph {
+    assert_eq!(
+        pa.ground_size(),
+        pb.ground_size(),
+        "partitions must share a ground set"
+    );
+    let n = pa.ground_size();
+    let mut edges = shared_edges(gadget, n);
+    edges.extend(alice_edges(gadget, pa));
+    edges.extend(bob_edges(gadget, pb));
+    Graph::from_edges(gadget.num_vertices(n), edges).expect("gadget edges are simple")
+}
+
+/// The partition induced on `L` by the connected components of the
+/// gadget graph — Theorem 4.3 says this equals `P_A ∨ P_B`.
+pub fn induced_partition_on_l(gadget: Gadget, n: usize, g: &Graph) -> SetPartition {
+    let comps = connected_components(g);
+    let l_offset = match gadget {
+        Gadget::General => n,
+        Gadget::TwoRegular => 0,
+    };
+    let labels: Vec<usize> = (0..n).map(|i| comps.label[l_offset + i]).collect();
+    SetPartition::from_assignment(&labels)
+}
+
+/// Executable Theorem 4.3: checks that the component partition on `L`
+/// equals the join, and (as the corollary used by Theorem 4.4) that
+/// the gadget is connected iff the join is trivial.
+pub fn verify_theorem_4_3(gadget: Gadget, pa: &SetPartition, pb: &SetPartition) -> bool {
+    let g = gadget_graph(gadget, pa, pb);
+    let join = pa.join(pb);
+    let induced = induced_partition_on_l(gadget, pa.ground_size(), &g);
+    induced == join && g.is_connected() == join.is_trivial()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graphs::cycles::cycle_structure;
+    use bcc_partitions::enumerate::{all_partitions, matching_partitions};
+
+    /// The paper's Figure 2 (left) example, 0-indexed:
+    /// PA = (1,2,3)(4,5,6)(7,8), PB = (1,2,6)(3,4,7)(5,8).
+    fn figure2_left() -> (SetPartition, SetPartition) {
+        let pa = SetPartition::from_blocks(8, &[vec![0, 1, 2], vec![3, 4, 5], vec![6, 7]]).unwrap();
+        let pb = SetPartition::from_blocks(8, &[vec![0, 1, 5], vec![2, 3, 6], vec![4, 7]]).unwrap();
+        (pa, pb)
+    }
+
+    /// Figure 2 (right): PA = (1,2)(3,4)(5,6)(7,8),
+    /// PB = (1,3)(2,4)(5,7)(6,8).
+    fn figure2_right() -> (SetPartition, SetPartition) {
+        let pa = SetPartition::from_blocks(8, &[vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]])
+            .unwrap();
+        let pb = SetPartition::from_blocks(8, &[vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]])
+            .unwrap();
+        (pa, pb)
+    }
+
+    #[test]
+    fn figure2_left_structure() {
+        let (pa, pb) = figure2_left();
+        assert!(verify_theorem_4_3(Gadget::General, &pa, &pb));
+        // Join of the figure's partitions is the trivial partition
+        // (1..8 all connect through the chain of blocks).
+        assert!(pa.join(&pb).is_trivial());
+        assert!(gadget_graph(Gadget::General, &pa, &pb).is_connected());
+    }
+
+    #[test]
+    fn figure2_right_structure() {
+        let (pa, pb) = figure2_right();
+        let g = gadget_graph(Gadget::TwoRegular, &pa, &pb);
+        // 2-regular: disjoint cycles, each of length >= 4.
+        let s = cycle_structure(&g).expect("2-regular disjoint cycles");
+        assert!(s.min_length() >= 4);
+        // PA ∨ PB = (1,2,3,4)(5,6,7,8): two blocks → two cycles.
+        assert_eq!(pa.join(&pb).num_blocks(), 2);
+        assert_eq!(s.count(), 2);
+        assert!(verify_theorem_4_3(Gadget::TwoRegular, &pa, &pb));
+    }
+
+    /// Theorem 4.3, exhaustively for n = 3 (25 pairs) and on the
+    /// general gadget.
+    #[test]
+    fn theorem_4_3_exhaustive_small() {
+        for pa in all_partitions(3) {
+            for pb in all_partitions(3) {
+                assert!(
+                    verify_theorem_4_3(Gadget::General, &pa, &pb),
+                    "PA={pa} PB={pb}"
+                );
+            }
+        }
+    }
+
+    /// Theorem 4.3 on the 2-regular gadget, exhaustively for n = 4 and
+    /// n = 6.
+    #[test]
+    fn theorem_4_3_two_regular_exhaustive() {
+        for n in [4usize, 6] {
+            let parts: Vec<SetPartition> = matching_partitions(n).collect();
+            for pa in &parts {
+                for pb in &parts {
+                    assert!(
+                        verify_theorem_4_3(Gadget::TwoRegular, pa, pb),
+                        "PA={pa} PB={pb}"
+                    );
+                    // Cycle count = blocks of join; all cycles length >= 4.
+                    let g = gadget_graph(Gadget::TwoRegular, pa, pb);
+                    let s = cycle_structure(&g).unwrap();
+                    assert_eq!(s.count(), pa.join(pb).num_blocks());
+                    assert!(s.min_length() >= 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_gadget_counts() {
+        let (pa, pb) = figure2_left();
+        let g = gadget_graph(Gadget::General, &pa, &pb);
+        assert_eq!(g.num_vertices(), 32);
+        // n matching edges + n Alice edges (8 = 3+3+2 block members +
+        // 5 leftover a's... blocks use 3 a's, leftover 5 attach to ℓ*)
+        // + same for Bob: 8 + (8 + 5) + (8 + 5) = 34.
+        assert_eq!(g.num_edges(), 8 + 13 + 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-matching")]
+    fn two_regular_rejects_non_matchings() {
+        let pa = SetPartition::trivial(4);
+        alice_edges(Gadget::TwoRegular, &pa);
+    }
+
+    #[test]
+    fn per_party_edges_compose() {
+        let (pa, pb) = figure2_left();
+        let mut edges = shared_edges(Gadget::General, 8);
+        edges.extend(alice_edges(Gadget::General, &pa));
+        edges.extend(bob_edges(Gadget::General, &pb));
+        let g = Graph::from_edges(32, edges).unwrap();
+        assert_eq!(g, gadget_graph(Gadget::General, &pa, &pb));
+    }
+
+    #[test]
+    fn alice_vertices_ranges() {
+        assert_eq!(Gadget::General.alice_vertices(5), 0..10);
+        assert_eq!(Gadget::TwoRegular.alice_vertices(5), 0..5);
+        assert_eq!(Gadget::General.num_vertices(5), 20);
+    }
+}

@@ -1,0 +1,246 @@
+//! The Section 4.3 simulation: Alice and Bob jointly execute a KT-1
+//! `BCC(1)` algorithm on `G(P_A, P_B)` by exchanging one `{0,1,⊥}`
+//! character per hosted vertex per round.
+//!
+//! Alice hosts the vertices in `A ∪ L` (whose incident edges depend
+//! only on `P_A` and the shared `(ℓ_i, r_i)` matching); Bob hosts
+//! `B ∪ R`. Both parties know all IDs and therefore the initial
+//! knowledge of every hosted vertex. Each simulated round costs
+//! exactly one character per vertex in each direction — `O(n)` bits —
+//! so an `r`-round `BCC(1)` algorithm yields an `O(r·n)`-bit 2-party
+//! protocol. Chained with Corollaries 2.4/4.2 this is Theorem 4.4:
+//! `r = Ω(log n)`.
+
+use crate::reduction::{alice_edges, bob_edges, shared_edges, Gadget};
+use bcc_model::{
+    Algorithm, Decision, Inbox, InitialKnowledge, KnowledgeMode, Message, NodeProgram, Symbol,
+};
+use bcc_partitions::SetPartition;
+
+/// The outcome of a two-party simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Simulated `BCC(1)` rounds.
+    pub rounds: usize,
+    /// Characters exchanged between Alice and Bob (2·N per round,
+    /// N = gadget vertices).
+    pub characters_exchanged: usize,
+    /// Bits exchanged, encoding each `{0,1,⊥}` character in 2 bits.
+    pub bits_exchanged: usize,
+    /// Per-vertex decisions, indexed by vertex ID.
+    pub decisions: Vec<Decision>,
+    /// Per-vertex component labels.
+    pub component_labels: Vec<Option<u64>>,
+}
+
+impl SimulationReport {
+    /// The system decision (YES iff all vertices vote YES).
+    pub fn system_decision(&self) -> Decision {
+        if self.decisions.iter().all(|&d| d == Decision::Yes) {
+            Decision::Yes
+        } else {
+            Decision::No
+        }
+    }
+}
+
+/// Builds the initial knowledge of vertex `v` from the edges a party
+/// knows (its own plus the shared matching).
+fn knowledge_for(
+    v: usize,
+    num_vertices: usize,
+    known_edges: &[(usize, usize)],
+    coin_seed: u64,
+) -> InitialKnowledge {
+    let mut neighbor_ids: Vec<u64> = known_edges
+        .iter()
+        .filter_map(|&(a, b)| {
+            if a == v {
+                Some(b as u64)
+            } else if b == v {
+                Some(a as u64)
+            } else {
+                None
+            }
+        })
+        .collect();
+    neighbor_ids.sort_unstable();
+    neighbor_ids.dedup();
+    let port_labels: Vec<u64> = (0..num_vertices as u64)
+        .filter(|&w| w != v as u64)
+        .collect();
+    InitialKnowledge {
+        id: v as u64,
+        n: num_vertices,
+        bandwidth: 1,
+        mode: KnowledgeMode::Kt1,
+        port_labels,
+        input_port_labels: neighbor_ids,
+        all_ids: Some((0..num_vertices as u64).collect()),
+        coin_seed,
+    }
+}
+
+/// Simulates `algorithm` on `G(P_A, P_B)` via the two-party protocol.
+///
+/// Each party spawns and drives only its hosted vertices from
+/// knowledge derivable from its own input; per round the parties
+/// exchange their hosted vertices' broadcast characters (plus one
+/// done-flag bit each way). The result is *identical* to running the
+/// algorithm directly on the gadget instance (see the tests), at a
+/// communication cost of `2·N` characters per round.
+///
+/// # Panics
+///
+/// Panics if ground sets differ or the gadget/partition combination is
+/// invalid.
+pub fn simulate_two_party(
+    gadget: Gadget,
+    algorithm: &dyn Algorithm,
+    pa: &SetPartition,
+    pb: &SetPartition,
+    coin_seed: u64,
+    max_rounds: usize,
+) -> SimulationReport {
+    assert_eq!(pa.ground_size(), pb.ground_size(), "ground sets differ");
+    let n = pa.ground_size();
+    let num_vertices = gadget.num_vertices(n);
+    let alice_range = gadget.alice_vertices(n);
+
+    // Alice's knowledge: her edges + shared; Bob's likewise.
+    let mut alice_known = shared_edges(gadget, n);
+    alice_known.extend(alice_edges(gadget, pa));
+    let mut bob_known = shared_edges(gadget, n);
+    bob_known.extend(bob_edges(gadget, pb));
+
+    let mut programs: Vec<Box<dyn NodeProgram>> = (0..num_vertices)
+        .map(|v| {
+            let known = if alice_range.contains(&v) {
+                &alice_known
+            } else {
+                &bob_known
+            };
+            algorithm.spawn(knowledge_for(v, num_vertices, known, coin_seed))
+        })
+        .collect();
+
+    let mut characters = 0usize;
+    let mut flag_bits = 0usize;
+    let mut rounds = 0usize;
+    while rounds < max_rounds {
+        if programs.iter().all(|p| p.is_done()) {
+            break;
+        }
+        // Each party computes its hosted vertices' broadcasts, then the
+        // parties exchange the two character vectors.
+        let broadcasts: Vec<Symbol> = programs
+            .iter_mut()
+            .map(|p| p.broadcast(rounds).normalized(1).symbol())
+            .collect();
+        // Characters crossing the Alice/Bob cut: every character is
+        // needed by the other side, so each direction carries one
+        // character per hosted vertex. Plus one done-flag bit per side.
+        characters += num_vertices;
+        flag_bits += 2;
+        for (v, program) in programs.iter_mut().enumerate() {
+            let entries: Vec<(u64, Message)> = (0..num_vertices)
+                .filter(|&w| w != v)
+                .map(|w| (w as u64, Message::single(broadcasts[w])))
+                .collect();
+            program.receive(rounds, &Inbox::new(entries));
+        }
+        rounds += 1;
+    }
+
+    SimulationReport {
+        rounds,
+        characters_exchanged: characters,
+        bits_exchanged: 2 * characters + flag_bits,
+        decisions: programs.iter().map(|p| p.decide()).collect(),
+        component_labels: programs.iter().map(|p| p.component_label()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::gadget_graph;
+    use bcc_algorithms::{NeighborIdBroadcast, Problem};
+    use bcc_model::{Instance, Simulator};
+    use bcc_partitions::enumerate::matching_partitions;
+
+    #[test]
+    fn simulation_matches_direct_execution() {
+        let n = 4;
+        let parts: Vec<SetPartition> = matching_partitions(n).collect();
+        let algo = NeighborIdBroadcast::new(Problem::MultiCycle);
+        for pa in &parts {
+            for pb in &parts {
+                let report = simulate_two_party(Gadget::TwoRegular, &algo, pa, pb, 0, 10_000);
+                // Direct run on the full gadget instance.
+                let g = gadget_graph(Gadget::TwoRegular, pa, pb);
+                let inst = Instance::new_kt1(g).unwrap();
+                let direct = Simulator::new(10_000).run(&inst, &algo, 0);
+                assert_eq!(
+                    report.system_decision(),
+                    direct.system_decision(),
+                    "PA={pa} PB={pb}"
+                );
+                assert_eq!(report.decisions, direct.decisions());
+                assert_eq!(report.rounds, direct.stats().rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn decision_tracks_join_triviality() {
+        let n = 6;
+        let parts: Vec<SetPartition> = matching_partitions(n).collect();
+        let algo = NeighborIdBroadcast::new(Problem::MultiCycle);
+        for pa in parts.iter().take(5) {
+            for pb in parts.iter().take(5) {
+                let report = simulate_two_party(Gadget::TwoRegular, &algo, pa, pb, 0, 10_000);
+                let expect = if pa.join(pb).is_trivial() {
+                    Decision::Yes
+                } else {
+                    Decision::No
+                };
+                assert_eq!(report.system_decision(), expect, "PA={pa} PB={pb}");
+            }
+        }
+    }
+
+    #[test]
+    fn communication_cost_is_linear_per_round() {
+        let n = 6;
+        let pa = matching_partitions(n).next().unwrap();
+        let report = simulate_two_party(
+            Gadget::TwoRegular,
+            &NeighborIdBroadcast::new(Problem::MultiCycle),
+            &pa,
+            &pa,
+            0,
+            10_000,
+        );
+        assert_eq!(report.characters_exchanged, report.rounds * 2 * n);
+        assert_eq!(
+            report.bits_exchanged,
+            report.rounds * (4 * n + 2),
+            "2 bits per character + 2 flag bits per round"
+        );
+    }
+
+    #[test]
+    fn general_gadget_simulation() {
+        let pa = SetPartition::from_blocks(3, &[vec![0, 1], vec![2]]).unwrap();
+        let pb = SetPartition::from_blocks(3, &[vec![0], vec![1, 2]]).unwrap();
+        let algo = NeighborIdBroadcast::new(Problem::Connectivity);
+        let report = simulate_two_party(Gadget::General, &algo, &pa, &pb, 0, 10_000);
+        // Join is trivial → gadget connected → YES.
+        assert!(pa.join(&pb).is_trivial());
+        assert_eq!(report.system_decision(), Decision::Yes);
+        let g = gadget_graph(Gadget::General, &pa, &pb);
+        let direct = Simulator::new(10_000).run(&Instance::new_kt1(g).unwrap(), &algo, 0);
+        assert_eq!(report.decisions, direct.decisions());
+    }
+}

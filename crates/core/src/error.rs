@@ -1,0 +1,55 @@
+//! Error type for the crossing and indistinguishability machinery.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the lower-bound machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The two directed edges are not independent (Definition 3.2).
+    NotIndependent {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A referenced edge is not an input-graph edge.
+    NotAnInputEdge {
+        /// Tail vertex.
+        tail: usize,
+        /// Head vertex.
+        head: usize,
+    },
+    /// Crossing requested on a KT-1 instance.
+    Kt1Crossing,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotIndependent { reason } => {
+                write!(f, "edges are not independent: {reason}")
+            }
+            CoreError::NotAnInputEdge { tail, head } => {
+                write!(f, "({tail}, {head}) is not an input-graph edge")
+            }
+            CoreError::Kt1Crossing => {
+                write!(f, "port-preserving crossings require a KT-0 instance")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::Kt1Crossing.to_string().contains("KT-0"));
+        assert_eq!(
+            CoreError::NotAnInputEdge { tail: 1, head: 2 }.to_string(),
+            "(1, 2) is not an input-graph edge"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! E10 — Theorem 2.3, structurally: the Dowling–Wilson factorization
+//! `M_n = Z·diag(μ(R,1̂))·Zᵀ` on the partition lattice.
+
+use bcc_partitions::lattice::{verify_dowling_wilson, PartitionLattice};
+use bcc_partitions::SetPartition;
+use std::fmt::Write as _;
+
+/// The E10 report.
+pub fn report(quick: bool) -> String {
+    let max_n = if quick { 5 } else { 6 };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== E10: Dowling–Wilson factorization (Theorem 2.3, structural) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "M_n = Z · diag(mu(R, top)) · Z^T with Z the refinement zeta matrix;"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "mu(R, top) = (-1)^(k-1)(k-1)! never vanishes -> rank(M_n) = B_n."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>3} {:>7} {:>12} {:>14} {:>13}",
+        "n", "B_n", "zeta rank", "min |mu| != 0", "factorization"
+    )
+    .unwrap();
+    for n in 1..=max_n {
+        let lat = PartitionLattice::new(n);
+        let z = lat.zeta_matrix();
+        let all_nonzero = lat
+            .elements
+            .iter()
+            .all(|p| !PartitionLattice::mobius_to_top(p).is_zero());
+        let ok = verify_dowling_wilson(n);
+        writeln!(
+            out,
+            "{:>3} {:>7} {:>12} {:>14} {:>13}",
+            n,
+            lat.len(),
+            z.rank(),
+            all_nonzero,
+            ok
+        )
+        .unwrap();
+    }
+    // Spot-check the Möbius closed form against the recursion at n = 4.
+    let lat = PartitionLattice::new(4);
+    let mu = lat.mobius_matrix();
+    let top = lat
+        .elements
+        .iter()
+        .position(SetPartition::is_trivial)
+        .unwrap();
+    let agree = lat
+        .elements
+        .iter()
+        .enumerate()
+        .all(|(i, p)| mu.get(i, top) == PartitionLattice::mobius_to_top(p));
+    writeln!(
+        out,
+        "closed-form mu(R, top) == recursive Mobius at n=4: {agree}"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_verifies_everything() {
+        let r = super::report(true);
+        assert!(!r.contains("false"));
+        assert!(r.contains("closed-form mu(R, top) == recursive Mobius at n=4: true"));
+    }
+}

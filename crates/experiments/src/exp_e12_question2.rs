@@ -1,0 +1,111 @@
+//! E12 — the paper's open Question 2, explored empirically: error vs
+//! communication for a one-sided randomized `Partition` protocol.
+//!
+//! No lower-bound claim is made (the question is open); the experiment
+//! charts where a natural randomized protocol family lands relative to
+//! the deterministic Θ(n log n) cost.
+
+use bcc_comm::protocols::trivial_message_bits;
+use bcc_comm::randomized::measure_error;
+use bcc_partitions::random::uniform_partition;
+use bcc_partitions::SetPartition;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// One row of the Question 2 exploration.
+#[derive(Debug, Clone)]
+pub struct Q2Row {
+    /// Ground-set size.
+    pub n: usize,
+    /// Sampled constraints (= bits sent by Alice).
+    pub k: usize,
+    /// False-negative rate on trivial-join inputs.
+    pub error: f64,
+    /// Whether any false positive occurred (must be never).
+    pub false_positive: bool,
+}
+
+/// Builds trivial-join-heavy input sets and measures the error curve.
+pub fn sweep(n: usize, ks: &[usize], num_inputs: usize, num_seeds: usize) -> Vec<Q2Row> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let mut inputs: Vec<(SetPartition, SetPartition)> = Vec::new();
+    while inputs.len() < num_inputs {
+        let pa = uniform_partition(n, &mut rng);
+        let pb = uniform_partition(n, &mut rng);
+        if pa.join(&pb).is_trivial() {
+            inputs.push((pa, pb));
+        }
+    }
+    let seeds: Vec<u64> = (0..num_seeds as u64).collect();
+    ks.iter()
+        .map(|&k| {
+            let (error, false_positive) = measure_error(&inputs, k, &seeds);
+            Q2Row {
+                n,
+                k,
+                error,
+                false_positive,
+            }
+        })
+        .collect()
+}
+
+/// The E12 report.
+pub fn report(quick: bool) -> String {
+    let (n, num_inputs, num_seeds) = if quick { (8, 10, 6) } else { (16, 20, 10) };
+    let deterministic = trivial_message_bits(n) + 1;
+    let ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
+        .into_iter()
+        .filter(|&k| quick || k <= 8 * deterministic)
+        .collect();
+    let rows = sweep(n, &ks, num_inputs, num_seeds);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== E12: Question 2 exploration — randomized Partition, error vs bits =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "one-sided sampled-constraint protocol at n={n}; deterministic cost = {deterministic} bits"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>12} {:>16}",
+        "bits", "error (FN)", "false positives"
+    )
+    .unwrap();
+    let mut monotone_ok = true;
+    let mut last = f64::INFINITY;
+    for r in &rows {
+        writeln!(out, "{:>6} {:>12.3} {:>16}", r.k, r.error, r.false_positive).unwrap();
+        assert!(!r.false_positive, "one-sidedness violated");
+        if r.error > last + 0.15 {
+            monotone_ok = false;
+        }
+        last = r.error;
+    }
+    writeln!(
+        out,
+        "error decays (roughly monotonically: {monotone_ok}) and needs k comparable to"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "the deterministic n·log n cost before it vanishes — consistent with (but of"
+    )
+    .unwrap();
+    writeln!(out, "course not proving) a positive answer to Question 2.").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn error_curve_behaves() {
+        let rows = super::sweep(8, &[2, 128], 8, 5);
+        assert!(!rows[0].false_positive && !rows[1].false_positive);
+        assert!(rows[1].error <= rows[0].error);
+    }
+}

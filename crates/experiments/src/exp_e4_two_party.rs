@@ -1,0 +1,176 @@
+//! E4 — Corollaries 2.4 / 4.2: the trivial protocol's measured cost vs
+//! the log-rank lower bound.
+
+use bcc_comm::bounds::{certify_rank, exact_deterministic_cc};
+use bcc_comm::driver::run_protocol;
+use bcc_comm::protocols::{TrivialJoinAlice, TrivialJoinBob};
+use bcc_partitions::enumerate::all_partitions;
+use bcc_partitions::matrices::{partition_join_matrix, two_partition_matrix};
+use bcc_partitions::numbers::log2_bell;
+use bcc_partitions::random::uniform_partition;
+use bcc_partitions::SetPartition;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// One upper-vs-lower row.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Ground-set size.
+    pub n: usize,
+    /// Measured bits of the trivial protocol (worst case over inputs
+    /// tried).
+    pub upper_bits: usize,
+    /// The log-rank lower bound for `Partition` (exact for small `n`,
+    /// `log₂ B_n` beyond).
+    pub lower_bits: f64,
+    /// Gap factor upper/lower.
+    pub gap: f64,
+}
+
+/// Measures the trivial decision protocol on a set of input pairs and
+/// returns the worst-case bits.
+pub fn measure_trivial_cost(n: usize, samples: usize, seed: u64) -> usize {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Exact uniform sampling needs Bell numbers (n ≤ 39); beyond that
+    // use random block assignments — the protocol's cost is
+    // input-independent, so the measurement is unaffected.
+    let sample = |rng: &mut rand::rngs::StdRng| {
+        if n <= 39 {
+            uniform_partition(n, rng)
+        } else {
+            let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            SetPartition::from_assignment(&labels)
+        }
+    };
+    let mut worst = 0;
+    for _ in 0..samples {
+        let pa = sample(&mut rng);
+        let pb = sample(&mut rng);
+        let mut alice = TrivialJoinAlice::new(pa);
+        let mut bob = TrivialJoinBob::new(pb);
+        let run = run_protocol(&mut alice, &mut bob, 8);
+        assert!(run.alice_output.is_some() && run.bob_output.is_some());
+        worst = worst.max(run.bits_exchanged);
+    }
+    worst
+}
+
+/// Builds the series. For `n ≤ rank_max` the lower bound is the exact
+/// rank; beyond it is `log₂ B_n` (the rank value Theorem 2.3
+/// guarantees).
+pub fn series(ns: &[usize], rank_max: usize) -> Vec<CostRow> {
+    ns.iter()
+        .map(|&n| {
+            let lower = if n <= rank_max {
+                certify_rank(&partition_join_matrix(n)).comm_lower_bound_bits
+            } else {
+                log2_bell(n)
+            };
+            let upper = measure_trivial_cost(n, 16, 7);
+            CostRow {
+                n,
+                upper_bits: upper,
+                lower_bits: lower,
+                gap: upper as f64 / lower.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+/// The E4 report.
+pub fn report(quick: bool) -> String {
+    let (ns, rank_max): (&[usize], usize) = if quick {
+        (&[4, 6, 8, 16], 5)
+    } else {
+        (&[4, 6, 8, 16, 32, 64, 128], 6)
+    };
+    let rows = series(ns, rank_max);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== E4: 2-party Partition — trivial protocol vs log-rank bound =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>5} {:>11} {:>11} {:>7}",
+        "n", "upper bits", "lower bits", "gap"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>5} {:>11} {:>11.2} {:>7.2}",
+            r.n, r.upper_bits, r.lower_bits, r.gap
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "both sides Θ(n log n): gap factor stays bounded as n grows"
+    )
+    .unwrap();
+
+    // Correctness sweep of the trivial protocol on all pairs at n = 4,
+    // and the TwoPartition bound.
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for pa in all_partitions(4) {
+        for pb in all_partitions(4) {
+            let mut alice = TrivialJoinAlice::new(pa.clone());
+            let mut bob = TrivialJoinBob::new(pb.clone());
+            let run = run_protocol(&mut alice, &mut bob, 8);
+            total += 1;
+            if run.bob_output == Some(pa.join(&pb).is_trivial()) {
+                ok += 1;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "trivial protocol exhaustive correctness at n=4: {ok}/{total}"
+    )
+    .unwrap();
+    let e6 = certify_rank(&two_partition_matrix(6));
+    writeln!(
+        out,
+        "TwoPartition (E_6): rank {}/{} -> lower bound {:.2} bits",
+        e6.rank, e6.dim, e6.comm_lower_bound_bits
+    )
+    .unwrap();
+
+    // Exact D(f) by protocol-tree search on the tiny matrices,
+    // sandwiched between log-rank and the trivial upper bound.
+    for (name, jm) in [
+        ("M_3", partition_join_matrix(3)),
+        ("E_4", two_partition_matrix(4)),
+    ] {
+        let d = exact_deterministic_cc(&jm.matrix);
+        let lb = certify_rank(&jm).comm_lower_bound_bits;
+        writeln!(
+            out,
+            "exact D({name}) = {d} bits (log-rank bound {lb:.2}, trivial upper {})",
+            (jm.dim() as f64).log2().ceil() as usize + 1
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn upper_dominates_lower() {
+        let rows = super::series(&[4, 6, 8], 5);
+        for r in &rows {
+            assert!(r.upper_bits as f64 + 1e-9 >= r.lower_bits, "n={}", r.n);
+            assert!(r.gap < 20.0, "gap unexpectedly large at n={}", r.n);
+        }
+    }
+
+    #[test]
+    fn quick_report_correctness() {
+        let r = super::report(true);
+        assert!(r.contains("correctness at n=4: 225/225"));
+    }
+}

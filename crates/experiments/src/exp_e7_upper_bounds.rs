@@ -1,0 +1,141 @@
+//! E7 — the tightness side: measured round counts of the upper-bound
+//! algorithms on the paper's instance families.
+
+use bcc_algorithms::{
+    BoruvkaMinLabel, FullGraphBroadcast, Kt0Upgrade, NeighborIdBroadcast, Problem,
+};
+use bcc_graphs::generators;
+use bcc_model::{Decision, Instance, Simulator};
+use std::fmt::Write as _;
+
+/// Measured rounds of each algorithm at one size.
+#[derive(Debug, Clone)]
+pub struct UpperRow {
+    /// Cycle length.
+    pub n: usize,
+    /// `NeighborIdBroadcast` on KT-1 (`3·⌈log₂ n⌉` predicted).
+    pub neighbor_kt1: usize,
+    /// `Kt0Upgrade(NeighborIdBroadcast)` on KT-0 (`4·⌈log₂ n⌉`).
+    pub neighbor_kt0: usize,
+    /// `BoruvkaMinLabel` on KT-1 at b = 1 (`O(log² n)`).
+    pub boruvka: usize,
+    /// `BoruvkaMinLabel` at b = ⌈log₂ n⌉ (`O(log n)` — the BCC(log n)
+    /// regime).
+    pub boruvka_blog: usize,
+    /// `FullGraphBroadcast` baseline (`n` rounds).
+    pub full: usize,
+}
+
+/// Runs the sweep on single cycles (YES instances; all algorithms are
+/// verified to answer correctly as they go).
+pub fn series(ns: &[usize]) -> Vec<UpperRow> {
+    ns.iter()
+        .map(|&n| {
+            let g = generators::cycle(n);
+            let kt1 = Instance::new_kt1(g.clone()).expect("instance");
+            let kt0 = Instance::new_kt0(g, 5).expect("instance");
+            let sim = Simulator::new(1_000_000).without_transcripts();
+
+            let run = |i: &Instance, a: &dyn bcc_model::Algorithm| {
+                let out = sim.run(i, a, 0);
+                assert_eq!(
+                    out.system_decision(),
+                    Decision::Yes,
+                    "{} wrong on C_{n}",
+                    a.name()
+                );
+                out.stats().rounds
+            };
+            let blog = bcc_model::codec::bits_needed(n);
+            let sim_blog = Simulator::with_bandwidth(1_000_000, blog).without_transcripts();
+            let out_blog = sim_blog.run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity), 0);
+            assert_eq!(out_blog.system_decision(), Decision::Yes);
+            UpperRow {
+                n,
+                neighbor_kt1: run(&kt1, &NeighborIdBroadcast::new(Problem::TwoCycle)),
+                neighbor_kt0: run(
+                    &kt0,
+                    &Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+                ),
+                boruvka: run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity)),
+                boruvka_blog: out_blog.stats().rounds,
+                full: run(&kt1, &FullGraphBroadcast::new(Problem::Connectivity)),
+            }
+        })
+        .collect()
+}
+
+/// The E7 report.
+pub fn report(quick: bool) -> String {
+    let ns: &[usize] = if quick {
+        &[8, 16, 32, 64]
+    } else {
+        &[8, 16, 32, 64, 128, 256, 512]
+    };
+    let rows = series(ns);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== E7: upper bounds on cycles — rounds vs n (tightness of Ω(log n)) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>5} {:>12} {:>12} {:>9} {:>11} {:>7} {:>14}",
+        "n", "nbr-kt1", "nbr-kt0", "boruvka", "boruvka@log", "full", "nbr-kt1/log2 n"
+    )
+    .unwrap();
+    for r in &rows {
+        let ratio = r.neighbor_kt1 as f64 / (r.n as f64).log2();
+        writeln!(
+            out,
+            "{:>5} {:>12} {:>12} {:>9} {:>11} {:>7} {:>14.2}",
+            r.n, r.neighbor_kt1, r.neighbor_kt0, r.boruvka, r.boruvka_blog, r.full, ratio
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "shape: nbr-kt1 = 3·ceil(log2 n) (O(log n), matches the lower bound);"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "       nbr-kt0 adds the ceil(log2 n) ID-exchange prologue; boruvka = O(log^2 n) at b=1,"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "       O(log n) at b=log n (the BCC(log n) regime, cf. JN17); full = n."
+    )
+    .unwrap();
+    // Crossover: the log algorithms beat the baseline from n = 16 on.
+    let crossover = rows.iter().find(|r| r.neighbor_kt1 < r.full).map(|r| r.n);
+    writeln!(
+        out,
+        "first n where nbr-kt1 beats full broadcast: {crossover:?}"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logarithmic_shape() {
+        let rows = series(&[16, 64]);
+        for r in &rows {
+            let w = bcc_model::codec::bits_needed(r.n);
+            assert_eq!(r.neighbor_kt1, 3 * w, "n={}", r.n);
+            assert_eq!(r.neighbor_kt0, 4 * w, "n={}", r.n);
+            assert_eq!(r.full, r.n);
+            assert!(r.boruvka <= (2 * w + 1) * (w + 2));
+        }
+        // Doubling n four-fold increases the log algorithms by a
+        // constant, the baseline by 4x.
+        assert_eq!(rows[1].full, 4 * rows[0].full);
+        assert!(rows[1].neighbor_kt1 <= rows[0].neighbor_kt1 + 6);
+    }
+}

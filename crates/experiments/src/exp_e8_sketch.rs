@@ -1,0 +1,130 @@
+//! E8 — the bandwidth contrast: AGM sketch connectivity at varying
+//! `b`, reproducing the `BCC(1)` vs `BCC(polylog)` gap the paper's
+//! introduction draws.
+
+use bcc_algorithms::{Problem, SketchConnectivity};
+use bcc_graphs::generators;
+use bcc_model::{Decision, Instance, Simulator};
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// One bandwidth row.
+#[derive(Debug, Clone)]
+pub struct SketchRow {
+    /// Vertices.
+    pub n: usize,
+    /// Bandwidth `b`.
+    pub b: usize,
+    /// Mean rounds over trials.
+    pub mean_rounds: f64,
+    /// Fraction of trials answered correctly.
+    pub accuracy: f64,
+    /// Sketch bits per node per phase.
+    pub sketch_bits: usize,
+}
+
+/// Sweeps bandwidths on random sparse graphs (half connected, half
+/// disconnected).
+pub fn series(n: usize, bandwidths: &[usize], trials: usize) -> Vec<SketchRow> {
+    let algo = SketchConnectivity::new(Problem::Connectivity);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    // Pre-generate the instance set so every bandwidth sees the same
+    // inputs.
+    let graphs: Vec<(bcc_graphs::Graph, bool)> = (0..trials)
+        .map(|i| {
+            if i % 2 == 0 {
+                (generators::random_tree_plus(n, n / 4, &mut rng), true)
+            } else {
+                let g = generators::random_disjoint_cycles(n, &mut rng);
+                let connected = g.is_connected();
+                (g, connected)
+            }
+        })
+        .collect();
+    bandwidths
+        .iter()
+        .map(|&b| {
+            let sim = Simulator::with_bandwidth(50_000_000, b).without_transcripts();
+            let mut rounds_total = 0usize;
+            let mut correct = 0usize;
+            for (i, (g, truth)) in graphs.iter().enumerate() {
+                let inst = Instance::new_kt1(g.clone()).expect("instance");
+                let out = sim.run(&inst, &algo, i as u64);
+                rounds_total += out.stats().rounds;
+                if (out.system_decision() == Decision::Yes) == *truth {
+                    correct += 1;
+                }
+            }
+            SketchRow {
+                n,
+                b,
+                mean_rounds: rounds_total as f64 / trials as f64,
+                accuracy: correct as f64 / trials as f64,
+                sketch_bits: SketchConnectivity::sketch_bits(n),
+            }
+        })
+        .collect()
+}
+
+/// The E8 report.
+pub fn report(quick: bool) -> String {
+    let (n, bandwidths, trials): (usize, &[usize], usize) = if quick {
+        (12, &[16, 256, 4096], 6)
+    } else {
+        (20, &[1, 16, 256, 4096], 10)
+    };
+    let rows = series(n, bandwidths, trials);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== E8: sketch connectivity vs bandwidth (AGM + Boruvka) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>7} {:>12} {:>9} {:>12}",
+        "n", "b", "mean rounds", "accuracy", "sketch bits"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>4} {:>7} {:>12.1} {:>9.2} {:>12}",
+            r.n, r.b, r.mean_rounds, r.accuracy, r.sketch_bits
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "rounds scale ~ 1/b at fixed n (phases × ceil(sketch_bits/b));"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "at b = 1 the polylog-bit sketches cost Θ(log^3 n)-ish rounds per phase —"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "the gap between BCC(1) and higher-bandwidth broadcast cliques (paper §1)."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bandwidth_scaling() {
+        let rows = super::series(10, &[64, 1024], 4);
+        assert!(rows[0].mean_rounds > rows[1].mean_rounds);
+        for r in &rows {
+            assert!(
+                r.accuracy >= 0.75,
+                "accuracy {} too low at b={}",
+                r.accuracy,
+                r.b
+            );
+        }
+    }
+}

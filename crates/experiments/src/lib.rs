@@ -1,0 +1,66 @@
+//! Experiment harness: regenerates every figure- and theorem-level
+//! data series of the paper (see DESIGN.md §3 for the index, and
+//! EXPERIMENTS.md for recorded results).
+//!
+//! Each module produces a plain-text report; the `bcc-experiments`
+//! binary dispatches on an experiment id (`f1`, `f2`, `e1`…`e8`, or
+//! `all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_e10_lattice;
+pub mod exp_e11_mst;
+pub mod exp_e12_question2;
+pub mod exp_e1_star;
+pub mod exp_e2_indist;
+pub mod exp_e3_rank;
+pub mod exp_e4_two_party;
+pub mod exp_e5_simulation;
+pub mod exp_e6_info;
+pub mod exp_e7_upper_bounds;
+pub mod exp_e8_sketch;
+pub mod exp_e9_range;
+pub mod exp_f1_crossing;
+pub mod exp_f2_reduction;
+
+/// All experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+/// Runs one experiment by id, returning its report.
+///
+/// `quick` trims instance sizes so the whole suite stays test-friendly.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run(id: &str, quick: bool) -> String {
+    match id {
+        "f1" => exp_f1_crossing::report(),
+        "f2" => exp_f2_reduction::report(),
+        "e1" => exp_e1_star::report(quick),
+        "e2" => exp_e2_indist::report(quick),
+        "e3" => exp_e3_rank::report(quick),
+        "e4" => exp_e4_two_party::report(quick),
+        "e5" => exp_e5_simulation::report(quick),
+        "e6" => exp_e6_info::report(quick),
+        "e7" => exp_e7_upper_bounds::report(quick),
+        "e8" => exp_e8_sketch::report(quick),
+        "e9" => exp_e9_range::report(quick),
+        "e10" => exp_e10_lattice::report(quick),
+        "e11" => exp_e11_mst::report(quick),
+        "e12" => exp_e12_question2::report(quick),
+        other => panic!("unknown experiment id {other:?} (use one of {ALL_EXPERIMENTS:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        super::run("zzz", true);
+    }
+}

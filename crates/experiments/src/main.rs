@@ -1,0 +1,24 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! bcc-experiments [--quick] <id>...    id ∈ {f1, f2, e1..e8, all}
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        bcc_experiments::ALL_EXPERIMENTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        ids
+    };
+    for id in ids {
+        let started = std::time::Instant::now();
+        print!("{}", bcc_experiments::run(&id, quick));
+        println!("[{} finished in {:.1?}]\n", id, started.elapsed());
+    }
+}

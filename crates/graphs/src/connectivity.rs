@@ -1,0 +1,192 @@
+//! Connected components, spanning forests and component labellings.
+//!
+//! These are the ground-truth oracles against which every `BCC(b)`
+//! algorithm in the workspace is judged: `Connectivity` asks whether
+//! [`connected_components`] reports one component, and
+//! `ConnectedComponents` asks each node to output the label assigned
+//! here (the minimum vertex of its component).
+
+use crate::graph::{Edge, Graph};
+use crate::union_find::UnionFind;
+
+/// The result of a connected-components computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` = the minimum vertex in `v`'s component.
+    pub label: Vec<usize>,
+    /// Number of connected components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Returns the components as sorted vertex lists, ordered by label.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut by: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (v, &l) in self.label.iter().enumerate() {
+            by.entry(l).or_default().push(v);
+        }
+        by.into_values().collect()
+    }
+
+    /// Returns `true` if `u` and `v` are in the same component.
+    pub fn same_component(&self, u: usize, v: usize) -> bool {
+        self.label[u] == self.label[v]
+    }
+}
+
+/// Computes connected components with canonical (minimum-vertex)
+/// labels.
+///
+/// # Example
+///
+/// ```
+/// use bcc_graphs::{Graph, connectivity::connected_components};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (3, 4)]).unwrap();
+/// let c = connected_components(&g);
+/// assert_eq!(c.count, 3);
+/// assert_eq!(c.label, vec![0, 0, 2, 3, 3]);
+/// ```
+pub fn connected_components(g: &Graph) -> Components {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for e in g.edges() {
+        uf.union(e.u, e.v);
+    }
+    Components {
+        label: uf.canonical_labels(),
+        count: uf.num_sets(),
+    }
+}
+
+/// Returns a spanning forest of `g` (a maximal cycle-free subset of the
+/// edges), as edges in the order they were accepted by a union–find
+/// scan over the sorted edge list.
+pub fn spanning_forest(g: &Graph) -> Vec<Edge> {
+    let mut uf = UnionFind::new(g.num_vertices());
+    let mut forest = Vec::new();
+    for e in g.edges() {
+        if uf.union(e.u, e.v) {
+            forest.push(e);
+        }
+    }
+    forest
+}
+
+/// Returns `true` if `g` is acyclic (a forest).
+pub fn is_forest(g: &Graph) -> bool {
+    // A graph is a forest iff m = n - (number of components).
+    let c = connected_components(g);
+    g.num_edges() == g.num_vertices() - c.count
+}
+
+/// Breadth-first distances from `source` (`usize::MAX` marks
+/// unreachable vertices).
+///
+/// # Panics
+///
+/// Panics if `source >= n`.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.num_vertices(), "source out of range");
+    let mut dist = vec![usize::MAX; g.num_vertices()];
+    dist[source] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// An upper bound on the arboricity of `g` via the degeneracy
+/// (iteratively removing a minimum-degree vertex). The degeneracy `d`
+/// satisfies `arboricity <= d <= 2·arboricity - 1`, so constant
+/// degeneracy certifies the "uniformly sparse" regime in which the
+/// paper's lower bound is tight.
+pub fn degeneracy(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut best = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| deg[v])
+            .expect("an unremoved vertex exists");
+        best = best.max(deg[v]);
+        removed[v] = true;
+        for &w in g.neighbors(v) {
+            if !removed[w] {
+                deg[w] -= 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_of_disjoint_cycles() {
+        let g = generators::two_cycles(3, 4);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.groups(), vec![vec![0, 1, 2], vec![3, 4, 5, 6]]);
+        assert!(c.same_component(0, 2));
+        assert!(!c.same_component(0, 3));
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        let c = connected_components(&Graph::new(4));
+        assert_eq!(c.count, 4);
+        assert_eq!(c.label, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spanning_forest_size() {
+        let g = generators::cycle(5);
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), 4); // n - 1 for a connected graph
+        let g2 = generators::two_cycles(3, 3);
+        assert_eq!(spanning_forest(&g2).len(), 4); // n - 2
+    }
+
+    #[test]
+    fn forest_recognition() {
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(is_forest(&path));
+        assert!(!is_forest(&generators::cycle(4)));
+        assert!(is_forest(&Graph::new(3)));
+    }
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = generators::cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn degeneracy_of_families() {
+        assert_eq!(degeneracy(&generators::cycle(8)), 2);
+        assert_eq!(degeneracy(&generators::star(8)), 1);
+        let path = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(degeneracy(&path), 1);
+        assert_eq!(degeneracy(&Graph::new(3)), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint referenced a vertex `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; input graphs are simple.
+    SelfLoop {
+        /// The vertex with the attempted loop.
+        vertex: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
+    /// The graph violates a promise required by the caller (e.g. a
+    /// `TwoCycle` input that is not a disjoint union of cycles).
+    PromiseViolation {
+        /// Human-readable description of the violated promise.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph on {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple graph"
+                )
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v})")
+            }
+            GraphError::PromiseViolation { reason } => {
+                write!(f, "input violates problem promise: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "vertex 9 out of range for graph on 5 vertices"
+        );
+        assert_eq!(
+            GraphError::SelfLoop { vertex: 2 }.to_string(),
+            "self-loop at vertex 2 not allowed in a simple graph"
+        );
+        assert_eq!(
+            GraphError::DuplicateEdge { u: 1, v: 2 }.to_string(),
+            "duplicate edge (1, 2)"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,208 @@
+//! Disjoint-set forest (union–find) with union by rank and path
+//! compression.
+//!
+//! Union–find is a workhorse of the reproduction: it implements
+//! connectivity queries, the connected-component labelling of
+//! `ConnectedComponents`, the set-partition *join* operation
+//! `P_A ∨ P_B` (Section 4 of the paper), and the component merging of
+//! the Borůvka-style upper-bound algorithms.
+
+/// A disjoint-set forest over elements `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use bcc_graphs::UnionFind;
+///
+/// let mut uf = UnionFind::new(5);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(1, 2));
+/// assert!(!uf.union(0, 2)); // already joined
+/// assert!(uf.connected(0, 2));
+/// assert!(!uf.connected(0, 3));
+/// assert_eq!(uf.num_sets(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of the set containing `x`, with path
+    /// compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// The representative without mutating (no path compression); handy
+    /// when only a shared reference is available.
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Merges the sets containing `x` and `y`. Returns `true` if they
+    /// were previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n` or `y >= n`.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `x` and `y` are in the same set.
+    pub fn connected(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// For each element, the *minimum* element of its set — a canonical
+    /// labelling used for component labels and partition canonical
+    /// forms.
+    pub fn canonical_labels(&mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut min_of_root = vec![usize::MAX; n];
+        for x in 0..n {
+            let r = self.find(x);
+            min_of_root[r] = min_of_root[r].min(x);
+        }
+        (0..n)
+            .map(|x| min_of_root[self.find_immutable(x)])
+            .collect()
+    }
+
+    /// Groups elements into sets, each sorted, sets ordered by their
+    /// minimum element.
+    pub fn sets(&mut self) -> Vec<Vec<usize>> {
+        let labels = self.canonical_labels();
+        let n = labels.len();
+        let mut by_label: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for x in 0..n {
+            by_label.entry(labels[x]).or_default().push(x);
+        }
+        by_label.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_finds() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.num_sets(), 6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.connected(0, 3));
+        assert!(!uf.connected(0, 4));
+        assert_eq!(uf.find(3), uf.find(0));
+    }
+
+    #[test]
+    fn canonical_labels_are_min() {
+        let mut uf = UnionFind::new(5);
+        uf.union(4, 2);
+        uf.union(2, 1);
+        assert_eq!(uf.canonical_labels(), vec![0, 1, 1, 3, 1]);
+    }
+
+    #[test]
+    fn sets_grouping() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 4);
+        uf.union(1, 3);
+        assert_eq!(uf.sets(), vec![vec![0, 4], vec![1, 3], vec![2]]);
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+    }
+
+    #[test]
+    fn immutable_find_matches() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        for x in 0..3 {
+            assert_eq!(uf.find_immutable(x), uf.find_immutable(0));
+        }
+        let root = uf.find(2);
+        assert_eq!(uf.find_immutable(2), root);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut uf = UnionFind::new(8);
+        for i in 0..7 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(7);
+        // After find, every node on the path points directly at the root.
+        assert_eq!(uf.parent[7], r);
+        assert_eq!(uf.num_sets(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Exact finite probability distributions.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An exact probability distribution over a finite support.
+///
+/// Probabilities are `f64` and are normalized at construction; outcome
+/// lookup is by hash. Entropies are computed by exact summation over
+/// the support (no sampling).
+///
+/// # Example
+///
+/// ```
+/// use bcc_info::Dist;
+///
+/// let d = Dist::from_weights(vec![("a", 1.0), ("b", 1.0), ("c", 2.0)]);
+/// assert!((d.prob(&"c") - 0.5).abs() < 1e-12);
+/// assert!((d.entropy() - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dist<T: Eq + Hash> {
+    probs: HashMap<T, f64>,
+}
+
+impl<T: Eq + Hash + Clone> Dist<T> {
+    /// The uniform distribution over the given outcomes (duplicates
+    /// accumulate mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    pub fn uniform(outcomes: Vec<T>) -> Self {
+        assert!(!outcomes.is_empty(), "a distribution needs support");
+        let w = 1.0 / outcomes.len() as f64;
+        let mut probs: HashMap<T, f64> = HashMap::new();
+        for o in outcomes {
+            *probs.entry(o).or_insert(0.0) += w;
+        }
+        Dist { probs }
+    }
+
+    /// A distribution from nonnegative weights, normalized to sum 1.
+    /// Duplicate outcomes accumulate. Zero-weight outcomes are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total weight is not positive and finite, or any
+    /// weight is negative.
+    pub fn from_weights(weights: Vec<(T, f64)>) -> Self {
+        let total: f64 = weights.iter().map(|(_, w)| *w).sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "total weight must be positive and finite"
+        );
+        let mut probs: HashMap<T, f64> = HashMap::new();
+        for (o, w) in weights {
+            assert!(w >= 0.0, "negative weight");
+            if w > 0.0 {
+                *probs.entry(o).or_insert(0.0) += w / total;
+            }
+        }
+        Dist { probs }
+    }
+
+    /// The point distribution on a single outcome.
+    pub fn point(outcome: T) -> Self {
+        Dist {
+            probs: HashMap::from([(outcome, 1.0)]),
+        }
+    }
+
+    /// Probability of `outcome` (0 if outside the support).
+    pub fn prob(&self, outcome: &T) -> f64 {
+        self.probs.get(outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Support size.
+    pub fn support_size(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Iterates over `(outcome, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.probs.iter().map(|(o, &p)| (o, p))
+    }
+
+    /// The Shannon entropy `H(X) = −Σ p·log₂ p` in bits.
+    pub fn entropy(&self) -> f64 {
+        self.probs
+            .values()
+            .map(|&p| if p > 0.0 { -p * p.log2() } else { 0.0 })
+            .sum()
+    }
+
+    /// Pushforward along `f`: the distribution of `f(X)`.
+    pub fn map<U: Eq + Hash + Clone>(&self, mut f: impl FnMut(&T) -> U) -> Dist<U> {
+        let mut probs: HashMap<U, f64> = HashMap::new();
+        for (o, &p) in &self.probs {
+            *probs.entry(f(o)).or_insert(0.0) += p;
+        }
+        Dist { probs }
+    }
+
+    /// Kullback–Leibler divergence `D(self ‖ other)` in bits.
+    ///
+    /// Returns `f64::INFINITY` if `self` puts mass where `other` does
+    /// not.
+    pub fn kl_divergence(&self, other: &Dist<T>) -> f64 {
+        let mut acc = 0.0;
+        for (o, &p) in &self.probs {
+            if p == 0.0 {
+                continue;
+            }
+            let q = other.prob(o);
+            if q == 0.0 {
+                return f64::INFINITY;
+            }
+            acc += p * (p / q).log2();
+        }
+        acc
+    }
+
+    /// Total mass (should be 1 up to rounding; exposed for tests).
+    pub fn total_mass(&self) -> f64 {
+        self.probs.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_entropy_is_log_support() {
+        let d = Dist::uniform((0..8).collect());
+        assert!((d.entropy() - 3.0).abs() < 1e-12);
+        assert_eq!(d.support_size(), 8);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_has_zero_entropy() {
+        let d = Dist::point(42);
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.prob(&42), 1.0);
+        assert_eq!(d.prob(&41), 0.0);
+    }
+
+    #[test]
+    fn weights_normalize_and_merge() {
+        let d = Dist::from_weights(vec![("x", 2.0), ("x", 2.0), ("y", 4.0), ("z", 0.0)]);
+        assert!((d.prob(&"x") - 0.5).abs() < 1e-12);
+        assert!((d.prob(&"y") - 0.5).abs() < 1e-12);
+        assert_eq!(d.support_size(), 2, "zero-weight outcome dropped");
+    }
+
+    #[test]
+    fn map_groups_mass() {
+        let d = Dist::uniform((0..10).collect());
+        let parity = d.map(|x| x % 2);
+        assert!((parity.prob(&0) - 0.5).abs() < 1e-12);
+        assert!((parity.entropy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_never_increases_entropy() {
+        let d = Dist::from_weights(vec![(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        let m = d.map(|x| x / 2);
+        assert!(m.entropy() <= d.entropy() + 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let p = Dist::from_weights(vec![(0, 1.0), (1, 3.0)]);
+        let q = Dist::uniform(vec![0, 1]);
+        assert!(p.kl_divergence(&q) > 0.0);
+        assert!(p.kl_divergence(&p).abs() < 1e-12);
+        let r = Dist::point(0);
+        assert_eq!(p.kl_divergence(&r), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn uniform_empty_panics() {
+        Dist::<u32>::uniform(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_total_weight_panics() {
+        Dist::from_weights(vec![("a", 0.0)]);
+    }
+}

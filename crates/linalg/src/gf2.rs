@@ -1,0 +1,190 @@
+//! Bit-packed matrices over GF(2) with XOR Gaussian elimination.
+//!
+//! Used as a fast independent cross-check of GF(p) ranks on 0/1
+//! matrices (note rank over GF(2) can be *smaller* than over ℚ, so a
+//! full GF(2) rank certifies full rational rank, while a deficient
+//! GF(2) rank is inconclusive).
+
+/// A dense matrix over GF(2), one bit per entry.
+///
+/// # Example
+///
+/// ```
+/// use bcc_linalg::Gf2Matrix;
+///
+/// let mut m = Gf2Matrix::zeros(2, 2);
+/// m.set(0, 0, true);
+/// m.set(1, 1, true);
+/// assert_eq!(m.rank(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl Gf2Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Gf2Matrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Builds from a boolean predicate on entries.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Gf2Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The bit at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        self.data[i * self.words_per_row + j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// Sets the bit at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        let w = i * self.words_per_row + j / 64;
+        if v {
+            self.data[w] |= 1 << (j % 64);
+        } else {
+            self.data[w] &= !(1 << (j % 64));
+        }
+    }
+
+    fn xor_rows(&mut self, target: usize, source: usize) {
+        let wpr = self.words_per_row;
+        let (t, s) = (target * wpr, source * wpr);
+        for k in 0..wpr {
+            let sv = self.data[s + k];
+            self.data[t + k] ^= sv;
+        }
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let wpr = self.words_per_row;
+        for k in 0..wpr {
+            self.data.swap(a * wpr + k, b * wpr + k);
+        }
+    }
+
+    /// The rank over GF(2), by word-parallel XOR elimination.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut pivot_row = 0;
+        for col in 0..m.cols {
+            if pivot_row == m.rows {
+                break;
+            }
+            let Some(src) = (pivot_row..m.rows).find(|&r| m.get(r, col)) else {
+                continue;
+            };
+            m.swap_rows(src, pivot_row);
+            for r in (pivot_row + 1)..m.rows {
+                if m.get(r, col) {
+                    m.xor_rows(r, pivot_row);
+                }
+            }
+            pivot_row += 1;
+        }
+        pivot_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_full_rank() {
+        let m = Gf2Matrix::from_fn(70, 70, |i, j| i == j);
+        assert_eq!(m.rank(), 70);
+    }
+
+    #[test]
+    fn repeated_rows_collapse() {
+        let m = Gf2Matrix::from_fn(4, 4, |i, _| i < 2);
+        // Rows 0 and 1 are all-ones; rows 2, 3 are zero.
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn rank_differs_from_rationals() {
+        // [[1,1],[1,1]] has rank 1 everywhere; [[1,1],[1,0]] rank 2;
+        // the classic example where GF(2) loses rank is [[2]] ≡ [[0]],
+        // which as 0/1 matrix can't happen — instead take the parity
+        // check: J - I on 3 vertices has rank 3 over Q but rank 3 over
+        // GF(2) too... use the all-ones 2x2 plus identity:
+        // [[0,1],[1,0]] has rank 2 over both. Verify a genuinely
+        // GF(2)-singular case: sum of three rows = 0 mod 2.
+        let m = Gf2Matrix::from_fn(3, 3, |i, j| i != j);
+        // Over Q: J - I with n=3 has det 2 ≠ 0 → rank 3.
+        // Over GF(2): rows sum to zero → rank 2.
+        assert_eq!(m.rank(), 2);
+        let q = crate::Matrix::from_fn(3, 3, |i, j| {
+            if i != j {
+                crate::GfP::ONE
+            } else {
+                crate::GfP::ZERO
+            }
+        });
+        assert_eq!(q.rank(), 3);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let m = Gf2Matrix::from_fn(3, 130, |i, j| j % 3 == i);
+        assert_eq!(m.rank(), 3);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Gf2Matrix::zeros(2, 100);
+        m.set(1, 99, true);
+        assert!(m.get(1, 99));
+        m.set(1, 99, false);
+        assert!(!m.get(1, 99));
+    }
+
+    #[test]
+    fn zero_matrix_rank() {
+        assert_eq!(Gf2Matrix::zeros(5, 5).rank(), 0);
+        assert_eq!(Gf2Matrix::zeros(0, 0).rank(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Bit-serialization helpers shared by `BCC(b)` algorithms.
+//!
+//! With bandwidth `b = 1`, sending a `w`-bit value takes `w` rounds;
+//! these helpers fix the (LSB-first) bit order once so every algorithm
+//! and its decoder agree.
+
+use crate::symbol::Symbol;
+
+/// Bits needed to encode any value in `0..n` (at least 1).
+///
+/// # Example
+///
+/// ```
+/// use bcc_model::codec::bits_needed;
+/// assert_eq!(bits_needed(1), 1);
+/// assert_eq!(bits_needed(2), 1);
+/// assert_eq!(bits_needed(6), 3);
+/// assert_eq!(bits_needed(64), 6);
+/// assert_eq!(bits_needed(65), 7);
+/// ```
+pub fn bits_needed(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Encodes `value` as `width` bits, LSB first.
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `width` bits.
+pub fn u64_to_bits(value: u64, width: usize) -> Vec<bool> {
+    assert!(
+        width >= 64 || value < (1u64 << width),
+        "value {value} does not fit in {width} bits"
+    );
+    (0..width).map(|i| value >> i & 1 == 1).collect()
+}
+
+/// Decodes LSB-first bits into a `u64`.
+///
+/// # Panics
+///
+/// Panics if more than 64 bits are supplied.
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "at most 64 bits");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b)) << i)
+}
+
+/// A fixed bit payload scheduled one symbol per round — the basic
+/// transmission pattern of every bit-serial `BCC(1)` algorithm.
+#[derive(Debug, Clone)]
+pub struct BitSchedule {
+    bits: Vec<bool>,
+}
+
+impl BitSchedule {
+    /// Schedules the bits of `value` (LSB first, `width` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit.
+    pub fn of_value(value: u64, width: usize) -> Self {
+        BitSchedule {
+            bits: u64_to_bits(value, width),
+        }
+    }
+
+    /// Schedules an explicit bit vector.
+    pub fn of_bits(bits: Vec<bool>) -> Self {
+        BitSchedule { bits }
+    }
+
+    /// Total rounds needed.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` if there is nothing to send.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The symbol to broadcast in round `round` (silent once the
+    /// payload is exhausted).
+    pub fn symbol_at(&self, round: usize) -> Symbol {
+        self.bits
+            .get(round)
+            .map_or(Symbol::Silent, |&b| Symbol::bit(b))
+    }
+}
+
+/// Accumulates symbols received from one port and decodes the payload
+/// once `width` bits have arrived.
+#[derive(Debug, Clone)]
+pub struct BitAccumulator {
+    width: usize,
+    bits: Vec<bool>,
+}
+
+impl BitAccumulator {
+    /// An accumulator expecting `width` bits.
+    pub fn new(width: usize) -> Self {
+        BitAccumulator {
+            width,
+            bits: Vec::with_capacity(width),
+        }
+    }
+
+    /// Feeds one received symbol; silent symbols beyond the payload are
+    /// ignored, silent symbols inside it are an encoding error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a silent symbol arrives before the payload completes.
+    pub fn push(&mut self, s: Symbol) {
+        if self.is_complete() {
+            return;
+        }
+        match s.as_bit() {
+            Some(b) => self.bits.push(b),
+            None => panic!("silent symbol inside a {}-bit payload", self.width),
+        }
+    }
+
+    /// Whether all `width` bits have arrived.
+    pub fn is_complete(&self) -> bool {
+        self.bits.len() >= self.width
+    }
+
+    /// The decoded value, once complete.
+    pub fn value(&self) -> Option<u64> {
+        self.is_complete().then(|| bits_to_u64(&self.bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_values() {
+        for width in 1..=16 {
+            for value in [0u64, 1, 2, (1 << width) - 1] {
+                if value < (1 << width) {
+                    assert_eq!(bits_to_u64(&u64_to_bits(value, width)), value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_rejected() {
+        u64_to_bits(8, 3);
+    }
+
+    #[test]
+    fn schedule_emits_then_silent() {
+        let s = BitSchedule::of_value(0b101, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.symbol_at(0), Symbol::One);
+        assert_eq!(s.symbol_at(1), Symbol::Zero);
+        assert_eq!(s.symbol_at(2), Symbol::One);
+        assert_eq!(s.symbol_at(3), Symbol::Silent);
+        assert_eq!(s.symbol_at(100), Symbol::Silent);
+    }
+
+    #[test]
+    fn accumulator_decodes() {
+        let mut a = BitAccumulator::new(3);
+        assert!(!a.is_complete());
+        assert_eq!(a.value(), None);
+        a.push(Symbol::One);
+        a.push(Symbol::Zero);
+        a.push(Symbol::One);
+        assert!(a.is_complete());
+        assert_eq!(a.value(), Some(0b101));
+        // Extra silence after completion is fine.
+        a.push(Symbol::Silent);
+        assert_eq!(a.value(), Some(0b101));
+    }
+
+    #[test]
+    #[should_panic(expected = "silent symbol inside")]
+    fn accumulator_rejects_early_silence() {
+        let mut a = BitAccumulator::new(2);
+        a.push(Symbol::Silent);
+    }
+
+    #[test]
+    fn schedule_empty() {
+        let s = BitSchedule::of_bits(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.symbol_at(0), Symbol::Silent);
+    }
+}

@@ -1,0 +1,237 @@
+//! A `BCC(b)` instance: network + input graph.
+
+use crate::error::ModelError;
+use crate::network::{KnowledgeMode, Network};
+use crate::program::InitialKnowledge;
+use bcc_graphs::Graph;
+
+/// A complete problem instance: the clique [`Network`] plus the input
+/// graph (a subset of the network edges).
+///
+/// # Example
+///
+/// ```
+/// use bcc_model::Instance;
+/// use bcc_graphs::generators;
+///
+/// let i = Instance::new_kt0(generators::cycle(5), 7).unwrap();
+/// assert_eq!(i.num_vertices(), 5);
+/// assert_eq!(i.input().num_edges(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    network: Network,
+    input: Graph,
+}
+
+impl Instance {
+    /// Builds an instance from an existing network and input graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input graph has more vertices than the
+    /// network.
+    pub fn new(network: Network, input: Graph) -> Result<Self, ModelError> {
+        if input.num_vertices() != network.num_vertices() {
+            return Err(ModelError::GraphTooLarge {
+                graph: input.num_vertices(),
+                network: network.num_vertices(),
+            });
+        }
+        Ok(Instance { network, input })
+    }
+
+    /// A KT-1 instance with IDs `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn new_kt1(input: Graph) -> Result<Self, ModelError> {
+        let ids = (0..input.num_vertices() as u64).collect();
+        Instance::new(Network::kt1(ids)?, input)
+    }
+
+    /// A KT-1 instance with explicit IDs (`ids[v]` = ID of vertex `v`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate IDs or size mismatch.
+    pub fn new_kt1_with_ids(input: Graph, ids: Vec<u64>) -> Result<Self, ModelError> {
+        if ids.len() != input.num_vertices() {
+            return Err(ModelError::IdCountMismatch {
+                got: ids.len(),
+                expected: input.num_vertices(),
+            });
+        }
+        Instance::new(Network::kt1(ids)?, input)
+    }
+
+    /// A KT-0 instance with IDs `0..n` and seeded random port wiring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn new_kt0(input: Graph, wiring_seed: u64) -> Result<Self, ModelError> {
+        let ids = (0..input.num_vertices() as u64).collect();
+        Instance::new(Network::kt0_seeded(ids, wiring_seed)?, input)
+    }
+
+    /// A KT-0 instance with the canonical (identity) port wiring,
+    /// convenient for exhaustive enumerations where the wiring must be
+    /// fixed across all instances (Definition 3.6 compares instances
+    /// over the *same* network).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn new_kt0_canonical(input: Graph) -> Result<Self, ModelError> {
+        let ids = (0..input.num_vertices() as u64).collect();
+        Instance::new(Network::kt0_canonical(ids)?, input)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.network.num_vertices()
+    }
+
+    /// The knowledge mode.
+    pub fn mode(&self) -> KnowledgeMode {
+        self.network.mode()
+    }
+
+    /// The input graph.
+    pub fn input(&self) -> &Graph {
+        &self.input
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the network wiring (used by the crossing
+    /// machinery; KT-1 networks refuse rewiring internally).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Replaces the input edge set, keeping the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new graph's vertex count differs.
+    pub fn set_input(&mut self, input: Graph) -> Result<(), ModelError> {
+        if input.num_vertices() != self.network.num_vertices() {
+            return Err(ModelError::GraphTooLarge {
+                graph: input.num_vertices(),
+                network: self.network.num_vertices(),
+            });
+        }
+        self.input = input;
+        Ok(())
+    }
+
+    /// The initial knowledge of vertex `v` per Section 1.2: its ID,
+    /// `n`, its port labels, which ports carry input edges, (KT-1) all
+    /// IDs, and the shared random string (public-coin seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn initial_knowledge(
+        &self,
+        v: usize,
+        bandwidth: usize,
+        coin_seed: u64,
+    ) -> InitialKnowledge {
+        let n = self.num_vertices();
+        let port_labels: Vec<u64> = (0..n - 1).map(|p| self.network.port_label(v, p)).collect();
+        let mut input_port_labels: Vec<u64> = self
+            .input
+            .neighbors(v)
+            .iter()
+            .map(|&w| self.network.label_of_peer(v, w))
+            .collect();
+        input_port_labels.sort_unstable();
+        let all_ids = match self.mode() {
+            KnowledgeMode::Kt0 => None,
+            KnowledgeMode::Kt1 => {
+                let mut ids = self.network.ids().to_vec();
+                ids.sort_unstable();
+                Some(ids)
+            }
+        };
+        InitialKnowledge {
+            id: self.network.id(v),
+            n,
+            bandwidth,
+            mode: self.mode(),
+            port_labels,
+            input_port_labels,
+            all_ids,
+            coin_seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graphs::generators;
+
+    #[test]
+    fn kt1_initial_knowledge() {
+        let i = Instance::new_kt1(generators::cycle(5)).unwrap();
+        let ik = i.initial_knowledge(0, 1, 99);
+        assert_eq!(ik.id, 0);
+        assert_eq!(ik.n, 5);
+        assert_eq!(ik.bandwidth, 1);
+        assert_eq!(ik.coin_seed, 99);
+        assert_eq!(ik.mode, KnowledgeMode::Kt1);
+        // Vertex 0's cycle neighbors are 1 and 4; labels are their ids.
+        assert_eq!(ik.input_port_labels, vec![1, 4]);
+        assert_eq!(ik.all_ids, Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(ik.port_labels, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn kt0_initial_knowledge_hides_ids() {
+        let i = Instance::new_kt0(generators::cycle(5), 3).unwrap();
+        let ik = i.initial_knowledge(2, 1, 0);
+        assert_eq!(ik.mode, KnowledgeMode::Kt0);
+        assert!(ik.all_ids.is_none());
+        assert_eq!(ik.port_labels, vec![1, 2, 3, 4]);
+        assert_eq!(ik.input_port_labels.len(), 2);
+        // Input port labels are port numbers, not ids.
+        for &l in &ik.input_port_labels {
+            assert!((1..=4).contains(&l));
+        }
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let net = Network::kt1(vec![0, 1, 2]).unwrap();
+        assert!(Instance::new(net, generators::cycle(4)).is_err());
+        let mut i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        assert!(i.set_input(generators::cycle(5)).is_err());
+        assert!(i.set_input(generators::cycle(4).complement()).is_ok());
+    }
+
+    #[test]
+    fn id_count_mismatch() {
+        assert!(matches!(
+            Instance::new_kt1_with_ids(generators::cycle(3), vec![1, 2]),
+            Err(ModelError::IdCountMismatch {
+                got: 2,
+                expected: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn canonical_wiring_is_deterministic() {
+        let a = Instance::new_kt0_canonical(generators::cycle(6)).unwrap();
+        let b = Instance::new_kt0_canonical(generators::cycle(6)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,395 @@
+//! The synchronous executor and the per-vertex state it records.
+
+use crate::instance::Instance;
+use crate::program::{Algorithm, Decision, Inbox};
+use crate::symbol::Message;
+
+/// The full communication record of one vertex: what it broadcast and
+/// what it received on each port, round by round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transcript {
+    /// Messages broadcast by this vertex, one per executed round.
+    pub sent: Vec<Message>,
+    /// Messages received, `received[round]` = `(port label, message)`
+    /// pairs in port-index order.
+    pub received: Vec<Vec<(u64, Message)>>,
+}
+
+impl Transcript {
+    /// Rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// The sent messages as a display string (one row per round).
+    pub fn sent_string(&self) -> String {
+        self.sent
+            .iter()
+            .map(Message::to_string)
+            .collect::<Vec<_>>()
+            .join("")
+    }
+}
+
+/// The *state of a vertex* after `t` rounds, in the exact sense of the
+/// paper's indistinguishability definition: "the initial knowledge and
+/// the transcript at that vertex". Two instances are indistinguishable
+/// after `t` rounds iff every vertex has the same [`NodeView`] in both
+/// (Section 3).
+///
+/// The received half is keyed and sorted by *port label*, because the
+/// port label — not the peer's identity — is what the vertex can see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeView {
+    /// The vertex ID.
+    pub id: u64,
+    /// Sorted port labels (initial knowledge).
+    pub port_labels: Vec<u64>,
+    /// Sorted labels of input-edge ports (initial knowledge).
+    pub input_port_labels: Vec<u64>,
+    /// Broadcast messages, round by round.
+    pub sent: Vec<Message>,
+    /// Received messages, per round, sorted by port label.
+    pub received: Vec<Vec<(u64, Message)>>,
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Rounds actually executed.
+    pub rounds: usize,
+    /// Total non-silent symbols broadcast across all vertices and
+    /// rounds.
+    pub bits_broadcast: usize,
+    /// Total messages delivered (`rounds · n · (n−1)`).
+    pub messages_delivered: usize,
+}
+
+/// The result of simulating an algorithm on an instance.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    decisions: Vec<Decision>,
+    component_labels: Vec<Option<u64>>,
+    spanning_edges: Vec<Option<Vec<(u64, u64)>>>,
+    transcripts: Vec<Transcript>,
+    views: Vec<NodeView>,
+    stats: RunStats,
+    all_done: bool,
+}
+
+impl RunOutcome {
+    /// Per-vertex decisions.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// The system decision per Section 1.2: YES iff every vertex says
+    /// YES, otherwise NO.
+    pub fn system_decision(&self) -> Decision {
+        if self.decisions.iter().all(|&d| d == Decision::Yes) {
+            Decision::Yes
+        } else {
+            Decision::No
+        }
+    }
+
+    /// Returns `true` if any vertex was still undecided at the end.
+    pub fn any_undecided(&self) -> bool {
+        self.decisions.iter().any(|&d| d == Decision::Undecided)
+    }
+
+    /// Per-vertex component labels (for `ConnectedComponents`).
+    pub fn component_labels(&self) -> &[Option<u64>] {
+        &self.component_labels
+    }
+
+    /// Per-vertex spanning-structure outputs (for MST-style
+    /// algorithms); `None` entries for algorithms without one.
+    pub fn spanning_edges(&self) -> &[Option<Vec<(u64, u64)>>] {
+        &self.spanning_edges
+    }
+
+    /// The transcript of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn transcript(&self, v: usize) -> &Transcript {
+        &self.transcripts[v]
+    }
+
+    /// The state (view) of vertex `v` — the object compared by
+    /// indistinguishability arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn view(&self, v: usize) -> &NodeView {
+        &self.views[v]
+    }
+
+    /// All views, in vertex order.
+    pub fn views(&self) -> &[NodeView] {
+        &self.views
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Whether every program reported done before the round limit.
+    pub fn completed(&self) -> bool {
+        self.all_done
+    }
+}
+
+/// The synchronous `BCC(b)` executor.
+///
+/// # Example
+///
+/// ```
+/// use bcc_model::{Instance, Simulator, Decision, testing};
+/// use bcc_graphs::generators;
+///
+/// let instance = Instance::new_kt1(generators::two_cycles(3, 3)).unwrap();
+/// let outcome = Simulator::new(4).run(&instance, &testing::ConstantDecision::no(), 0);
+/// assert_eq!(outcome.system_decision(), Decision::No);
+/// assert_eq!(outcome.stats().rounds, 0); // decides instantly
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    max_rounds: usize,
+    bandwidth: usize,
+    record: bool,
+}
+
+impl Simulator {
+    /// A `BCC(1)` simulator with the given round limit.
+    pub fn new(max_rounds: usize) -> Self {
+        Simulator {
+            max_rounds,
+            bandwidth: 1,
+            record: true,
+        }
+    }
+
+    /// A `BCC(b)` simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero.
+    pub fn with_bandwidth(max_rounds: usize, bandwidth: usize) -> Self {
+        assert!(bandwidth >= 1, "bandwidth must be at least 1");
+        Simulator {
+            max_rounds,
+            bandwidth,
+            record: true,
+        }
+    }
+
+    /// Disables transcript/view recording. Recording costs
+    /// `Θ(rounds·n²)` heap messages — prohibitive for large
+    /// performance sweeps — and is only needed by the
+    /// indistinguishability machinery. With recording off,
+    /// [`RunOutcome::transcript`] and [`RunOutcome::view`] return
+    /// empty records.
+    pub fn without_transcripts(mut self) -> Self {
+        self.record = false;
+        self
+    }
+
+    /// The bandwidth `b`.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// The round limit.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// Runs `algorithm` on `instance` with the given public-coin seed,
+    /// for at most `max_rounds` rounds (stopping early once every
+    /// vertex reports done).
+    pub fn run(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn Algorithm,
+        coin_seed: u64,
+    ) -> RunOutcome {
+        let n = instance.num_vertices();
+        let mut programs: Vec<_> = (0..n)
+            .map(|v| algorithm.spawn(instance.initial_knowledge(v, self.bandwidth, coin_seed)))
+            .collect();
+        let mut transcripts = vec![
+            Transcript {
+                sent: Vec::new(),
+                received: Vec::new(),
+            };
+            n
+        ];
+        let mut stats = RunStats::default();
+        let mut all_done = programs.iter().all(|p| p.is_done());
+
+        for round in 0..self.max_rounds {
+            if all_done {
+                break;
+            }
+            // Phase 1: everyone broadcasts.
+            let broadcasts: Vec<Message> = programs
+                .iter_mut()
+                .map(|p| p.broadcast(round).normalized(self.bandwidth))
+                .collect();
+            for (v, m) in broadcasts.iter().enumerate() {
+                stats.bits_broadcast += m.bits_used();
+                if self.record {
+                    transcripts[v].sent.push(m.clone());
+                }
+            }
+            // Phase 2: everyone receives on every port.
+            for v in 0..n {
+                let entries: Vec<(u64, Message)> = (0..n - 1)
+                    .map(|p| {
+                        let peer = instance.network().peer_of(v, p);
+                        (
+                            instance.network().port_label(v, p),
+                            broadcasts[peer].clone(),
+                        )
+                    })
+                    .collect();
+                if self.record {
+                    transcripts[v].received.push(entries.clone());
+                }
+                let inbox = Inbox::new(entries);
+                programs[v].receive(round, &inbox);
+                stats.messages_delivered += n - 1;
+            }
+            stats.rounds = round + 1;
+            all_done = programs.iter().all(|p| p.is_done());
+        }
+
+        let views = (0..if self.record { n } else { 0 })
+            .map(|v| {
+                let ik = instance.initial_knowledge(v, self.bandwidth, coin_seed);
+                let mut port_labels = ik.port_labels.clone();
+                port_labels.sort_unstable();
+                NodeView {
+                    id: ik.id,
+                    port_labels,
+                    input_port_labels: ik.input_port_labels.clone(),
+                    sent: transcripts[v].sent.clone(),
+                    received: transcripts[v]
+                        .received
+                        .iter()
+                        .map(|round| {
+                            let mut r = round.clone();
+                            r.sort_by_key(|(l, _)| *l);
+                            r
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+
+        RunOutcome {
+            decisions: programs.iter().map(|p| p.decide()).collect(),
+            component_labels: programs.iter().map(|p| p.component_label()).collect(),
+            spanning_edges: programs.iter().map(|p| p.spanning_edges()).collect(),
+            transcripts,
+            views,
+            stats,
+            all_done,
+        }
+    }
+}
+
+/// Checks whether two runs are *indistinguishable*: every vertex has
+/// an identical [`NodeView`] (initial knowledge + transcript) in both.
+/// Vertices are matched by ID, per the paper's convention that the
+/// "same" vertex appears in both instances.
+pub fn runs_indistinguishable(a: &RunOutcome, b: &RunOutcome) -> bool {
+    if a.views.len() != b.views.len() {
+        return false;
+    }
+    let mut b_by_id: std::collections::HashMap<u64, &NodeView> =
+        b.views.iter().map(|v| (v.id, v)).collect();
+    a.views
+        .iter()
+        .all(|va| b_by_id.remove(&va.id).is_some_and(|vb| va == vb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{ConstantDecision, EchoBit, IdBroadcast};
+    use bcc_graphs::generators;
+
+    #[test]
+    fn constant_algorithms_decide_immediately() {
+        let i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let yes = Simulator::new(5).run(&i, &ConstantDecision::yes(), 0);
+        assert_eq!(yes.system_decision(), Decision::Yes);
+        assert!(yes.completed());
+        assert_eq!(yes.stats().rounds, 0);
+        let no = Simulator::new(5).run(&i, &ConstantDecision::no(), 0);
+        assert_eq!(no.system_decision(), Decision::No);
+    }
+
+    #[test]
+    fn echo_transcripts_recorded() {
+        let i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let out = Simulator::new(3).run(&i, &EchoBit, 0);
+        assert_eq!(out.stats().rounds, 3);
+        for v in 0..4 {
+            let t = out.transcript(v);
+            assert_eq!(t.rounds(), 3);
+            assert_eq!(t.received[0].len(), 3);
+        }
+        // Every vertex broadcast one bit per round.
+        assert_eq!(out.stats().bits_broadcast, 4 * 3);
+        assert_eq!(out.stats().messages_delivered, 3 * 4 * 3);
+    }
+
+    #[test]
+    fn id_broadcast_reaches_everyone() {
+        // Each vertex broadcasts its id bit-serially; after ceil(log2 n)
+        // rounds every vertex knows the id behind every port.
+        let i = Instance::new_kt0(generators::cycle(6), 11).unwrap();
+        let out = Simulator::new(10).run(&i, &IdBroadcast::new(), 0);
+        assert!(out.completed());
+        // 6 ids in 0..6 need 3 bits.
+        assert_eq!(out.stats().rounds, 3);
+    }
+
+    #[test]
+    fn identical_runs_indistinguishable() {
+        let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
+        let a = Simulator::new(4).run(&i, &EchoBit, 7);
+        let b = Simulator::new(4).run(&i, &EchoBit, 7);
+        assert!(runs_indistinguishable(&a, &b));
+    }
+
+    #[test]
+    fn different_inputs_distinguishable_by_views() {
+        let a = Instance::new_kt0_canonical(generators::cycle(6)).unwrap();
+        let b = Instance::new_kt0_canonical(generators::two_cycles(3, 3)).unwrap();
+        let ra = Simulator::new(1).run(&a, &EchoBit, 0);
+        let rb = Simulator::new(1).run(&b, &EchoBit, 0);
+        // Input-edge port sets differ at some vertex.
+        assert!(!runs_indistinguishable(&ra, &rb));
+    }
+
+    #[test]
+    fn bandwidth_enforced() {
+        let sim = Simulator::with_bandwidth(2, 4);
+        assert_eq!(sim.bandwidth(), 4);
+        assert_eq!(sim.max_rounds(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be at least 1")]
+    fn zero_bandwidth_rejected() {
+        Simulator::with_bandwidth(1, 0);
+    }
+}

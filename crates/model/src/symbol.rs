@@ -1,0 +1,219 @@
+//! The `{0, 1, ⊥}` broadcast alphabet.
+
+/// One broadcast character: a bit or the silent character `⊥`.
+///
+/// The paper describes a silent vertex as "sending the character ⊥"
+/// (Section 3), making the per-round alphabet ternary; labels of edges
+/// in the crossing argument are strings over exactly this alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Symbol {
+    /// The bit 0.
+    Zero,
+    /// The bit 1.
+    One,
+    /// Silence (`⊥`).
+    #[default]
+    Silent,
+}
+
+impl Symbol {
+    /// Converts a bit into a symbol.
+    pub fn bit(b: bool) -> Symbol {
+        if b {
+            Symbol::One
+        } else {
+            Symbol::Zero
+        }
+    }
+
+    /// The bit value, if not silent.
+    pub fn as_bit(self) -> Option<bool> {
+        match self {
+            Symbol::Zero => Some(false),
+            Symbol::One => Some(true),
+            Symbol::Silent => None,
+        }
+    }
+
+    /// A compact character for transcripts: `0`, `1` or `⊥`.
+    pub fn glyph(self) -> char {
+        match self {
+            Symbol::Zero => '0',
+            Symbol::One => '1',
+            Symbol::Silent => '⊥',
+        }
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.glyph())
+    }
+}
+
+/// A per-round broadcast of a vertex: exactly `b` symbols (the
+/// bandwidth), any of which may be silent. The all-silent message is
+/// the paper's "remains silent".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Message(Vec<Symbol>);
+
+impl Message {
+    /// An all-silent message of bandwidth `b`.
+    pub fn silent(b: usize) -> Message {
+        Message(vec![Symbol::Silent; b])
+    }
+
+    /// A single-symbol message (the `BCC(1)` case).
+    pub fn single(s: Symbol) -> Message {
+        Message(vec![s])
+    }
+
+    /// A message from explicit symbols.
+    pub fn from_symbols(symbols: Vec<Symbol>) -> Message {
+        Message(symbols)
+    }
+
+    /// A message carrying the low `b` bits of `value` (LSB first),
+    /// no silent positions.
+    pub fn from_bits(value: u64, b: usize) -> Message {
+        assert!(b <= 64, "at most 64 bits per message");
+        Message((0..b).map(|i| Symbol::bit(value >> i & 1 == 1)).collect())
+    }
+
+    /// The symbols.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.0
+    }
+
+    /// Message length (must equal the bandwidth once normalized).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the message has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns `true` if every position is silent.
+    pub fn is_silent(&self) -> bool {
+        self.0.iter().all(|&s| s == Symbol::Silent)
+    }
+
+    /// The single symbol of a bandwidth-1 message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message does not have exactly one symbol.
+    pub fn symbol(&self) -> Symbol {
+        assert_eq!(self.0.len(), 1, "symbol() requires bandwidth 1");
+        self.0[0]
+    }
+
+    /// Number of non-silent positions (the "bits actually broadcast"
+    /// statistic).
+    pub fn bits_used(&self) -> usize {
+        self.0.iter().filter(|&&s| s != Symbol::Silent).count()
+    }
+
+    /// Pads with silence (or errors) to normalize to bandwidth `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is longer than `b` — a bandwidth
+    /// violation by the node program.
+    pub fn normalized(mut self, b: usize) -> Message {
+        assert!(
+            self.0.len() <= b,
+            "bandwidth violation: message of {} symbols with b = {b}",
+            self.0.len()
+        );
+        self.0.resize(b, Symbol::Silent);
+        self
+    }
+
+    /// Decodes the message as bits LSB-first, treating silence as
+    /// absence; returns `None` if any position is silent.
+    pub fn to_bits(&self) -> Option<u64> {
+        let mut v = 0u64;
+        for (i, s) in self.0.iter().enumerate() {
+            match s.as_bit() {
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+}
+
+impl std::fmt::Display for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.0 {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_roundtrip() {
+        assert_eq!(Symbol::bit(true), Symbol::One);
+        assert_eq!(Symbol::bit(false), Symbol::Zero);
+        assert_eq!(Symbol::One.as_bit(), Some(true));
+        assert_eq!(Symbol::Silent.as_bit(), None);
+        assert_eq!(Symbol::default(), Symbol::Silent);
+    }
+
+    #[test]
+    fn message_bits_roundtrip() {
+        let m = Message::from_bits(0b1011, 6);
+        assert_eq!(m.to_bits(), Some(0b1011));
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.bits_used(), 6);
+        assert!(!m.is_silent());
+    }
+
+    #[test]
+    fn silent_message() {
+        let m = Message::silent(3);
+        assert!(m.is_silent());
+        assert_eq!(m.bits_used(), 0);
+        assert_eq!(m.to_bits(), None);
+        assert_eq!(m.to_string(), "⊥⊥⊥");
+    }
+
+    #[test]
+    fn normalization_pads() {
+        let m = Message::single(Symbol::One).normalized(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.symbols()[1], Symbol::Silent);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth violation")]
+    fn normalization_rejects_overlong() {
+        Message::from_bits(0, 4).normalized(2);
+    }
+
+    #[test]
+    fn display_glyphs() {
+        let m = Message::from_symbols(vec![Symbol::Zero, Symbol::One, Symbol::Silent]);
+        assert_eq!(m.to_string(), "01⊥");
+    }
+
+    #[test]
+    fn single_symbol_access() {
+        assert_eq!(Message::single(Symbol::Zero).symbol(), Symbol::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth 1")]
+    fn symbol_rejects_wide_message() {
+        Message::silent(2).symbol();
+    }
+}

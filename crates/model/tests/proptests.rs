@@ -1,0 +1,121 @@
+//! Property-based tests for the BCC(b) model invariants.
+
+use bcc_graphs::{generators, Graph};
+use bcc_model::testing::{ConstantDecision, EchoBit, IdBroadcast};
+use bcc_model::{runs_indistinguishable, Instance, Message, Network, Simulator, Symbol};
+use proptest::prelude::*;
+
+fn arb_cycle_graph() -> impl Strategy<Value = Graph> {
+    (3usize..12).prop_map(generators::cycle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The wiring of any seeded KT-0 network is a consistent double
+    /// permutation: peer_of ∘ port_of = identity, no self-loops, every
+    /// peer appears exactly once.
+    #[test]
+    fn kt0_wiring_consistency(n in 2usize..20, seed in any::<u64>()) {
+        let net = Network::kt0_seeded((0..n as u64).collect(), seed).unwrap();
+        for v in 0..n {
+            let mut seen = std::collections::HashSet::new();
+            for p in 0..n - 1 {
+                let w = net.peer_of(v, p);
+                prop_assert_ne!(w, v);
+                prop_assert!(seen.insert(w));
+                prop_assert_eq!(net.port_of(v, w), p);
+            }
+        }
+    }
+
+    /// KT-1 labels are exactly the peer IDs for arbitrary ID sets.
+    #[test]
+    fn kt1_labels_are_ids(ids in proptest::collection::hash_set(any::<u64>(), 2..12)) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let n = ids.len();
+        let net = Network::kt1(ids.clone()).unwrap();
+        for v in 0..n {
+            for p in 0..n - 1 {
+                prop_assert_eq!(net.port_label(v, p), ids[net.peer_of(v, p)]);
+            }
+        }
+    }
+
+    /// Simulation is deterministic: same instance, same algorithm,
+    /// same coin → indistinguishable runs.
+    #[test]
+    fn simulation_deterministic(g in arb_cycle_graph(), seed in any::<u64>(), coin in any::<u64>()) {
+        let inst = Instance::new_kt0(g, seed).unwrap();
+        let a = Simulator::new(5).run(&inst, &EchoBit, coin);
+        let b = Simulator::new(5).run(&inst, &EchoBit, coin);
+        prop_assert!(runs_indistinguishable(&a, &b));
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Every vertex's initial knowledge reports exactly its input
+    /// degree, and labels are within range.
+    #[test]
+    fn initial_knowledge_consistent(g in arb_cycle_graph(), seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let inst = Instance::new_kt0(g.clone(), seed).unwrap();
+        for v in 0..n {
+            let ik = inst.initial_knowledge(v, 1, 0);
+            prop_assert_eq!(ik.input_degree(), g.degree(v));
+            for &l in &ik.input_port_labels {
+                prop_assert!((1..n as u64).contains(&l));
+            }
+            prop_assert_eq!(ik.port_labels.len(), n - 1);
+        }
+    }
+
+    /// Message stats: EchoBit broadcasts exactly one bit per vertex per
+    /// round; messages delivered = rounds·n·(n−1).
+    #[test]
+    fn stats_accounting(g in arb_cycle_graph(), t in 1usize..6) {
+        let n = g.num_vertices();
+        let inst = Instance::new_kt1(g).unwrap();
+        let out = Simulator::new(t).run(&inst, &EchoBit, 0);
+        prop_assert_eq!(out.stats().rounds, t);
+        prop_assert_eq!(out.stats().bits_broadcast, t * n);
+        prop_assert_eq!(out.stats().messages_delivered, t * n * (n - 1));
+    }
+
+    /// System decision rule: YES iff all vertices vote YES.
+    #[test]
+    fn system_decision_rule(g in arb_cycle_graph()) {
+        let inst = Instance::new_kt1(g).unwrap();
+        let yes = Simulator::new(1).run(&inst, &ConstantDecision::yes(), 0);
+        prop_assert_eq!(yes.system_decision(), bcc_model::Decision::Yes);
+        let no = Simulator::new(1).run(&inst, &ConstantDecision::no(), 0);
+        prop_assert_eq!(no.system_decision(), bcc_model::Decision::No);
+    }
+
+    /// IdBroadcast terminates in exactly ⌈log₂ n⌉ rounds regardless of
+    /// wiring, and completes.
+    #[test]
+    fn id_broadcast_rounds(n in 3usize..20, seed in any::<u64>()) {
+        let inst = Instance::new_kt0(generators::cycle(n), seed).unwrap();
+        let out = Simulator::new(100).run(&inst, &IdBroadcast::new(), 0);
+        prop_assert!(out.completed());
+        prop_assert_eq!(out.stats().rounds, bcc_model::codec::bits_needed(n));
+    }
+
+    /// Codec roundtrip for arbitrary values and widths.
+    #[test]
+    fn codec_roundtrip(value in any::<u64>(), width in 1usize..64) {
+        let v = value & ((1u64 << width) - 1);
+        let bits = bcc_model::codec::u64_to_bits(v, width);
+        prop_assert_eq!(bcc_model::codec::bits_to_u64(&bits), v);
+    }
+
+    /// Message bit packing roundtrips.
+    #[test]
+    fn message_roundtrip(value in any::<u64>(), width in 1usize..32) {
+        let v = value & ((1u64 << width) - 1);
+        let m = Message::from_bits(v, width);
+        prop_assert_eq!(m.to_bits(), Some(v));
+        prop_assert_eq!(m.len(), width);
+        prop_assert!(!m.symbols().contains(&Symbol::Silent));
+    }
+}

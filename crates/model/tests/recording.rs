@@ -1,0 +1,36 @@
+//! Behavioural contract of `Simulator::without_transcripts`: identical
+//! decisions and stats, no recorded state.
+
+use bcc_graphs::generators;
+use bcc_model::testing::{EchoBit, IdBroadcast};
+use bcc_model::{Instance, Simulator};
+
+#[test]
+fn recording_off_preserves_semantics() {
+    let inst = Instance::new_kt0(generators::cycle(10), 3).unwrap();
+    let on = Simulator::new(6).run(&inst, &EchoBit, 1);
+    let off = Simulator::new(6).without_transcripts().run(&inst, &EchoBit, 1);
+    assert_eq!(on.decisions(), off.decisions());
+    assert_eq!(on.stats(), off.stats());
+    assert_eq!(on.completed(), off.completed());
+}
+
+#[test]
+fn recording_off_yields_empty_records() {
+    let inst = Instance::new_kt1(generators::cycle(6)).unwrap();
+    let off = Simulator::new(3).without_transcripts().run(&inst, &IdBroadcast::new(), 0);
+    assert!(off.views().is_empty());
+    for v in 0..6 {
+        assert_eq!(off.transcript(v).rounds(), 0);
+    }
+}
+
+#[test]
+fn recording_on_by_default() {
+    let inst = Instance::new_kt1(generators::cycle(6)).unwrap();
+    let on = Simulator::new(3).run(&inst, &IdBroadcast::new(), 0);
+    assert_eq!(on.views().len(), 6);
+    assert_eq!(on.transcript(0).rounds(), 3);
+    assert_eq!(on.transcript(0).received.len(), 3);
+    assert_eq!(on.transcript(0).received[0].len(), 5);
+}

@@ -1,0 +1,124 @@
+//! Integration: the whole KT-0 lower-bound pipeline (Section 3)
+//! exercised across crates.
+
+use bcclique::algorithms::{HashVoteDecider, Kt0Upgrade, NeighborIdBroadcast, Truncated};
+use bcclique::core::crossing::{
+    cross_instance, indistinguishable_after, lemma_3_4_hypothesis_holds, DirectedEdge,
+};
+use bcclique::core::hard::{
+    distributional_error, star_distribution, star_error_floor, uniform_two_cycle_distribution,
+};
+use bcclique::core::indist::IndistGraph;
+use bcclique::core::labels::{best_label_pair, broadcast_strings, pigeonhole_floor};
+use bcclique::prelude::*;
+
+/// Lemma 3.4 holds for *every* real algorithm whenever its hypothesis
+/// does: scan crossings on a cycle under several algorithms and check
+/// the implication "same tail/head sequences ⇒ indistinguishable".
+#[test]
+fn lemma_3_4_implication_across_algorithms() {
+    let n = 9;
+    let i1 = Instance::new_kt0_canonical(generators::cycle(n)).unwrap();
+    let algos: Vec<(&str, Box<dyn Algorithm>)> = vec![
+        ("hash-vote", Box::new(HashVoteDecider::new(3))),
+        (
+            "truncated-real",
+            Box::new(Truncated::new(
+                Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+                3,
+            )),
+        ),
+    ];
+    let mut hypothesis_seen = false;
+    for (name, algo) in &algos {
+        for a in 0..n {
+            for b in 0..n {
+                let e1 = DirectedEdge::new(a, (a + 1) % n);
+                let e2 = DirectedEdge::new(b, (b + 1) % n);
+                if !bcclique::core::crossing::are_independent(i1.input(), e1, e2) {
+                    continue;
+                }
+                let i2 = cross_instance(&i1, e1, e2).unwrap();
+                for t in [1usize, 2, 3] {
+                    if lemma_3_4_hypothesis_holds(&i1, e1, e2, algo.as_ref(), t, 7) {
+                        hypothesis_seen = true;
+                        assert!(
+                            indistinguishable_after(&i1, &i2, algo.as_ref(), t, 7),
+                            "{name}: hypothesis held but states diverged at t={t} for ({e1}, {e2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(hypothesis_seen, "test never exercised the hypothesis");
+}
+
+/// The pigeonhole step: the best label class of any 3-round run covers
+/// at least n/3^{2t} edges, for every one-cycle instance.
+#[test]
+fn pigeonhole_bound_over_instance_space() {
+    let n = 7;
+    let algo = Truncated::new(
+        Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+        2,
+    );
+    for g in bcclique::graphs::enumerate::one_cycles(n) {
+        let inst = Instance::new_kt0_canonical(g.clone()).unwrap();
+        let strings = broadcast_strings(&inst, &algo, 2, 0);
+        let (_, count) = best_label_pair(&g, &strings);
+        assert!(count >= pigeonhole_floor(n, 2));
+    }
+}
+
+/// Theorem 3.5 end to end: for every t, every decider's measured error
+/// on the star distribution is at least the analytic floor.
+#[test]
+fn star_floor_respected_end_to_end() {
+    let n = 27;
+    let dist = star_distribution(n);
+    for t in 0..4 {
+        let floor = star_error_floor(n, t).min(0.5);
+        let algos: Vec<Box<dyn Algorithm>> = vec![
+            Box::new(HashVoteDecider::new(t.max(1))),
+            Box::new(Truncated::new(
+                Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+                t,
+            )),
+        ];
+        for algo in &algos {
+            let e = distributional_error(&dist, algo.as_ref(), t, 3);
+            assert!(e + 1e-9 >= floor, "t={t}: error {e} under floor {floor}");
+        }
+    }
+}
+
+/// Theorem 3.1's conclusion at enumerable scale: at t = 1, every
+/// decider errs at least a constant on the uniform V1/V2 distribution,
+/// while with enough rounds the real algorithm achieves zero error.
+#[test]
+fn constant_error_floor_then_zero() {
+    let n = 6;
+    let dist = uniform_two_cycle_distribution(n);
+    let real = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle));
+    for t in [1usize, 2] {
+        let e = distributional_error(&dist, &Truncated::new(real, t), t, 0);
+        assert!(e >= 0.25, "t={t}: error {e} suspiciously low");
+    }
+    assert_eq!(distributional_error(&dist, &real, 100, 0), 0.0);
+}
+
+/// The indistinguishability graph with real algorithm labels shrinks
+/// monotonically as rounds reveal information.
+#[test]
+fn indist_graph_shrinks_with_rounds() {
+    let n = 6;
+    let g0 = IndistGraph::round_zero(n);
+    // Labels from the truncated upgrade algorithm: after its full
+    // prologue (3 rounds at n=6) every vertex's string is distinct,
+    // killing all active pairs for any fixed (x, y).
+    let algo = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle));
+    let x = vec![bcclique::model::Symbol::Zero; 3];
+    let g3 = IndistGraph::with_algorithm(n, &algo, 3, 0, &x, &x);
+    assert!(g3.bip.num_edges() < g0.bip.num_edges());
+}

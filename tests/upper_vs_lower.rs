@@ -1,0 +1,145 @@
+//! Integration: the upper bounds respect — and nearly meet — the lower
+//! bounds, reproducing the paper's tightness picture.
+
+use bcclique::comm::reduction::Gadget;
+use bcclique::core::kt1::theorem_4_4_certificate;
+use bcclique::model::codec::bits_needed;
+use bcclique::prelude::*;
+use rand::SeedableRng;
+
+/// On cycles, the tight algorithm's round count is Θ(log n): between
+/// the Theorem 4.4 lower bound and 4·⌈log₂ n⌉.
+#[test]
+fn neighbor_broadcast_sandwiched_by_bounds() {
+    for n in [8usize, 16, 32, 64] {
+        let inst = Instance::new_kt1(generators::cycle(n)).unwrap();
+        let out =
+            Simulator::new(100_000).run(&inst, &NeighborIdBroadcast::new(Problem::TwoCycle), 0);
+        assert_eq!(out.system_decision(), Decision::Yes);
+        let upper = out.stats().rounds;
+        assert_eq!(upper, 3 * bits_needed(n));
+        // The certificate at the largest exactly-computable size gives
+        // a valid lower bound for all larger n (monotone problem), and
+        // specifically: rounds >= 1 at these sizes. The quantitative
+        // sandwich: upper / log2(n) is a constant (= 3).
+        assert!(upper as f64 <= 4.0 * (n as f64).log2().ceil());
+    }
+    let cert = theorem_4_4_certificate(Gadget::TwoRegular, 10);
+    assert!(cert.round_lower_bound >= 1);
+}
+
+/// All four connectivity algorithms agree with ground truth across a
+/// random graph family (deterministic ones exactly; the sketch one
+/// with small error).
+#[test]
+fn algorithms_agree_on_random_graphs() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let sim = Simulator::new(10_000_000);
+    let mut sketch_errors = 0;
+    let trials = 12;
+    for t in 0..trials {
+        let g = bcclique::graphs::generators::gnm(12, 11, &mut rng);
+        let truth = if g.is_connected() {
+            Decision::Yes
+        } else {
+            Decision::No
+        };
+        let kt1 = Instance::new_kt1(g.clone()).unwrap();
+        let kt0 = Instance::new_kt0(g, t).unwrap();
+
+        assert_eq!(
+            sim.run(&kt1, &FullGraphBroadcast::new(Problem::Connectivity), 0)
+                .system_decision(),
+            truth
+        );
+        assert_eq!(
+            sim.run(&kt1, &NeighborIdBroadcast::new(Problem::Connectivity), 0)
+                .system_decision(),
+            truth
+        );
+        assert_eq!(
+            sim.run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity), 0)
+                .system_decision(),
+            truth
+        );
+        assert_eq!(
+            sim.run(
+                &kt0,
+                &Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::Connectivity)),
+                0
+            )
+            .system_decision(),
+            truth
+        );
+        let sk = Simulator::with_bandwidth(10_000_000, 64)
+            .run(&kt1, &SketchConnectivity::new(Problem::Connectivity), t)
+            .system_decision();
+        if sk != truth {
+            sketch_errors += 1;
+        }
+    }
+    assert!(sketch_errors <= 1, "{sketch_errors}/{trials} sketch errors");
+}
+
+/// Component labels agree across the three deterministic algorithms on
+/// disjoint-cycle inputs.
+#[test]
+fn component_labels_consistent() {
+    let sim = Simulator::new(1_000_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for _ in 0..6 {
+        let g = bcclique::graphs::generators::random_disjoint_cycles(15, &mut rng);
+        let inst = Instance::new_kt1(g).unwrap();
+        let full: Vec<u64> = sim
+            .run(
+                &inst,
+                &FullGraphBroadcast::new(Problem::ConnectedComponents),
+                0,
+            )
+            .component_labels()
+            .iter()
+            .map(|l| l.unwrap())
+            .collect();
+        let nbr: Vec<u64> = sim
+            .run(
+                &inst,
+                &NeighborIdBroadcast::new(Problem::ConnectedComponents),
+                0,
+            )
+            .component_labels()
+            .iter()
+            .map(|l| l.unwrap())
+            .collect();
+        let bor: Vec<u64> = sim
+            .run(
+                &inst,
+                &BoruvkaMinLabel::new(Problem::ConnectedComponents),
+                0,
+            )
+            .component_labels()
+            .iter()
+            .map(|l| l.unwrap())
+            .collect();
+        assert_eq!(full, nbr);
+        assert_eq!(full, bor);
+    }
+}
+
+/// Bandwidth scaling of the simulator itself: a b-bit algorithm packs
+/// b bits per round, so the sketch algorithm's rounds drop ~linearly
+/// in b.
+#[test]
+fn bandwidth_scaling_monotone() {
+    let g = generators::cycle(10);
+    let algo = SketchConnectivity::new(Problem::Connectivity);
+    let mut last = usize::MAX;
+    for b in [4usize, 32, 256] {
+        let out = Simulator::with_bandwidth(50_000_000, b).run(
+            &Instance::new_kt1(g.clone()).unwrap(),
+            &algo,
+            2,
+        );
+        assert!(out.stats().rounds <= last);
+        last = out.stats().rounds;
+    }
+}
