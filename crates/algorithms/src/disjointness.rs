@@ -77,7 +77,7 @@ struct UnicastNode {
 
 impl UnicastNode {
     fn is_rep(&self) -> bool {
-        self.id % 2 == 0 && (self.id as usize) + 1 < self.n
+        self.id.is_multiple_of(2) && (self.id as usize) + 1 < self.n
     }
 }
 
@@ -167,7 +167,7 @@ impl BroadcastNode {
     }
 
     fn is_rep(&self) -> bool {
-        self.id % 2 == 0 && (self.id as usize) + 1 < self.n
+        self.id.is_multiple_of(2) && (self.id as usize) + 1 < self.n
     }
 
     fn my_pair(&self) -> usize {

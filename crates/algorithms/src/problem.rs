@@ -92,9 +92,9 @@ pub fn local_component_labels(g: &Graph, ids: &[u64]) -> Vec<u64> {
     let n = g.num_vertices();
     let mut min_id_of_label: std::collections::HashMap<usize, u64> =
         std::collections::HashMap::new();
-    for v in 0..n {
-        let entry = min_id_of_label.entry(comps.label[v]).or_insert(u64::MAX);
-        *entry = (*entry).min(ids[v]);
+    for (&label, &id) in comps.label.iter().zip(ids) {
+        let entry = min_id_of_label.entry(label).or_insert(u64::MAX);
+        *entry = (*entry).min(id);
     }
     (0..n).map(|v| min_id_of_label[&comps.label[v]]).collect()
 }

@@ -203,9 +203,8 @@ impl SketchNode {
         // Sum per component.
         let mut comp_sketch: std::collections::HashMap<usize, L0Sketch> =
             std::collections::HashMap::new();
-        for v in 0..self.n {
-            let label = self.labels[v];
-            let s = sketches[v].take().expect("all sketches present");
+        for (slot, &label) in sketches.iter_mut().zip(&self.labels) {
+            let s = slot.take().expect("all sketches present");
             comp_sketch
                 .entry(label)
                 .and_modify(|acc| acc.add_assign(&s))

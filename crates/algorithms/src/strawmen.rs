@@ -144,7 +144,7 @@ impl NodeProgram for ParityNode {
     }
 
     fn decide(&self) -> Decision {
-        if self.ones_heard % 2 == 0 {
+        if self.ones_heard.is_multiple_of(2) {
             Decision::Yes
         } else {
             Decision::No

@@ -47,8 +47,8 @@ proptest! {
             // Component labels: min vertex id per component.
             let comps = connected_components(&g);
             let labels: Vec<u64> = out.component_labels().iter().map(|l| l.unwrap()).collect();
-            for v in 0..g.num_vertices() {
-                prop_assert_eq!(labels[v], comps.label[v] as u64, "{} vertex {}", algo.name(), v);
+            for (v, (&label, &comp)) in labels.iter().zip(&comps.label).enumerate() {
+                prop_assert_eq!(label, comp as u64, "{} vertex {}", algo.name(), v);
             }
         }
     }

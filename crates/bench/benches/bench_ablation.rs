@@ -16,20 +16,28 @@ fn bench(c: &mut Criterion) {
     let inst = kt1_cycle(12);
     for phases in [2usize, 6, 12] {
         let algo = SketchConnectivity::with_phase_budget(Problem::Connectivity, phases);
-        group.bench_with_input(BenchmarkId::new("sketch_phase_budget", phases), &phases, |b, _| {
-            let sim = Simulator::with_bandwidth(50_000_000, 256).without_transcripts();
-            b.iter(|| sim.run(&inst, &algo, 3).stats().rounds)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sketch_phase_budget", phases),
+            &phases,
+            |b, _| {
+                let sim = Simulator::with_bandwidth(50_000_000, 256).without_transcripts();
+                b.iter(|| sim.run(&inst, &algo, 3).stats().rounds)
+            },
+        );
     }
 
     // Borůvka bandwidth: the BCC(1) vs BCC(log n) regimes.
     let inst64 = kt1_cycle(64);
     for b_width in [1usize, 6, 64] {
         let algo = BoruvkaMinLabel::new(Problem::Connectivity);
-        group.bench_with_input(BenchmarkId::new("boruvka_bandwidth", b_width), &b_width, |b, &bw| {
-            let sim = Simulator::with_bandwidth(1_000_000, bw).without_transcripts();
-            b.iter(|| sim.run(&inst64, &algo, 0).stats().rounds)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("boruvka_bandwidth", b_width),
+            &b_width,
+            |b, &bw| {
+                let sim = Simulator::with_bandwidth(1_000_000, bw).without_transcripts();
+                b.iter(|| sim.run(&inst64, &algo, 0).stats().rounds)
+            },
+        );
     }
 
     // Transcript recording overhead (the reason without_transcripts

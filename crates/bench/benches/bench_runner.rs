@@ -1,0 +1,70 @@
+//! Runner bench: 1-thread vs N-thread throughput of the work-stealing
+//! pool on real experiment kernels (E2 structure rows, E3 rank rows).
+//!
+//! On a single-core host the thread counts tie (the pool's serial
+//! fast path vs scheduling overhead); on multi-core hosts the N-thread
+//! rows show the speedup the CLI's `--jobs` flag buys.
+
+use bcc_experiments::job::run_jobs_serial;
+use bcc_experiments::{exp_e2_indist, exp_e3_rank};
+use bcc_runner::Pool;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner");
+    group.sample_size(10);
+
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = [1usize, 2, host.max(4)]
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    // E2 kernel: per-n structure rows (lattice walks + census).
+    for &threads in &thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("e2_structure_jobs", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let jobs = exp_e2_indist::jobs(true, 2024)
+                        .into_iter()
+                        .map(|j| j.into_runner_job(None))
+                        .collect();
+                    Pool::new(threads).execute(jobs).len()
+                })
+            },
+        );
+    }
+
+    // E3 kernel: GF(p) rank of M_n / E_n shards.
+    for &threads in &thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("e3_rank_jobs", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let jobs = exp_e3_rank::jobs(true, 2024)
+                        .into_iter()
+                        .map(|j| j.into_runner_job(None))
+                        .collect();
+                    Pool::new(threads).execute(jobs).len()
+                })
+            },
+        );
+    }
+
+    // Baseline: the same E3 shards run inline, without any pool
+    // machinery (what `report()` does).
+    group.bench_function("e3_rank_jobs_inline", |b| {
+        b.iter(|| run_jobs_serial(&exp_e3_rank::jobs(true, 2024)).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -141,7 +141,10 @@ pub fn is_fooling_set(m: &Matrix, cells: &[(usize, usize)]) -> bool {
 pub fn exact_deterministic_cc(m: &Matrix) -> usize {
     let (rows, cols) = (m.num_rows(), m.num_cols());
     assert!(rows >= 1 && cols >= 1, "empty matrix");
-    assert!(rows <= 8 && cols <= 8, "exact D(f) is gated to 8x8 matrices");
+    assert!(
+        rows <= 8 && cols <= 8,
+        "exact D(f) is gated to 8x8 matrices"
+    );
     let full_r: u16 = (1 << rows) - 1;
     let full_c: u16 = (1 << cols) - 1;
     let mut memo: std::collections::HashMap<(u16, u16), usize> = std::collections::HashMap::new();
@@ -281,7 +284,6 @@ mod tests {
         assert!(fs.len() >= 4, "found only {}", fs.len());
     }
 
-
     #[test]
     fn exact_cc_identity() {
         // EQ on a k-element domain: D = ceil(log2 k) + 1.
@@ -307,10 +309,7 @@ mod tests {
         for jm in [partition_join_matrix(3), two_partition_matrix(4)] {
             let d = exact_deterministic_cc(&jm.matrix);
             let lb = log_rank_bound(&jm.matrix);
-            assert!(
-                d as f64 + 1e-9 >= lb,
-                "D = {d} below log-rank {lb}"
-            );
+            assert!(d as f64 + 1e-9 >= lb, "D = {d} below log-rank {lb}");
             // And it is achievable within the trivial upper bound
             // ceil(log2 rows) + 1.
             let ub = (jm.dim() as f64).log2().ceil() as usize + 1;

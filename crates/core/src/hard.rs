@@ -100,7 +100,10 @@ pub fn uniform_two_cycle_distribution(n: usize) -> Vec<WeightedInstance> {
 pub fn uniform_multi_cycle_distribution(n: usize) -> Vec<WeightedInstance> {
     let all = multi_cycle_covers(n, 4);
     let (ones, multis): (Vec<_>, Vec<_>) = all.into_iter().partition(|g| g.is_connected());
-    assert!(!ones.is_empty() && !multis.is_empty(), "n >= 8 needed for MultiCycle");
+    assert!(
+        !ones.is_empty() && !multis.is_empty(),
+        "n >= 8 needed for MultiCycle"
+    );
     let w1 = 0.5 / ones.len() as f64;
     let w2 = 0.5 / multis.len() as f64;
     let mut out = Vec::with_capacity(ones.len() + multis.len());
@@ -279,7 +282,11 @@ mod multi_cycle_tests {
         assert_eq!(d.len(), 2520 + 315);
         let total: f64 = d.iter().map(|wi| wi.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        let yes: f64 = d.iter().filter(|wi| wi.is_one_cycle).map(|wi| wi.weight).sum();
+        let yes: f64 = d
+            .iter()
+            .filter(|wi| wi.is_one_cycle)
+            .map(|wi| wi.weight)
+            .sum();
         assert!((yes - 0.5).abs() < 1e-9);
     }
 

@@ -45,7 +45,7 @@ impl IndistGraph {
     /// crossing *any* independent co-oriented pair. Purely
     /// combinatorial (no algorithm involved).
     pub fn round_zero(n: usize) -> Self {
-        Self::build_with_active(n, |g| canonical_orientation(g))
+        Self::build_with_active(n, canonical_orientation)
     }
 
     /// The graph `G^t_{x,y}` for a concrete algorithm: active edges of

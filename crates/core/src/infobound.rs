@@ -86,11 +86,7 @@ pub fn partition_comp_information(n: usize, budget: Option<usize>) -> InfoBoundR
         }
         rows.push(((idx, run.transcript_bits()), 1.0));
     }
-    let joint = Joint::from_weights(
-        rows.into_iter()
-            .map(|((idx, t), w)| ((idx, t), w))
-            .collect(),
-    );
+    let joint = Joint::from_weights(rows.into_iter().collect());
     let input_entropy = Dist::uniform((0..inputs.len()).collect::<Vec<_>>()).entropy();
     InfoBoundReport {
         n,

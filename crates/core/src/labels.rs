@@ -87,7 +87,6 @@ pub fn best_label_pair(g: &Graph, strings: &[Vec<Symbol>]) -> (EdgeLabel, usize)
     }
     census
         .into_iter()
-        .map(|(label, count)| (label, count))
         .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
         .expect("graphs with edges have labels")
 }

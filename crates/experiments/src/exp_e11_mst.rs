@@ -1,6 +1,9 @@
 //! E11 — MST in `BCC(1)`: the distributed Borůvka forest against the
 //! Kruskal oracle, with the polylog round profile.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_algorithms::BoruvkaMst;
 use bcc_graphs::weighted::WeightedGraph;
 use bcc_graphs::{generators, Graph};
@@ -53,60 +56,101 @@ pub fn run_one(g: Graph, weight_seed: u64) -> MstRow {
     }
 }
 
-/// The E11 report.
-pub fn report(quick: bool) -> String {
-    let ns: &[usize] = if quick {
+fn sizes(quick: bool) -> &'static [usize] {
+    if quick {
         &[8, 16, 32]
     } else {
         &[8, 16, 32, 64, 128]
-    };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-    let mut out = String::new();
+    }
+}
+
+/// One job per graph size; each derives its random graph and weight
+/// seed from the job seed.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    sizes(quick)
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let shard = i as u32;
+            ExpJob::new(
+                "e11",
+                shard,
+                format!("n={n}"),
+                job_seed(suite_seed, "e11", shard),
+                move |ctx| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+                    let g = generators::gnm(n, 2 * n, &mut rng);
+                    let row = run_one(g, n as u64);
+                    let log2 = (n as f64).log2();
+                    let text = format!(
+                        "{:>5} {:>6} {:>8} {:>9} {:>16.2}\n",
+                        row.n,
+                        row.m,
+                        row.rounds,
+                        row.matches,
+                        row.rounds as f64 / (log2 * log2)
+                    );
+                    JobOutput::new("e11", shard, format!("n={n}"))
+                        .value("n", row.n)
+                        .value("m", row.m)
+                        .value("rounds", row.rounds)
+                        .value("weight", row.weight)
+                        .check("forest matches Kruskal oracle", row.matches)
+                        .text(text)
+                },
+            )
+        })
+        .collect()
+}
+
+/// Assembles the E11 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new("e11", "Boruvka MST over broadcast vs Kruskal oracle");
+    let mut text = String::new();
     writeln!(
-        out,
+        text,
         "== E11: Boruvka MST over broadcast vs Kruskal oracle =="
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "{:>5} {:>6} {:>8} {:>9} {:>16}",
         "n", "m", "rounds", "matches", "rounds/log2^2 n"
     )
     .unwrap();
     let mut all_match = true;
-    for &n in ns {
-        let g = generators::gnm(n, 2 * n, &mut rng);
-        let row = run_one(g, n as u64);
-        all_match &= row.matches;
-        let log2 = (n as f64).log2();
-        writeln!(
-            out,
-            "{:>5} {:>6} {:>8} {:>9} {:>16.2}",
-            row.n,
-            row.m,
-            row.rounds,
-            row.matches,
-            row.rounds as f64 / (log2 * log2)
-        )
-        .unwrap();
+    for o in &outputs {
+        all_match &= o.checks_pass();
+        text.push_str(&o.text);
     }
     writeln!(
-        out,
+        text,
         "all forests match the Kruskal oracle at every vertex: {all_match}"
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "rounds = O(log n) phases x (41 + log n) bits: polylog, vs the Θ(n) baseline;"
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "the MST-verification Ω(log n) lower bound of §1.3 is matched in order by the"
     )
     .unwrap();
-    writeln!(out, "per-phase cost already.").unwrap();
-    out
+    writeln!(text, "per-phase cost already.").unwrap();
+    r.param("rows", outputs.len());
+    r.value("all_match", all_match);
+    r.check("all forests match oracle", all_match);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E11 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]

@@ -1,6 +1,9 @@
 //! E1 — Theorem 3.5: the warm-up star distribution. Error of
 //! `t`-round algorithms vs the pigeonhole floor `Ω(3^{−4t})`.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, Value, DEFAULT_SEED,
+};
 use bcc_algorithms::{
     HashVoteDecider, Kt0Upgrade, NeighborIdBroadcast, ParityDecider, Problem, Truncated,
 };
@@ -21,94 +24,244 @@ pub struct StarRow {
     pub errors: Vec<(String, f64)>,
 }
 
-/// Runs the sweep.
+/// Measures one `(n, t)` cell of the sweep.
+pub fn star_row(n: usize, t: usize) -> StarRow {
+    let dist = star_distribution(n);
+    let mut errors = Vec::new();
+    errors.push((
+        "constant-yes".into(),
+        distributional_error(&dist, &ConstantDecision::yes(), t, 0),
+    ));
+    errors.push((
+        "hash-vote(rand)".into(),
+        randomized_error(&dist, &HashVoteDecider::new(t.max(1)), t, &[0, 1, 2, 3, 4]),
+    ));
+    errors.push((
+        "parity-vote".into(),
+        distributional_error(&dist, &ParityDecider::new(t.max(1)), t, 0),
+    ));
+    let truncated = Truncated::new(
+        Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+        t,
+    );
+    errors.push((
+        "truncated-real".into(),
+        distributional_error(&dist, &truncated, t, 0),
+    ));
+    StarRow {
+        n,
+        t,
+        floor: star_error_floor(n, t),
+        errors,
+    }
+}
+
+/// Runs the sweep serially (test/back-compat entry point).
 pub fn sweep(ns: &[usize], ts: &[usize]) -> Vec<StarRow> {
     let mut rows = Vec::new();
     for &n in ns {
-        let dist = star_distribution(n);
         for &t in ts {
-            let mut errors = Vec::new();
-            errors.push((
-                "constant-yes".into(),
-                distributional_error(&dist, &ConstantDecision::yes(), t, 0),
-            ));
-            errors.push((
-                "hash-vote(rand)".into(),
-                randomized_error(&dist, &HashVoteDecider::new(t.max(1)), t, &[0, 1, 2, 3, 4]),
-            ));
-            errors.push((
-                "parity-vote".into(),
-                distributional_error(&dist, &ParityDecider::new(t.max(1)), t, 0),
-            ));
-            let truncated = Truncated::new(
-                Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
-                t,
-            );
-            errors.push((
-                "truncated-real".into(),
-                distributional_error(&dist, &truncated, t, 0),
-            ));
-            rows.push(StarRow {
-                n,
-                t,
-                floor: star_error_floor(n, t),
-                errors,
-            });
+            rows.push(star_row(n, t));
         }
     }
     rows
 }
 
-/// The E1 report.
-pub fn report(quick: bool) -> String {
-    let (ns, ts): (&[usize], &[usize]) = if quick {
+fn grid(quick: bool) -> (&'static [usize], &'static [usize]) {
+    if quick {
         (&[27, 54], &[0, 1, 2])
     } else {
         // Each row materializes C(n/3, 2) crossed instances whose
         // KT-0 port tables are Θ(n²); n = 108 keeps the sweep inside
         // ~100 MB while still separating the 9^{-t} floor decay.
         (&[27, 54, 108], &[0, 1, 2, 3])
-    };
-    let rows = sweep(ns, ts);
-    let mut out = String::new();
-    writeln!(out, "== E1: Theorem 3.5 star distribution — error vs t ==").unwrap();
-    writeln!(out, "floor = C(s',2)/(2 C(s,2)), s = n/3, s' = ceil(s/9^t); full algorithm needs ~4 log2(n) rounds").unwrap();
-    writeln!(out, "{:>5} {:>3} {:>10}  errors", "n", "t", "floor").unwrap();
-    for r in &rows {
-        let errs: Vec<String> = r
-            .errors
-            .iter()
-            .map(|(name, e)| format!("{name}={e:.4}"))
-            .collect();
-        writeln!(
-            out,
-            "{:>5} {:>3} {:>10.5}  {}",
-            r.n,
-            r.t,
-            r.floor,
-            errs.join("  ")
-        )
-        .unwrap();
     }
-    // Shape check: every measured error ≥ min(floor, 1/2).
-    let ok = rows
-        .iter()
-        .all(|r| r.errors.iter().all(|&(_, e)| e + 1e-9 >= r.floor.min(0.5)));
-    writeln!(out, "all measured errors >= min(floor, 1/2): {ok}").unwrap();
+}
 
+/// Coins averaged into the `hash-vote(rand)` column.
+const HASH_VOTE_COINS: [u64; 5] = [0, 1, 2, 3, 4];
+
+/// One measured error (one algorithm, or one hash-vote coin) of one
+/// `(n, t)` cell — the unit of parallelism. Each piece rebuilds the
+/// star distribution (cheap next to the error evaluation) so pieces
+/// are fully independent.
+fn piece_output(shard: u32, n: usize, t: usize, algo: &str, coin: Option<u64>) -> JobOutput {
+    let dist = star_distribution(n);
+    let error = match (algo, coin) {
+        ("constant-yes", _) => distributional_error(&dist, &ConstantDecision::yes(), t, 0),
+        ("hash-vote(rand)", Some(c)) => {
+            distributional_error(&dist, &HashVoteDecider::new(t.max(1)), t, c)
+        }
+        ("parity-vote", _) => distributional_error(&dist, &ParityDecider::new(t.max(1)), t, 0),
+        ("truncated-real", _) => {
+            let truncated = Truncated::new(
+                Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+                t,
+            );
+            distributional_error(&dist, &truncated, t, 0)
+        }
+        _ => unreachable!("unknown e1 piece {algo:?}"),
+    };
+    let floor = star_error_floor(n, t);
+    let label = match coin {
+        Some(c) => format!("n={n} t={t} {algo} c={c}"),
+        None => format!("n={n} t={t} {algo}"),
+    };
+    let mut out = JobOutput::new("e1", shard, label)
+        .value("n", n)
+        .value("t", t)
+        .value("floor", floor)
+        .value("algo", algo)
+        .value("error", error);
+    if let Some(c) = coin {
+        out = out.value("coin", c);
+    }
+    // Each piece is a deterministic algorithm (a coin pins hash-vote),
+    // so Theorem 3.5's floor applies to it individually already.
+    out.check("error >= min(floor, 1/2)", error + 1e-9 >= floor.min(0.5))
+}
+
+/// One job per `(n, t, algorithm)` piece — hash-vote split further
+/// per coin — plus a final transition job bracketing the bound from
+/// above with the full-round algorithm. Fine shards keep the pool's
+/// critical path short; `reduce` reassembles the `(n, t)` rows.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    let (ns, ts) = grid(quick);
+    let mut jobs = Vec::new();
+    let mut shard = 0u32;
+    let mut push = |jobs: &mut Vec<ExpJob>, n: usize, t: usize, algo: &'static str, coin| {
+        let s = shard;
+        jobs.push(ExpJob::new(
+            "e1",
+            s,
+            match coin {
+                Some(c) => format!("n={n} t={t} {algo} c={c}"),
+                None => format!("n={n} t={t} {algo}"),
+            },
+            job_seed(suite_seed, "e1", s),
+            move |_ctx| piece_output(s, n, t, algo, coin),
+        ));
+        shard += 1;
+    };
+    for &n in ns {
+        for &t in ts {
+            push(&mut jobs, n, t, "constant-yes", None);
+            for &c in &HASH_VOTE_COINS {
+                push(&mut jobs, n, t, "hash-vote(rand)", Some(c));
+            }
+            push(&mut jobs, n, t, "parity-vote", None);
+            push(&mut jobs, n, t, "truncated-real", None);
+        }
+    }
+    let shard = shard;
     // The transition: once t reaches the real algorithm's round count
     // (4·⌈log₂ n⌉ on 2-regular inputs), its error drops to zero —
     // bracketing the lower bound from above.
     let n = ns[0];
-    let t_full = 4 * bcc_model::codec::bits_needed(n);
-    let dist = star_distribution(n);
-    let full = Truncated::new(
-        Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
-        t_full,
-    );
-    let e_full = distributional_error(&dist, &full, t_full, 0);
-    writeln!(out, "transition at n={n}: truncated-real error at t={t_full} is {e_full:.4} (was 0.5 for t << log n)").unwrap();
-    out
+    jobs.push(ExpJob::new(
+        "e1",
+        shard,
+        "transition",
+        job_seed(suite_seed, "e1", shard),
+        move |_ctx| {
+            let t_full = 4 * bcc_model::codec::bits_needed(n);
+            let dist = star_distribution(n);
+            let full = Truncated::new(
+                Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+                t_full,
+            );
+            let e_full = distributional_error(&dist, &full, t_full, 0);
+            JobOutput::new("e1", shard, "transition")
+                .value("n", n)
+                .value("t_full", t_full)
+                .value("err_full", e_full)
+                .check("full algorithm exact", e_full == 0.0)
+                .text(format!(
+                    "transition at n={n}: truncated-real error at t={t_full} is {e_full:.4} (was 0.5 for t << log n)\n"
+                ))
+        },
+    ));
+    jobs
+}
+
+/// Assembles the E1 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new("e1", "Theorem 3.5 star distribution — error vs t");
+    let mut text = String::new();
+    writeln!(text, "== E1: Theorem 3.5 star distribution — error vs t ==").unwrap();
+    writeln!(text, "floor = C(s',2)/(2 C(s,2)), s = n/3, s' = ceil(s/9^t); full algorithm needs ~4 log2(n) rounds").unwrap();
+    writeln!(text, "{:>5} {:>3} {:>10}  errors", "n", "t", "floor").unwrap();
+    let (pieces, rest): (Vec<&JobOutput>, Vec<&JobOutput>) =
+        outputs.iter().partition(|o| o.label != "transition");
+    // Reassemble each (n, t) row from its per-algorithm pieces; the
+    // hash-vote coins average in shard (= coin) order, matching
+    // `randomized_error` bit for bit.
+    let mut all_above = true;
+    let mut num_rows = 0usize;
+    let mut i = 0;
+    while i < pieces.len() {
+        let (n, t) = (pieces[i].int("n"), pieces[i].int("t"));
+        let mut j = i;
+        while j < pieces.len() && pieces[j].int("n") == n && pieces[j].int("t") == t {
+            j += 1;
+        }
+        let cell = &pieces[i..j];
+        let floor = cell[0].float("floor").unwrap_or(0.0);
+        let mut errors: Vec<(String, f64)> = Vec::new();
+        let (mut hash_sum, mut hash_count, mut hash_pos) = (0.0f64, 0usize, None);
+        for o in cell {
+            let algo = match o.get("algo") {
+                Some(Value::Str(s)) => s.as_str(),
+                _ => continue,
+            };
+            let e = o.float("error").unwrap_or(0.0);
+            if algo == "hash-vote(rand)" {
+                if hash_pos.is_none() {
+                    hash_pos = Some(errors.len());
+                    errors.push((algo.to_string(), 0.0));
+                }
+                hash_sum += e;
+                hash_count += 1;
+            } else {
+                errors.push((algo.to_string(), e));
+            }
+        }
+        if let Some(p) = hash_pos {
+            errors[p].1 = hash_sum / hash_count as f64;
+        }
+        let errs: Vec<String> = errors
+            .iter()
+            .map(|(name, e)| format!("{name}={e:.4}"))
+            .collect();
+        writeln!(
+            text,
+            "{:>5} {:>3} {:>10.5}  {}",
+            n.unwrap_or(0),
+            t.unwrap_or(0),
+            floor,
+            errs.join("  ")
+        )
+        .unwrap();
+        all_above &= errors.iter().all(|&(_, e)| e + 1e-9 >= floor.min(0.5));
+        num_rows += 1;
+        i = j;
+    }
+    writeln!(text, "all measured errors >= min(floor, 1/2): {all_above}").unwrap();
+    for o in &rest {
+        text.push_str(&o.text);
+    }
+    r.param("rows", num_rows);
+    r.value("all_errors_above_floor", all_above);
+    r.check("all errors above floor", all_above);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E1 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]

@@ -2,6 +2,9 @@
 //! graph, its degree census, expansion, k-matchings, and measured
 //! distributional error.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_algorithms::{
     HashVoteDecider, Kt0Upgrade, NeighborIdBroadcast, ParityDecider, Problem, Truncated,
 };
@@ -33,112 +36,211 @@ pub struct IndistRow {
     pub expansion: f64,
 }
 
-/// Builds the structural series.
-pub fn structure(ns: &[usize]) -> Vec<IndistRow> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
-    ns.iter()
-        .map(|&n| {
-            let g = IndistGraph::round_zero(n);
-            let harmonic: f64 = (3..=n / 2)
-                .map(|i| {
-                    let per = if 2 * i == n { n as f64 / 2.0 } else { n as f64 };
-                    per / (2.0 * i as f64 * (n - i) as f64)
-                })
-                .sum();
-            let sizes = [1, 2, g.v2_len() / 4 + 1, g.v2_len()];
-            IndistRow {
-                n,
-                v1: g.v1_len(),
-                v2: g.v2_len(),
-                ratio: g.count_ratio(),
-                harmonic,
-                degrees_exact: lemma_3_9_degree_check(&g),
-                k_v2: g.max_k_matching_v2(1 + g.v1_len() / g.v2_len().max(1)),
-                expansion: g.sampled_expansion_v2(&sizes, 8, &mut rng),
-            }
+/// Builds the structural row for one `n` with the given sampling RNG.
+pub fn structure_row(n: usize, rng: &mut rand::rngs::StdRng) -> IndistRow {
+    let g = IndistGraph::round_zero(n);
+    let harmonic: f64 = (3..=n / 2)
+        .map(|i| {
+            let per = if 2 * i == n { n as f64 / 2.0 } else { n as f64 };
+            per / (2.0 * i as f64 * (n - i) as f64)
         })
-        .collect()
+        .sum();
+    let sizes = [1, 2, g.v2_len() / 4 + 1, g.v2_len()];
+    IndistRow {
+        n,
+        v1: g.v1_len(),
+        v2: g.v2_len(),
+        ratio: g.count_ratio(),
+        harmonic,
+        degrees_exact: lemma_3_9_degree_check(&g),
+        k_v2: g.max_k_matching_v2(1 + g.v1_len() / g.v2_len().max(1)),
+        expansion: g.sampled_expansion_v2(&sizes, 8, rng),
+    }
 }
 
-/// The E2 report.
-pub fn report(quick: bool) -> String {
-    let ns: &[usize] = if quick { &[6, 7] } else { &[6, 7, 8, 9] };
-    let rows = structure(ns);
-    let mut out = String::new();
+/// Builds the structural series (serial entry point with a fixed RNG).
+pub fn structure(ns: &[usize]) -> Vec<IndistRow> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    ns.iter().map(|&n| structure_row(n, &mut rng)).collect()
+}
+
+fn sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[6, 7]
+    } else {
+        &[6, 7, 8, 9]
+    }
+}
+
+/// One structure job per `n`, a `T_i` census job at the largest `n`,
+/// and one error-measurement job per round budget.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    let ns = sizes(quick);
+    let mut jobs = Vec::new();
+    let mut shard = 0u32;
+    for &n in ns {
+        jobs.push(ExpJob::new(
+            "e2",
+            shard,
+            format!("structure n={n}"),
+            job_seed(suite_seed, "e2", shard),
+            move |ctx| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+                let r = structure_row(n, &mut rng);
+                let text = format!(
+                    "{:>3} {:>8} {:>8} {:>8.4} {:>9.4} {:>8} {:>5} {:>9.3}\n",
+                    r.n, r.v1, r.v2, r.ratio, r.harmonic, r.degrees_exact, r.k_v2, r.expansion
+                );
+                JobOutput::new("e2", shard, format!("structure n={n}"))
+                    .value("n", r.n)
+                    .value("v1", r.v1)
+                    .value("v2", r.v2)
+                    .value("ratio", r.ratio)
+                    .value("harmonic", r.harmonic)
+                    .value("k_v2", r.k_v2)
+                    .value("expansion", r.expansion)
+                    .check("degree formulas exact", r.degrees_exact)
+                    .check(
+                        "ratio matches harmonic",
+                        (r.ratio - r.harmonic).abs() < 1e-9,
+                    )
+                    .check("expansion >= 1", r.expansion >= 1.0)
+                    .text(text)
+            },
+        ));
+        shard += 1;
+    }
+
+    // T_i census at the largest n.
+    let n_big = *ns.last().unwrap();
+    jobs.push(ExpJob::new(
+        "e2",
+        shard,
+        format!("census n={n_big}"),
+        job_seed(suite_seed, "e2", shard),
+        move |_ctx| {
+            let g = IndistGraph::round_zero(n_big);
+            let mut text = String::new();
+            writeln!(
+                text,
+                "-- |T_i| census at n={n_big} (measured vs exact prediction)"
+            )
+            .unwrap();
+            let mut exact = true;
+            let mut out = JobOutput::new("e2", shard, format!("census n={n_big}"));
+            for (i, count, pred) in lemma_3_9_t_counts(&g) {
+                writeln!(text, "   i={i}: {count} vs {pred:.1}").unwrap();
+                exact &= (count as f64 - pred).abs() < 0.5;
+                out = out.value(format!("T_{i}"), count);
+            }
+            out.check("census matches prediction", exact).text(text)
+        },
+    ));
+    shard += 1;
+
+    // Distributional error of the algorithm library at t = 1, 2.
+    let n_err = if quick { 6 } else { 7 };
+    for t in [1usize, 2] {
+        jobs.push(ExpJob::new(
+            "e2",
+            shard,
+            format!("error t={t}"),
+            job_seed(suite_seed, "e2", shard),
+            move |_ctx| {
+                let dist = uniform_two_cycle_distribution(n_err);
+                let trunc = Truncated::new(
+                    Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+                    t,
+                );
+                let rows = [
+                    (
+                        "constant-yes".to_string(),
+                        distributional_error(&dist, &ConstantDecision::yes(), t, 0),
+                    ),
+                    (
+                        "hash-vote".to_string(),
+                        distributional_error(&dist, &HashVoteDecider::new(t), t, 0),
+                    ),
+                    (
+                        "parity-vote".to_string(),
+                        distributional_error(&dist, &ParityDecider::new(t), t, 0),
+                    ),
+                    (
+                        "truncated-real".to_string(),
+                        distributional_error(&dist, &trunc, t, 0),
+                    ),
+                ];
+                let s: Vec<String> = rows.iter().map(|(n, e)| format!("{n}={e:.4}")).collect();
+                let mut out = JobOutput::new("e2", shard, format!("error t={t}"))
+                    .value("n", n_err)
+                    .value("t", t);
+                for (name, e) in &rows {
+                    out = out.value(format!("err:{name}"), *e);
+                }
+                out.text(format!("   t={t}: {}\n", s.join("  ")))
+            },
+        ));
+        shard += 1;
+    }
+    jobs
+}
+
+/// Assembles the E2 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new(
+        "e2",
+        "indistinguishability graph structure (Lemmas 3.7-3.9, Thm 2.1)",
+    );
+    let mut text = String::new();
     writeln!(
-        out,
+        text,
         "== E2: indistinguishability graph structure (Lemmas 3.7-3.9, Thm 2.1) =="
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "{:>3} {:>8} {:>8} {:>8} {:>9} {:>8} {:>5} {:>9}",
         "n", "|V1|", "|V2|", "V2/V1", "harmonic", "degrees", "k(V2)", "expansion"
     )
     .unwrap();
-    for r in &rows {
-        writeln!(
-            out,
-            "{:>3} {:>8} {:>8} {:>8.4} {:>9.4} {:>8} {:>5} {:>9.3}",
-            r.n, r.v1, r.v2, r.ratio, r.harmonic, r.degrees_exact, r.k_v2, r.expansion
-        )
-        .unwrap();
+    for o in outputs.iter().filter(|o| o.label.starts_with("structure")) {
+        text.push_str(&o.text);
     }
     writeln!(
-        out,
+        text,
         "ratio == harmonic prediction exactly; Θ(log n) growth (harmonic_tail({}) = {:.3})",
         64,
         harmonic_tail(64)
     )
     .unwrap();
-
-    // T_i census at the largest n.
-    let n_big = *ns.last().unwrap();
-    let g = IndistGraph::round_zero(n_big);
-    writeln!(
-        out,
-        "-- |T_i| census at n={n_big} (measured vs exact prediction)"
-    )
-    .unwrap();
-    for (i, count, pred) in lemma_3_9_t_counts(&g) {
-        writeln!(out, "   i={i}: {count} vs {pred:.1}").unwrap();
+    for o in outputs.iter().filter(|o| o.label.starts_with("census")) {
+        text.push_str(&o.text);
     }
-
-    // Distributional error of the algorithm library at t = 1, 2.
-    let n_err = if quick { 6 } else { 7 };
-    let dist = uniform_two_cycle_distribution(n_err);
-    writeln!(
-        out,
-        "-- Theorem 3.1 error measurements at n={n_err} (uniform V1/V2 distribution)"
-    )
-    .unwrap();
-    for t in [1usize, 2] {
-        let trunc = Truncated::new(
-            Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
-            t,
-        );
-        let rows = [
-            (
-                "constant-yes".to_string(),
-                distributional_error(&dist, &ConstantDecision::yes(), t, 0),
-            ),
-            (
-                "hash-vote".to_string(),
-                distributional_error(&dist, &HashVoteDecider::new(t), t, 0),
-            ),
-            (
-                "parity-vote".to_string(),
-                distributional_error(&dist, &ParityDecider::new(t), t, 0),
-            ),
-            (
-                "truncated-real".to_string(),
-                distributional_error(&dist, &trunc, t, 0),
-            ),
-        ];
-        let s: Vec<String> = rows.iter().map(|(n, e)| format!("{n}={e:.4}")).collect();
-        writeln!(out, "   t={t}: {}", s.join("  ")).unwrap();
+    if let Some(err0) = outputs.iter().find(|o| o.label.starts_with("error")) {
+        writeln!(
+            text,
+            "-- Theorem 3.1 error measurements at n={} (uniform V1/V2 distribution)",
+            err0.int("n").unwrap_or(0)
+        )
+        .unwrap();
     }
-    out
+    for o in outputs.iter().filter(|o| o.label.starts_with("error")) {
+        text.push_str(&o.text);
+    }
+    let structures = outputs
+        .iter()
+        .filter(|o| o.label.starts_with("structure"))
+        .count();
+    r.param("structure_rows", structures);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E2 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]
@@ -158,5 +260,13 @@ mod tests {
         }
         // Ratio grows with n (the Θ(log n) trend).
         assert!(rows[1].ratio > rows[0].ratio);
+    }
+
+    #[test]
+    fn reduced_report_passes() {
+        use crate::job::{run_jobs_serial, DEFAULT_SEED};
+        let rep = super::reduce(run_jobs_serial(&super::jobs(true, DEFAULT_SEED)));
+        assert!(rep.passed, "failed checks: {:?}", rep.checks);
+        assert!(rep.text.contains("harmonic"));
     }
 }

@@ -1,5 +1,8 @@
 //! E3 — Theorem 2.3 and Lemma 4.1: exact ranks of `M_n` and `E_n`.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_comm::bounds::certify_rank;
 use bcc_partitions::matrices::{partition_join_matrix, two_partition_matrix};
 use bcc_partitions::numbers::{bell_number, log2_bell, num_matching_partitions};
@@ -24,69 +27,131 @@ pub struct RankRow {
     pub n_log_n: f64,
 }
 
+fn m_row(n: usize) -> RankRow {
+    let jm = partition_join_matrix(n);
+    let cert = certify_rank(&jm);
+    RankRow {
+        matrix: "M",
+        n,
+        dim: cert.dim,
+        rank: cert.rank,
+        rank_gf2: jm.to_gf2().rank(),
+        log2_rank: cert.comm_lower_bound_bits,
+        n_log_n: n as f64 * (n.max(2) as f64).log2(),
+    }
+}
+
+fn e_row(n: usize) -> RankRow {
+    let jm = two_partition_matrix(n);
+    let cert = certify_rank(&jm);
+    RankRow {
+        matrix: "E",
+        n,
+        dim: cert.dim,
+        rank: cert.rank,
+        rank_gf2: jm.to_gf2().rank(),
+        log2_rank: cert.comm_lower_bound_bits,
+        n_log_n: n as f64 * (n.max(2) as f64).log2(),
+    }
+}
+
 /// The M_n series (keep `n ≤ 7`: `B_7 = 877`).
 pub fn m_series(max_n: usize) -> Vec<RankRow> {
-    (1..=max_n)
-        .map(|n| {
-            let jm = partition_join_matrix(n);
-            let cert = certify_rank(&jm);
-            RankRow {
-                matrix: "M",
-                n,
-                dim: cert.dim,
-                rank: cert.rank,
-                rank_gf2: jm.to_gf2().rank(),
-                log2_rank: cert.comm_lower_bound_bits,
-                n_log_n: n as f64 * (n.max(2) as f64).log2(),
-            }
-        })
-        .collect()
+    (1..=max_n).map(m_row).collect()
 }
 
 /// The E_n series (keep `n ≤ 10`: `9!! = 945`).
 pub fn e_series(max_n: usize) -> Vec<RankRow> {
-    (1..=max_n / 2)
-        .map(|k| {
-            let n = 2 * k;
-            let jm = two_partition_matrix(n);
-            let cert = certify_rank(&jm);
-            RankRow {
-                matrix: "E",
-                n,
-                dim: cert.dim,
-                rank: cert.rank,
-                rank_gf2: jm.to_gf2().rank(),
-                log2_rank: cert.comm_lower_bound_bits,
-                n_log_n: n as f64 * (n.max(2) as f64).log2(),
-            }
-        })
-        .collect()
+    (1..=max_n / 2).map(|k| e_row(2 * k)).collect()
 }
 
-/// The E3 report.
-pub fn report(quick: bool) -> String {
-    let (m_max, e_max) = if quick { (5, 6) } else { (7, 10) };
-    let mut out = String::new();
-    writeln!(out, "== E3: rank certificates (Theorem 2.3, Lemma 4.1) ==").unwrap();
+fn row_output(shard: u32, row: &RankRow) -> JobOutput {
+    let text = format!(
+        "{:>3} {:>3} {:>7} {:>7} {:>8} {:>10.2} {:>9.2}\n",
+        row.matrix, row.n, row.dim, row.rank, row.rank_gf2, row.log2_rank, row.n_log_n
+    );
+    JobOutput::new("e3", shard, format!("{} n={}", row.matrix, row.n))
+        .value("matrix", row.matrix)
+        .value("n", row.n)
+        .value("dim", row.dim)
+        .value("rank", row.rank)
+        .value("rank_gf2", row.rank_gf2)
+        .value("log2_rank", row.log2_rank)
+        .check("full rank over GF(2^61-1)", row.rank == row.dim)
+        .text(text)
+}
+
+fn bounds(quick: bool) -> (usize, usize) {
+    if quick {
+        (5, 6)
+    } else {
+        (7, 10)
+    }
+}
+
+/// One rank-certificate job per matrix instance (`M_1..M_max`,
+/// `E_2, E_4, ..`): the rank computations are independent and the
+/// larger ones dominate the runtime, so they parallelize well.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    let (m_max, e_max) = bounds(quick);
+    let mut jobs = Vec::new();
+    let mut shard = 0u32;
+    for n in 1..=m_max {
+        jobs.push(ExpJob::new(
+            "e3",
+            shard,
+            format!("M n={n}"),
+            job_seed(suite_seed, "e3", shard),
+            move |_ctx| row_output(shard, &m_row(n)),
+        ));
+        shard += 1;
+    }
+    for k in 1..=e_max / 2 {
+        let n = 2 * k;
+        jobs.push(ExpJob::new(
+            "e3",
+            shard,
+            format!("E n={n}"),
+            job_seed(suite_seed, "e3", shard),
+            move |_ctx| row_output(shard, &e_row(n)),
+        ));
+        shard += 1;
+    }
+    jobs
+}
+
+/// Assembles the E3 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new("e3", "rank certificates (Theorem 2.3, Lemma 4.1)");
+    let mut text = String::new();
+    writeln!(text, "== E3: rank certificates (Theorem 2.3, Lemma 4.1) ==").unwrap();
     writeln!(
-        out,
+        text,
         "{:>3} {:>3} {:>7} {:>7} {:>8} {:>10} {:>9}",
         "mat", "n", "dim", "rank", "rankGF2", "log2 rank", "n log2 n"
     )
     .unwrap();
     let mut all_full = true;
-    for row in m_series(m_max).into_iter().chain(e_series(e_max)) {
-        all_full &= row.rank == row.dim;
-        writeln!(
-            out,
-            "{:>3} {:>3} {:>7} {:>7} {:>8} {:>10.2} {:>9.2}",
-            row.matrix, row.n, row.dim, row.rank, row.rank_gf2, row.log2_rank, row.n_log_n
-        )
-        .unwrap();
+    for o in &outputs {
+        all_full &= o.checks_pass();
+        text.push_str(&o.text);
     }
-    writeln!(out, "all matrices full rank over GF(2^61-1): {all_full}").unwrap();
+    writeln!(text, "all matrices full rank over GF(2^61-1): {all_full}").unwrap();
+    let m_max = outputs
+        .iter()
+        .filter(|o| o.label.starts_with('M'))
+        .filter_map(|o| o.int("n"))
+        .max()
+        .unwrap_or(0) as usize;
+    let e_max = outputs
+        .iter()
+        .filter(|o| o.label.starts_with('E'))
+        .filter_map(|o| o.int("n"))
+        .max()
+        .unwrap_or(0) as usize;
     writeln!(
-        out,
+        text,
         "dim checks: B_n = {:?}; (n-1)!! = {:?}",
         (1..=m_max).map(bell_number).collect::<Vec<_>>(),
         (1..=e_max / 2)
@@ -95,12 +160,23 @@ pub fn report(quick: bool) -> String {
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "asymptotic shape: log2 B_n / (n log2 n) -> const; e.g. n=30: {:.3}",
         log2_bell(30) / (30.0 * 30f64.log2())
     )
     .unwrap();
-    out
+    r.param("m_max", m_max);
+    r.param("e_max", e_max);
+    r.value("all_full_rank", all_full);
+    r.check("all matrices full rank", all_full);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E3 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]

@@ -1,6 +1,9 @@
 //! E4 — Corollaries 2.4 / 4.2: the trivial protocol's measured cost vs
 //! the log-rank lower bound.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_comm::bounds::{certify_rank, exact_deterministic_cc};
 use bcc_comm::driver::run_protocol;
 use bcc_comm::protocols::{TrivialJoinAlice, TrivialJoinBob};
@@ -55,106 +58,195 @@ pub fn measure_trivial_cost(n: usize, samples: usize, seed: u64) -> usize {
     worst
 }
 
-/// Builds the series. For `n ≤ rank_max` the lower bound is the exact
+/// Builds one row. For `n ≤ rank_max` the lower bound is the exact
 /// rank; beyond it is `log₂ B_n` (the rank value Theorem 2.3
 /// guarantees).
-pub fn series(ns: &[usize], rank_max: usize) -> Vec<CostRow> {
-    ns.iter()
-        .map(|&n| {
-            let lower = if n <= rank_max {
-                certify_rank(&partition_join_matrix(n)).comm_lower_bound_bits
-            } else {
-                log2_bell(n)
-            };
-            let upper = measure_trivial_cost(n, 16, 7);
-            CostRow {
-                n,
-                upper_bits: upper,
-                lower_bits: lower,
-                gap: upper as f64 / lower.max(1e-9),
-            }
-        })
-        .collect()
+pub fn cost_row(n: usize, rank_max: usize, seed: u64) -> CostRow {
+    let lower = if n <= rank_max {
+        certify_rank(&partition_join_matrix(n)).comm_lower_bound_bits
+    } else {
+        log2_bell(n)
+    };
+    let upper = measure_trivial_cost(n, 16, seed);
+    CostRow {
+        n,
+        upper_bits: upper,
+        lower_bits: lower,
+        gap: upper as f64 / lower.max(1e-9),
+    }
 }
 
-/// The E4 report.
-pub fn report(quick: bool) -> String {
-    let (ns, rank_max): (&[usize], usize) = if quick {
+/// Builds the series (serial entry point with the historical seed).
+pub fn series(ns: &[usize], rank_max: usize) -> Vec<CostRow> {
+    ns.iter().map(|&n| cost_row(n, rank_max, 7)).collect()
+}
+
+fn grid(quick: bool) -> (&'static [usize], usize) {
+    if quick {
         (&[4, 6, 8, 16], 5)
     } else {
         (&[4, 6, 8, 16, 32, 64, 128], 6)
-    };
-    let rows = series(ns, rank_max);
-    let mut out = String::new();
+    }
+}
+
+/// One cost-measurement job per `n`, plus the exhaustive-correctness
+/// sweep, the `E_6` certificate, and two exact protocol-tree searches.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    let (ns, rank_max) = grid(quick);
+    let mut jobs = Vec::new();
+    let mut shard = 0u32;
+    for &n in ns {
+        jobs.push(ExpJob::new(
+            "e4",
+            shard,
+            format!("cost n={n}"),
+            job_seed(suite_seed, "e4", shard),
+            move |ctx| {
+                let r = cost_row(n, rank_max, ctx.seed);
+                let text = format!(
+                    "{:>5} {:>11} {:>11.2} {:>7.2}\n",
+                    r.n, r.upper_bits, r.lower_bits, r.gap
+                );
+                JobOutput::new("e4", shard, format!("cost n={n}"))
+                    .value("n", r.n)
+                    .value("upper_bits", r.upper_bits)
+                    .value("lower_bits", r.lower_bits)
+                    .value("gap", r.gap)
+                    .check("upper >= lower", r.upper_bits as f64 + 1e-9 >= r.lower_bits)
+                    .text(text)
+            },
+        ));
+        shard += 1;
+    }
+
+    // Correctness sweep of the trivial protocol on all pairs at n = 4,
+    // and the TwoPartition bound.
+    jobs.push(ExpJob::new(
+        "e4",
+        shard,
+        "exhaustive n=4",
+        job_seed(suite_seed, "e4", shard),
+        move |_ctx| {
+            let mut ok = 0usize;
+            let mut total = 0usize;
+            for pa in all_partitions(4) {
+                for pb in all_partitions(4) {
+                    let mut alice = TrivialJoinAlice::new(pa.clone());
+                    let mut bob = TrivialJoinBob::new(pb.clone());
+                    let run = run_protocol(&mut alice, &mut bob, 8);
+                    total += 1;
+                    if run.bob_output == Some(pa.join(&pb).is_trivial()) {
+                        ok += 1;
+                    }
+                }
+            }
+            JobOutput::new("e4", shard, "exhaustive n=4")
+                .value("ok", ok)
+                .value("total", total)
+                .check("exhaustively correct", ok == total)
+                .text(format!(
+                    "trivial protocol exhaustive correctness at n=4: {ok}/{total}\n"
+                ))
+        },
+    ));
+    shard += 1;
+
+    jobs.push(ExpJob::new(
+        "e4",
+        shard,
+        "E_6 certificate",
+        job_seed(suite_seed, "e4", shard),
+        move |_ctx| {
+            let e6 = certify_rank(&two_partition_matrix(6));
+            JobOutput::new("e4", shard, "E_6 certificate")
+                .value("rank", e6.rank)
+                .value("dim", e6.dim)
+                .value("lower_bound_bits", e6.comm_lower_bound_bits)
+                .check("E_6 full rank", e6.rank == e6.dim)
+                .text(format!(
+                    "TwoPartition (E_6): rank {}/{} -> lower bound {:.2} bits\n",
+                    e6.rank, e6.dim, e6.comm_lower_bound_bits
+                ))
+        },
+    ));
+    shard += 1;
+
+    // Exact D(f) by protocol-tree search on the tiny matrices,
+    // sandwiched between log-rank and the trivial upper bound.
+    for (name, which) in [("M_3", 0usize), ("E_4", 1usize)] {
+        jobs.push(ExpJob::new(
+            "e4",
+            shard,
+            format!("exact D({name})"),
+            job_seed(suite_seed, "e4", shard),
+            move |_ctx| {
+                let jm = if which == 0 {
+                    partition_join_matrix(3)
+                } else {
+                    two_partition_matrix(4)
+                };
+                let d = exact_deterministic_cc(&jm.matrix);
+                let lb = certify_rank(&jm).comm_lower_bound_bits;
+                let trivial = (jm.dim() as f64).log2().ceil() as usize + 1;
+                JobOutput::new("e4", shard, format!("exact D({name})"))
+                    .value("d", d)
+                    .value("log_rank_bound", lb)
+                    .value("trivial_upper", trivial)
+                    .check("D >= log-rank bound", d as f64 + 1e-9 >= lb)
+                    .check("D <= trivial upper", d <= trivial)
+                    .text(format!(
+                        "exact D({name}) = {d} bits (log-rank bound {lb:.2}, trivial upper {trivial})\n"
+                    ))
+            },
+        ));
+        shard += 1;
+    }
+    jobs
+}
+
+/// Assembles the E4 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new(
+        "e4",
+        "2-party Partition — trivial protocol vs log-rank bound",
+    );
+    let mut text = String::new();
     writeln!(
-        out,
+        text,
         "== E4: 2-party Partition — trivial protocol vs log-rank bound =="
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "{:>5} {:>11} {:>11} {:>7}",
         "n", "upper bits", "lower bits", "gap"
     )
     .unwrap();
-    for r in &rows {
-        writeln!(
-            out,
-            "{:>5} {:>11} {:>11.2} {:>7.2}",
-            r.n, r.upper_bits, r.lower_bits, r.gap
-        )
-        .unwrap();
+    for o in outputs.iter().filter(|o| o.label.starts_with("cost")) {
+        text.push_str(&o.text);
     }
     writeln!(
-        out,
+        text,
         "both sides Θ(n log n): gap factor stays bounded as n grows"
     )
     .unwrap();
-
-    // Correctness sweep of the trivial protocol on all pairs at n = 4,
-    // and the TwoPartition bound.
-    let mut ok = 0usize;
-    let mut total = 0usize;
-    for pa in all_partitions(4) {
-        for pb in all_partitions(4) {
-            let mut alice = TrivialJoinAlice::new(pa.clone());
-            let mut bob = TrivialJoinBob::new(pb.clone());
-            let run = run_protocol(&mut alice, &mut bob, 8);
-            total += 1;
-            if run.bob_output == Some(pa.join(&pb).is_trivial()) {
-                ok += 1;
-            }
-        }
+    for o in outputs.iter().filter(|o| !o.label.starts_with("cost")) {
+        text.push_str(&o.text);
     }
-    writeln!(
-        out,
-        "trivial protocol exhaustive correctness at n=4: {ok}/{total}"
-    )
-    .unwrap();
-    let e6 = certify_rank(&two_partition_matrix(6));
-    writeln!(
-        out,
-        "TwoPartition (E_6): rank {}/{} -> lower bound {:.2} bits",
-        e6.rank, e6.dim, e6.comm_lower_bound_bits
-    )
-    .unwrap();
+    let rows = outputs
+        .iter()
+        .filter(|o| o.label.starts_with("cost"))
+        .count();
+    r.param("cost_rows", rows);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
 
-    // Exact D(f) by protocol-tree search on the tiny matrices,
-    // sandwiched between log-rank and the trivial upper bound.
-    for (name, jm) in [
-        ("M_3", partition_join_matrix(3)),
-        ("E_4", two_partition_matrix(4)),
-    ] {
-        let d = exact_deterministic_cc(&jm.matrix);
-        let lb = certify_rank(&jm).comm_lower_bound_bits;
-        writeln!(
-            out,
-            "exact D({name}) = {d} bits (log-rank bound {lb:.2}, trivial upper {})",
-            (jm.dim() as f64).log2().ceil() as usize + 1
-        )
-        .unwrap();
-    }
-    out
+/// The E4 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]

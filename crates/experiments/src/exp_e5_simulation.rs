@@ -1,6 +1,9 @@
 //! E5 — Section 4.3 / Theorem 4.4: the Alice/Bob simulation of KT-1
 //! algorithms, its measured cost, and the implied round lower bound.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_algorithms::{NeighborIdBroadcast, Problem};
 use bcc_comm::reduction::Gadget;
 use bcc_comm::simulate::simulate_two_party;
@@ -30,41 +33,42 @@ pub struct SimRow {
     pub correct: bool,
 }
 
-/// Runs the sweep over ground sizes (even `n`).
-pub fn series(ns: &[usize], samples: usize) -> Vec<SimRow> {
+/// Measures one ground-set size with the given sampling RNG.
+pub fn sim_row(n: usize, samples: usize, rng: &mut rand::rngs::StdRng) -> SimRow {
     let algo = NeighborIdBroadcast::new(Problem::MultiCycle);
+    let mut worst_rounds = 0;
+    let mut worst_bits = 0;
+    let mut correct = true;
+    for _ in 0..samples {
+        let pa = uniform_matching_partition(n, rng);
+        let pb = uniform_matching_partition(n, rng);
+        let report = simulate_two_party(Gadget::TwoRegular, &algo, &pa, &pb, 0, 1_000_000);
+        worst_rounds = worst_rounds.max(report.rounds);
+        worst_bits = worst_bits.max(report.bits_exchanged);
+        let expect_yes = pa.join(&pb).is_trivial();
+        correct &= (report.system_decision() == bcc_model::Decision::Yes) == expect_yes;
+    }
+    // Exact rank certificate only feasible for n ≤ 10; the
+    // communication bound log2 (n−1)!! is available for all n via the
+    // closed form (log2_bell bounds it above; use the
+    // double-factorial logarithm directly).
+    let comm_lower = log2_double_factorial(n);
+    let bpr = simulation_bits_per_round(Gadget::TwoRegular, n);
+    SimRow {
+        n,
+        rounds: worst_rounds,
+        bits: worst_bits,
+        bits_per_round: bpr,
+        comm_lower,
+        implied_rounds: comm_lower / bpr as f64,
+        correct,
+    }
+}
+
+/// Runs the sweep over ground sizes (even `n`; serial entry point).
+pub fn series(ns: &[usize], samples: usize) -> Vec<SimRow> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    ns.iter()
-        .map(|&n| {
-            let mut worst_rounds = 0;
-            let mut worst_bits = 0;
-            let mut correct = true;
-            for _ in 0..samples {
-                let pa = uniform_matching_partition(n, &mut rng);
-                let pb = uniform_matching_partition(n, &mut rng);
-                let report = simulate_two_party(Gadget::TwoRegular, &algo, &pa, &pb, 0, 1_000_000);
-                worst_rounds = worst_rounds.max(report.rounds);
-                worst_bits = worst_bits.max(report.bits_exchanged);
-                let expect_yes = pa.join(&pb).is_trivial();
-                correct &= (report.system_decision() == bcc_model::Decision::Yes) == expect_yes;
-            }
-            // Exact rank certificate only feasible for n ≤ 10; the
-            // communication bound log2 (n−1)!! is available for all n
-            // via the closed form (log2_bell bounds it above; use the
-            // double-factorial logarithm directly).
-            let comm_lower = log2_double_factorial(n);
-            let bpr = simulation_bits_per_round(Gadget::TwoRegular, n);
-            SimRow {
-                n,
-                rounds: worst_rounds,
-                bits: worst_bits,
-                bits_per_round: bpr,
-                comm_lower,
-                implied_rounds: comm_lower / bpr as f64,
-                correct,
-            }
-        })
-        .collect()
+    ns.iter().map(|&n| sim_row(n, samples, &mut rng)).collect()
 }
 
 /// `log₂ (n−1)!!` for even `n` (the exact log of rank(E_n)).
@@ -72,60 +76,137 @@ pub fn log2_double_factorial(n: usize) -> f64 {
     (1..n).step_by(2).map(|k| (k as f64).log2()).sum()
 }
 
-/// The E5 report.
-pub fn report(quick: bool) -> String {
-    let ns: &[usize] = if quick {
-        &[4, 6, 8]
+fn grid(quick: bool) -> (&'static [usize], usize) {
+    if quick {
+        (&[4, 6, 8], 4)
     } else {
-        &[4, 6, 8, 12, 16, 24, 32]
-    };
-    let samples = if quick { 4 } else { 8 };
-    let rows = series(ns, samples);
-    let mut out = String::new();
+        (&[4, 6, 8, 12, 16, 24, 32], 8)
+    }
+}
+
+/// One simulation job per ground-set size plus the exact-certificate
+/// job.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    let (ns, samples) = grid(quick);
+    let mut jobs = Vec::new();
+    let mut shard = 0u32;
+    for &n in ns {
+        jobs.push(ExpJob::new(
+            "e5",
+            shard,
+            format!("sim n={n}"),
+            job_seed(suite_seed, "e5", shard),
+            move |ctx| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+                let r = sim_row(n, samples, &mut rng);
+                let text = format!(
+                    "{:>4} {:>7} {:>9} {:>9} {:>10.1} {:>13.2} {:>8}\n",
+                    r.n,
+                    r.rounds,
+                    r.bits,
+                    r.bits_per_round,
+                    r.comm_lower,
+                    r.implied_rounds,
+                    r.correct
+                );
+                JobOutput::new("e5", shard, format!("sim n={n}"))
+                    .value("n", r.n)
+                    .value("rounds", r.rounds)
+                    .value("bits", r.bits)
+                    .value("bits_per_round", r.bits_per_round)
+                    .value("comm_lower", r.comm_lower)
+                    .value("implied_rounds", r.implied_rounds)
+                    .check("simulation correct", r.correct)
+                    .check(
+                        "bits divisible by bits/round",
+                        r.bits.is_multiple_of(r.bits_per_round),
+                    )
+                    .text(text)
+            },
+        ));
+        shard += 1;
+    }
+    let cert_n = if quick { 6 } else { 8 };
+    jobs.push(ExpJob::new(
+        "e5",
+        shard,
+        format!("certificate n={cert_n}"),
+        job_seed(suite_seed, "e5", shard),
+        move |_ctx| {
+            let cert = theorem_4_4_certificate(Gadget::TwoRegular, cert_n);
+            JobOutput::new("e5", shard, format!("certificate n={cert_n}"))
+                .value("n", cert.n)
+                .value("rank", cert.rank.rank)
+                .value("dim", cert.rank.dim)
+                .value("bits_per_round", cert.bits_per_round)
+                .value("round_lower_bound", cert.round_lower_bound)
+                .check("certificate full rank", cert.rank.full_rank)
+                .text(format!(
+                    "exact certificate n={}: rank {}/{} (full: {}), bits/round {}, round LB {}\n",
+                    cert.n,
+                    cert.rank.rank,
+                    cert.rank.dim,
+                    cert.rank.full_rank,
+                    cert.bits_per_round,
+                    cert.round_lower_bound
+                ))
+        },
+    ));
+    jobs
+}
+
+/// Assembles the E5 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new(
+        "e5",
+        "two-party simulation of KT-1 BCC(1) (Section 4.3, Theorem 4.4)",
+    );
+    let mut text = String::new();
     writeln!(
-        out,
+        text,
         "== E5: two-party simulation of KT-1 BCC(1) (Section 4.3, Theorem 4.4) =="
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "{:>4} {:>7} {:>9} {:>9} {:>10} {:>13} {:>8}",
         "n", "rounds", "bits", "bits/rnd", "comm LB", "implied rnds", "correct"
     )
     .unwrap();
-    for r in &rows {
-        writeln!(
-            out,
-            "{:>4} {:>7} {:>9} {:>9} {:>10.1} {:>13.2} {:>8}",
-            r.n, r.rounds, r.bits, r.bits_per_round, r.comm_lower, r.implied_rounds, r.correct
-        )
-        .unwrap();
+    for o in outputs.iter().filter(|o| o.label.starts_with("sim")) {
+        text.push_str(&o.text);
     }
     writeln!(
-        out,
+        text,
         "implied round LB = log2 (n-1)!! / (2N+2) — the Ω(log n) of Theorem 4.4"
     )
     .unwrap();
-    // Exact certificate at a small size.
-    let cert = theorem_4_4_certificate(Gadget::TwoRegular, if quick { 6 } else { 8 });
+    for o in outputs
+        .iter()
+        .filter(|o| o.label.starts_with("certificate"))
+    {
+        text.push_str(&o.text);
+    }
     writeln!(
-        out,
-        "exact certificate n={}: rank {}/{} (full: {}), bits/round {}, round LB {}",
-        cert.n,
-        cert.rank.rank,
-        cert.rank.dim,
-        cert.rank.full_rank,
-        cert.bits_per_round,
-        cert.round_lower_bound
-    )
-    .unwrap();
-    writeln!(
-        out,
+        text,
         "upper bound context: log2 B_n ~ {:.1} bits at n=32 (trivial protocol Θ(n log n))",
         log2_bell(32)
     )
     .unwrap();
-    out
+    let sims = outputs
+        .iter()
+        .filter(|o| o.label.starts_with("sim"))
+        .count();
+    r.param("sim_rows", sims);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E5 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]

@@ -1,82 +1,153 @@
 //! E6 — Theorem 4.5: exact information accounting for
 //! `PartitionComp` under the hard distribution.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_comm::protocols::trivial_message_bits;
 use bcc_core::infobound::{implied_round_lower_bound, partition_comp_information};
 use std::fmt::Write as _;
 
-/// The E6 report.
-pub fn report(quick: bool) -> String {
-    let ns: &[usize] = if quick {
+fn sizes(quick: bool) -> &'static [usize] {
+    if quick {
         &[3, 4, 5]
     } else {
         &[3, 4, 5, 6, 7, 8]
-    };
-    let mut out = String::new();
-    writeln!(
-        out,
-        "== E6: PartitionComp information accounting (Theorem 4.5) =="
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "hard distribution: PA uniform over B_n partitions, PB = finest; exact enumeration"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "{:>3} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>10}",
-        "n", "H(PA)", "H(Pi)", "I(PA;Pi)", "H(PA|Pi)", "|Pi|", "err", "chain"
-    )
-    .unwrap();
+    }
+}
+
+/// One exact-enumeration job per ground-set size plus the bit-budget
+/// sweep at one size.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    let ns = sizes(quick);
+    let mut jobs = Vec::new();
+    let mut shard = 0u32;
     for &n in ns {
-        let r = partition_comp_information(n, None);
-        writeln!(
-            out,
-            "{:>3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>6.3} {:>10}",
-            n,
-            r.input_entropy,
-            r.transcript_entropy,
-            r.mutual_information,
-            r.conditional_entropy,
-            r.max_transcript_bits,
-            r.error,
-            r.chain_holds()
-        )
-        .unwrap();
+        jobs.push(ExpJob::new(
+            "e6",
+            shard,
+            format!("info n={n}"),
+            job_seed(suite_seed, "e6", shard),
+            move |_ctx| {
+                let r = partition_comp_information(n, None);
+                let text = format!(
+                    "{:>3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>6.3} {:>10}\n",
+                    n,
+                    r.input_entropy,
+                    r.transcript_entropy,
+                    r.mutual_information,
+                    r.conditional_entropy,
+                    r.max_transcript_bits,
+                    r.error,
+                    r.chain_holds()
+                );
+                JobOutput::new("e6", shard, format!("info n={n}"))
+                    .value("n", n)
+                    .value("input_entropy", r.input_entropy)
+                    .value("transcript_entropy", r.transcript_entropy)
+                    .value("mutual_information", r.mutual_information)
+                    .value("conditional_entropy", r.conditional_entropy)
+                    .value("max_transcript_bits", r.max_transcript_bits)
+                    .value("error", r.error)
+                    .check("information chain holds", r.chain_holds())
+                    .text(text)
+            },
+        ));
+        shard += 1;
     }
 
     // Budget sweep at one size: information rises to H(PA), error
     // falls to 0 only once the budget covers Alice's message.
     let n = if quick { 4 } else { 5 };
-    let full = trivial_message_bits(n);
+    jobs.push(ExpJob::new(
+        "e6",
+        shard,
+        format!("budget sweep n={n}"),
+        job_seed(suite_seed, "e6", shard),
+        move |_ctx| {
+            let full = trivial_message_bits(n);
+            let mut text = String::new();
+            writeln!(
+                text,
+                "-- bit-budget sweep at n={n} (Alice's message = {full} bits)"
+            )
+            .unwrap();
+            writeln!(
+                text,
+                "{:>7} {:>9} {:>6} {:>13}",
+                "budget", "I(PA;Pi)", "err", "implied rnds"
+            )
+            .unwrap();
+            let budgets: Vec<usize> = (0..=full + 2).step_by((full / 6).max(1)).collect();
+            let mut chain_ok = true;
+            let mut final_error = f64::NAN;
+            for b in budgets {
+                let r = partition_comp_information(n, Some(b));
+                writeln!(
+                    text,
+                    "{:>7} {:>9.3} {:>6.3} {:>13.3}",
+                    b,
+                    r.mutual_information,
+                    r.error,
+                    implied_round_lower_bound(&r, 2 * 4 * n + 2)
+                )
+                .unwrap();
+                chain_ok &= r.chain_holds();
+                final_error = r.error;
+            }
+            writeln!(text, "all rows satisfy |Pi| >= H(Pi) >= I >= (1-err)·H(PA)").unwrap();
+            JobOutput::new("e6", shard, format!("budget sweep n={n}"))
+                .value("n", n)
+                .value("alice_message_bits", full)
+                .value("final_error", final_error)
+                .check("chain holds at every budget", chain_ok)
+                .check("error vanishes at full budget", final_error == 0.0)
+                .text(text)
+        },
+    ));
+    jobs
+}
+
+/// Assembles the E6 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new("e6", "PartitionComp information accounting (Theorem 4.5)");
+    let mut text = String::new();
     writeln!(
-        out,
-        "-- bit-budget sweep at n={n} (Alice's message = {full} bits)"
+        text,
+        "== E6: PartitionComp information accounting (Theorem 4.5) =="
     )
     .unwrap();
     writeln!(
-        out,
-        "{:>7} {:>9} {:>6} {:>13}",
-        "budget", "I(PA;Pi)", "err", "implied rnds"
+        text,
+        "hard distribution: PA uniform over B_n partitions, PB = finest; exact enumeration"
     )
     .unwrap();
-    let budgets: Vec<usize> = (0..=full + 2).step_by((full / 6).max(1)).collect();
-    for b in budgets {
-        let r = partition_comp_information(n, Some(b));
-        writeln!(
-            out,
-            "{:>7} {:>9.3} {:>6.3} {:>13.3}",
-            b,
-            r.mutual_information,
-            r.error,
-            implied_round_lower_bound(&r, 2 * 4 * n + 2)
-        )
-        .unwrap();
-        assert!(r.chain_holds(), "chain violated at budget {b}");
+    writeln!(
+        text,
+        "{:>3} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>10}",
+        "n", "H(PA)", "H(Pi)", "I(PA;Pi)", "H(PA|Pi)", "|Pi|", "err", "chain"
+    )
+    .unwrap();
+    for o in outputs.iter().filter(|o| o.label.starts_with("info")) {
+        text.push_str(&o.text);
     }
-    writeln!(out, "all rows satisfy |Pi| >= H(Pi) >= I >= (1-err)·H(PA)").unwrap();
-    out
+    for o in outputs.iter().filter(|o| o.label.starts_with("budget")) {
+        text.push_str(&o.text);
+    }
+    let infos = outputs
+        .iter()
+        .filter(|o| o.label.starts_with("info"))
+        .count();
+    r.param("info_rows", infos);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E6 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]
@@ -86,5 +157,12 @@ mod tests {
         let r = super::report(true);
         assert!(r.contains("all rows satisfy"));
         assert!(!r.contains("false"));
+    }
+
+    #[test]
+    fn reduced_report_passes() {
+        use crate::job::{run_jobs_serial, DEFAULT_SEED};
+        let rep = super::reduce(run_jobs_serial(&super::jobs(true, DEFAULT_SEED)));
+        assert!(rep.passed, "failed checks: {:?}", rep.checks);
     }
 }

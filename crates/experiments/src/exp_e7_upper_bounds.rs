@@ -1,6 +1,9 @@
 //! E7 — the tightness side: measured round counts of the upper-bound
 //! algorithms on the paper's instance families.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_algorithms::{
     BoruvkaMinLabel, FullGraphBroadcast, Kt0Upgrade, NeighborIdBroadcast, Problem,
 };
@@ -26,97 +29,158 @@ pub struct UpperRow {
     pub full: usize,
 }
 
-/// Runs the sweep on single cycles (YES instances; all algorithms are
-/// verified to answer correctly as they go).
-pub fn series(ns: &[usize]) -> Vec<UpperRow> {
-    ns.iter()
-        .map(|&n| {
-            let g = generators::cycle(n);
-            let kt1 = Instance::new_kt1(g.clone()).expect("instance");
-            let kt0 = Instance::new_kt0(g, 5).expect("instance");
-            let sim = Simulator::new(1_000_000).without_transcripts();
+/// Measures every algorithm on the single cycle `C_n` (a YES
+/// instance; each one is verified to answer correctly as it goes).
+pub fn upper_row(n: usize) -> UpperRow {
+    let g = generators::cycle(n);
+    let kt1 = Instance::new_kt1(g.clone()).expect("instance");
+    let kt0 = Instance::new_kt0(g, 5).expect("instance");
+    let sim = Simulator::new(1_000_000).without_transcripts();
 
-            let run = |i: &Instance, a: &dyn bcc_model::Algorithm| {
-                let out = sim.run(i, a, 0);
-                assert_eq!(
-                    out.system_decision(),
-                    Decision::Yes,
-                    "{} wrong on C_{n}",
-                    a.name()
-                );
-                out.stats().rounds
-            };
-            let blog = bcc_model::codec::bits_needed(n);
-            let sim_blog = Simulator::with_bandwidth(1_000_000, blog).without_transcripts();
-            let out_blog = sim_blog.run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity), 0);
-            assert_eq!(out_blog.system_decision(), Decision::Yes);
-            UpperRow {
-                n,
-                neighbor_kt1: run(&kt1, &NeighborIdBroadcast::new(Problem::TwoCycle)),
-                neighbor_kt0: run(
-                    &kt0,
-                    &Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
-                ),
-                boruvka: run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity)),
-                boruvka_blog: out_blog.stats().rounds,
-                full: run(&kt1, &FullGraphBroadcast::new(Problem::Connectivity)),
-            }
+    let run = |i: &Instance, a: &dyn bcc_model::Algorithm| {
+        let out = sim.run(i, a, 0);
+        assert_eq!(
+            out.system_decision(),
+            Decision::Yes,
+            "{} wrong on C_{n}",
+            a.name()
+        );
+        out.stats().rounds
+    };
+    let blog = bcc_model::codec::bits_needed(n);
+    let sim_blog = Simulator::with_bandwidth(1_000_000, blog).without_transcripts();
+    let out_blog = sim_blog.run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity), 0);
+    assert_eq!(out_blog.system_decision(), Decision::Yes);
+    UpperRow {
+        n,
+        neighbor_kt1: run(&kt1, &NeighborIdBroadcast::new(Problem::TwoCycle)),
+        neighbor_kt0: run(
+            &kt0,
+            &Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+        ),
+        boruvka: run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity)),
+        boruvka_blog: out_blog.stats().rounds,
+        full: run(&kt1, &FullGraphBroadcast::new(Problem::Connectivity)),
+    }
+}
+
+/// Runs the sweep (serial entry point).
+pub fn series(ns: &[usize]) -> Vec<UpperRow> {
+    ns.iter().map(|&n| upper_row(n)).collect()
+}
+
+fn sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[8, 16, 32, 64]
+    } else {
+        &[8, 16, 32, 64, 128, 256, 512]
+    }
+}
+
+/// One job per cycle length — the larger simulations dominate, so the
+/// sweep parallelizes across sizes.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    sizes(quick)
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let shard = i as u32;
+            ExpJob::new(
+                "e7",
+                shard,
+                format!("n={n}"),
+                job_seed(suite_seed, "e7", shard),
+                move |_ctx| {
+                    let r = upper_row(n);
+                    let w = bcc_model::codec::bits_needed(n);
+                    let ratio = r.neighbor_kt1 as f64 / (n as f64).log2();
+                    let text = format!(
+                        "{:>5} {:>12} {:>12} {:>9} {:>11} {:>7} {:>14.2}\n",
+                        r.n,
+                        r.neighbor_kt1,
+                        r.neighbor_kt0,
+                        r.boruvka,
+                        r.boruvka_blog,
+                        r.full,
+                        ratio
+                    );
+                    JobOutput::new("e7", shard, format!("n={n}"))
+                        .value("n", r.n)
+                        .value("neighbor_kt1", r.neighbor_kt1)
+                        .value("neighbor_kt0", r.neighbor_kt0)
+                        .value("boruvka", r.boruvka)
+                        .value("boruvka_blog", r.boruvka_blog)
+                        .value("full", r.full)
+                        .check("nbr-kt1 = 3 ceil(log2 n)", r.neighbor_kt1 == 3 * w)
+                        .check("nbr-kt0 = 4 ceil(log2 n)", r.neighbor_kt0 == 4 * w)
+                        .check("full = n", r.full == n)
+                        .check("boruvka O(log^2 n)", r.boruvka <= (2 * w + 1) * (w + 2))
+                        .text(text)
+                },
+            )
         })
         .collect()
 }
 
-/// The E7 report.
-pub fn report(quick: bool) -> String {
-    let ns: &[usize] = if quick {
-        &[8, 16, 32, 64]
-    } else {
-        &[8, 16, 32, 64, 128, 256, 512]
-    };
-    let rows = series(ns);
-    let mut out = String::new();
+/// Assembles the E7 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new(
+        "e7",
+        "upper bounds on cycles — rounds vs n (tightness of Ω(log n))",
+    );
+    let mut text = String::new();
     writeln!(
-        out,
+        text,
         "== E7: upper bounds on cycles — rounds vs n (tightness of Ω(log n)) =="
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "{:>5} {:>12} {:>12} {:>9} {:>11} {:>7} {:>14}",
         "n", "nbr-kt1", "nbr-kt0", "boruvka", "boruvka@log", "full", "nbr-kt1/log2 n"
     )
     .unwrap();
-    for r in &rows {
-        let ratio = r.neighbor_kt1 as f64 / (r.n as f64).log2();
-        writeln!(
-            out,
-            "{:>5} {:>12} {:>12} {:>9} {:>11} {:>7} {:>14.2}",
-            r.n, r.neighbor_kt1, r.neighbor_kt0, r.boruvka, r.boruvka_blog, r.full, ratio
-        )
-        .unwrap();
+    for o in &outputs {
+        text.push_str(&o.text);
     }
     writeln!(
-        out,
+        text,
         "shape: nbr-kt1 = 3·ceil(log2 n) (O(log n), matches the lower bound);"
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "       nbr-kt0 adds the ceil(log2 n) ID-exchange prologue; boruvka = O(log^2 n) at b=1,"
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "       O(log n) at b=log n (the BCC(log n) regime, cf. JN17); full = n."
     )
     .unwrap();
     // Crossover: the log algorithms beat the baseline from n = 16 on.
-    let crossover = rows.iter().find(|r| r.neighbor_kt1 < r.full).map(|r| r.n);
+    let crossover = outputs
+        .iter()
+        .find(|o| o.int("neighbor_kt1") < o.int("full"))
+        .and_then(|o| o.int("n"));
     writeln!(
-        out,
+        text,
         "first n where nbr-kt1 beats full broadcast: {crossover:?}"
     )
     .unwrap();
-    out
+    r.param("rows", outputs.len());
+    if let Some(c) = crossover {
+        r.value("crossover_n", c);
+    }
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E7 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]

@@ -2,6 +2,9 @@
 //! `b`, reproducing the `BCC(1)` vs `BCC(polylog)` gap the paper's
 //! introduction draws.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_algorithms::{Problem, SketchConnectivity};
 use bcc_graphs::generators;
 use bcc_model::{Decision, Instance, Simulator};
@@ -23,14 +26,12 @@ pub struct SketchRow {
     pub sketch_bits: usize,
 }
 
-/// Sweeps bandwidths on random sparse graphs (half connected, half
-/// disconnected).
-pub fn series(n: usize, bandwidths: &[usize], trials: usize) -> Vec<SketchRow> {
-    let algo = SketchConnectivity::new(Problem::Connectivity);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
-    // Pre-generate the instance set so every bandwidth sees the same
-    // inputs.
-    let graphs: Vec<(bcc_graphs::Graph, bool)> = (0..trials)
+/// Generates the shared instance set (half connected, half
+/// disconnected) from one seed, so every bandwidth sees the same
+/// inputs regardless of which worker measures it.
+pub fn instance_set(n: usize, trials: usize, seed: u64) -> Vec<(bcc_graphs::Graph, bool)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..trials)
         .map(|i| {
             if i % 2 == 0 {
                 (generators::random_tree_plus(n, n / 4, &mut rng), true)
@@ -40,76 +41,139 @@ pub fn series(n: usize, bandwidths: &[usize], trials: usize) -> Vec<SketchRow> {
                 (g, connected)
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Measures one bandwidth on a pre-generated instance set.
+pub fn sketch_row(n: usize, b: usize, graphs: &[(bcc_graphs::Graph, bool)]) -> SketchRow {
+    let algo = SketchConnectivity::new(Problem::Connectivity);
+    let sim = Simulator::with_bandwidth(50_000_000, b).without_transcripts();
+    let mut rounds_total = 0usize;
+    let mut correct = 0usize;
+    for (i, (g, truth)) in graphs.iter().enumerate() {
+        let inst = Instance::new_kt1(g.clone()).expect("instance");
+        let out = sim.run(&inst, &algo, i as u64);
+        rounds_total += out.stats().rounds;
+        if (out.system_decision() == Decision::Yes) == *truth {
+            correct += 1;
+        }
+    }
+    SketchRow {
+        n,
+        b,
+        mean_rounds: rounds_total as f64 / graphs.len() as f64,
+        accuracy: correct as f64 / graphs.len() as f64,
+        sketch_bits: SketchConnectivity::sketch_bits(n),
+    }
+}
+
+/// Sweeps bandwidths on random sparse graphs (serial entry point with
+/// the historical seed).
+pub fn series(n: usize, bandwidths: &[usize], trials: usize) -> Vec<SketchRow> {
+    let graphs = instance_set(n, trials, 77);
     bandwidths
         .iter()
-        .map(|&b| {
-            let sim = Simulator::with_bandwidth(50_000_000, b).without_transcripts();
-            let mut rounds_total = 0usize;
-            let mut correct = 0usize;
-            for (i, (g, truth)) in graphs.iter().enumerate() {
-                let inst = Instance::new_kt1(g.clone()).expect("instance");
-                let out = sim.run(&inst, &algo, i as u64);
-                rounds_total += out.stats().rounds;
-                if (out.system_decision() == Decision::Yes) == *truth {
-                    correct += 1;
-                }
-            }
-            SketchRow {
-                n,
-                b,
-                mean_rounds: rounds_total as f64 / trials as f64,
-                accuracy: correct as f64 / trials as f64,
-                sketch_bits: SketchConnectivity::sketch_bits(n),
-            }
+        .map(|&b| sketch_row(n, b, &graphs))
+        .collect()
+}
+
+fn grid(quick: bool) -> (usize, &'static [usize], usize) {
+    if quick {
+        (12, &[16, 256, 4096], 6)
+    } else {
+        (20, &[1, 16, 256, 4096], 10)
+    }
+}
+
+/// One job per bandwidth. Each job regenerates the identical instance
+/// set from the shared input seed (shard-independent), so rows stay
+/// comparable and deterministic under any thread count.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    let (n, bandwidths, trials) = grid(quick);
+    // One seed for the instance set, shared by all shards.
+    let input_seed = job_seed(suite_seed, "e8/inputs", 0);
+    bandwidths
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let shard = i as u32;
+            ExpJob::new(
+                "e8",
+                shard,
+                format!("b={b}"),
+                job_seed(suite_seed, "e8", shard),
+                move |_ctx| {
+                    let graphs = instance_set(n, trials, input_seed);
+                    let r = sketch_row(n, b, &graphs);
+                    let text = format!(
+                        "{:>4} {:>7} {:>12.1} {:>9.2} {:>12}\n",
+                        r.n, r.b, r.mean_rounds, r.accuracy, r.sketch_bits
+                    );
+                    JobOutput::new("e8", shard, format!("b={b}"))
+                        .value("n", r.n)
+                        .value("b", r.b)
+                        .value("mean_rounds", r.mean_rounds)
+                        .value("accuracy", r.accuracy)
+                        .value("sketch_bits", r.sketch_bits)
+                        .check("accuracy >= 3/4", r.accuracy >= 0.75)
+                        .text(text)
+                },
+            )
         })
         .collect()
 }
 
-/// The E8 report.
-pub fn report(quick: bool) -> String {
-    let (n, bandwidths, trials): (usize, &[usize], usize) = if quick {
-        (12, &[16, 256, 4096], 6)
-    } else {
-        (20, &[1, 16, 256, 4096], 10)
-    };
-    let rows = series(n, bandwidths, trials);
-    let mut out = String::new();
+/// Assembles the E8 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new("e8", "sketch connectivity vs bandwidth (AGM + Boruvka)");
+    let mut text = String::new();
     writeln!(
-        out,
+        text,
         "== E8: sketch connectivity vs bandwidth (AGM + Boruvka) =="
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "{:>4} {:>7} {:>12} {:>9} {:>12}",
         "n", "b", "mean rounds", "accuracy", "sketch bits"
     )
     .unwrap();
-    for r in &rows {
-        writeln!(
-            out,
-            "{:>4} {:>7} {:>12.1} {:>9.2} {:>12}",
-            r.n, r.b, r.mean_rounds, r.accuracy, r.sketch_bits
-        )
-        .unwrap();
+    for o in &outputs {
+        text.push_str(&o.text);
     }
     writeln!(
-        out,
+        text,
         "rounds scale ~ 1/b at fixed n (phases × ceil(sketch_bits/b));"
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "at b = 1 the polylog-bit sketches cost Θ(log^3 n)-ish rounds per phase —"
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "the gap between BCC(1) and higher-bandwidth broadcast cliques (paper §1)."
     )
     .unwrap();
-    out
+    // Rounds must fall as bandwidth rises (the 1/b scaling).
+    let rounds: Vec<f64> = outputs
+        .iter()
+        .filter_map(|o| o.float("mean_rounds"))
+        .collect();
+    let monotone = rounds.windows(2).all(|w| w[1] <= w[0]);
+    r.param("bandwidths", outputs.len());
+    r.value("rounds_monotone_in_b", monotone);
+    r.check("rounds fall with bandwidth", monotone);
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E8 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]

@@ -2,6 +2,9 @@
 //! solved in one round with range 3 but needing `n/2` broadcast
 //! rounds, inside the same simulator.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_algorithms::{common_neighbor_truth, CommonNeighborBroadcast, CommonNeighborUnicast};
 use bcc_graphs::generators;
 use bcc_model::range::RangeSimulator;
@@ -22,69 +25,113 @@ pub struct RangeRow {
     pub correct: bool,
 }
 
-/// Sweeps sizes on random graphs.
+/// Measures one size on a random graph drawn from `rng`.
+pub fn range_row(n: usize, rng: &mut rand::rngs::StdRng) -> RangeRow {
+    let g = generators::gnm(n, 2 * n, rng);
+    let truth = common_neighbor_truth(&g);
+    let inst = Instance::new_kt1(g).expect("instance");
+    let uni = RangeSimulator::new(10_000, 1, 3).run(&inst, &CommonNeighborUnicast, 0);
+    let bc = RangeSimulator::new(10_000, 1, 1).run(&inst, &CommonNeighborBroadcast, 0);
+    let correct = truth.iter().enumerate().all(|(i, &t)| {
+        let expect = if t { Decision::Yes } else { Decision::No };
+        uni.decisions[2 * i] == expect && bc.decisions[2 * i] == expect
+    });
+    RangeRow {
+        n,
+        unicast_rounds: uni.rounds,
+        broadcast_rounds: bc.rounds,
+        correct,
+    }
+}
+
+/// Sweeps sizes on random graphs (serial entry point).
 pub fn series(ns: &[usize], seed: u64) -> Vec<RangeRow> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    ns.iter()
-        .map(|&n| {
-            let g = generators::gnm(n, 2 * n, &mut rng);
-            let truth = common_neighbor_truth(&g);
-            let inst = Instance::new_kt1(g).expect("instance");
-            let uni = RangeSimulator::new(10_000, 1, 3).run(&inst, &CommonNeighborUnicast, 0);
-            let bc = RangeSimulator::new(10_000, 1, 1).run(&inst, &CommonNeighborBroadcast, 0);
-            let correct = truth.iter().enumerate().all(|(i, &t)| {
-                let expect = if t { Decision::Yes } else { Decision::No };
-                uni.decisions[2 * i] == expect && bc.decisions[2 * i] == expect
-            });
-            RangeRow {
-                n,
-                unicast_rounds: uni.rounds,
-                broadcast_rounds: bc.rounds,
-                correct,
-            }
+    ns.iter().map(|&n| range_row(n, &mut rng)).collect()
+}
+
+fn sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    }
+}
+
+/// One job per graph size.
+pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    sizes(quick)
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let shard = i as u32;
+            ExpJob::new(
+                "e9",
+                shard,
+                format!("n={n}"),
+                job_seed(suite_seed, "e9", shard),
+                move |ctx| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+                    let r = range_row(n, &mut rng);
+                    let text = format!(
+                        "{:>5} {:>15} {:>17} {:>8}\n",
+                        r.n, r.unicast_rounds, r.broadcast_rounds, r.correct
+                    );
+                    JobOutput::new("e9", shard, format!("n={n}"))
+                        .value("n", r.n)
+                        .value("unicast_rounds", r.unicast_rounds)
+                        .value("broadcast_rounds", r.broadcast_rounds)
+                        .check("both algorithms correct", r.correct)
+                        .check("unicast solves in 1 round", r.unicast_rounds == 1)
+                        .check("broadcast needs n/2 rounds", r.broadcast_rounds == n / 2)
+                        .text(text)
+                },
+            )
         })
         .collect()
 }
 
-/// The E9 report.
-pub fn report(quick: bool) -> String {
-    let ns: &[usize] = if quick {
-        &[8, 16, 32]
-    } else {
-        &[8, 16, 32, 64, 128, 256]
-    };
-    let rows = series(ns, 3);
-    let mut out = String::new();
+/// Assembles the E9 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new(
+        "e9",
+        "range spectrum — PairedCommonNeighbor, range 3 vs range 1",
+    );
+    let mut text = String::new();
     writeln!(
-        out,
+        text,
         "== E9: range spectrum — PairedCommonNeighbor, range 3 vs range 1 =="
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "(the Becker-et-al. sensitivity the paper cites: unicast O(1) vs broadcast Ω(n))"
     )
     .unwrap();
     writeln!(
-        out,
+        text,
         "{:>5} {:>15} {:>17} {:>8}",
         "n", "unicast rounds", "broadcast rounds", "correct"
     )
     .unwrap();
-    for r in &rows {
-        writeln!(
-            out,
-            "{:>5} {:>15} {:>17} {:>8}",
-            r.n, r.unicast_rounds, r.broadcast_rounds, r.correct
-        )
-        .unwrap();
+    for o in &outputs {
+        text.push_str(&o.text);
     }
     writeln!(
-        out,
+        text,
         "unicast stays at 1 round; broadcast grows as n/2 — a linear separation from range alone"
     )
     .unwrap();
-    out
+    r.param("rows", outputs.len());
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The E9 report text (serial path).
+pub fn report(quick: bool) -> String {
+    reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]
@@ -97,5 +144,12 @@ mod tests {
             assert_eq!(r.unicast_rounds, 1);
             assert_eq!(r.broadcast_rounds, r.n / 2);
         }
+    }
+
+    #[test]
+    fn reduced_report_passes() {
+        use crate::job::{run_jobs_serial, DEFAULT_SEED};
+        let rep = super::reduce(run_jobs_serial(&super::jobs(true, DEFAULT_SEED)));
+        assert!(rep.passed, "failed checks: {:?}", rep.checks);
     }
 }

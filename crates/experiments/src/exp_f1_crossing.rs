@@ -1,6 +1,9 @@
 //! F1 — Figure 1: a port-preserving crossing, rendered as data, with
 //! Lemma 3.4 executed live.
 
+use crate::job::{
+    job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
+};
 use bcc_core::crossing::{cross_instance, indistinguishable_after, DirectedEdge};
 use bcc_graphs::generators;
 use bcc_model::testing::{EchoBit, IdBroadcast};
@@ -40,47 +43,86 @@ pub fn figure1() -> (Instance, Instance, PortTable) {
     (i1, i2, PortTable { rows })
 }
 
-/// The F1 report.
-pub fn report() -> String {
-    let (i1, i2, table) = figure1();
-    let mut out = String::new();
-    writeln!(out, "== F1: port-preserving crossing (Figure 1) ==").unwrap();
-    writeln!(
-        out,
-        "base: canonical KT-0 8-cycle; crossing e1 = 0->1, e2 = 4->5"
-    )
-    .unwrap();
-    writeln!(out, "input edges before: {:?}", i1.input().canonical_key()).unwrap();
-    writeln!(out, "input edges after : {:?}", i2.input().canonical_key()).unwrap();
-    writeln!(out, "vertex  peer-before  port  peer-after").unwrap();
-    for (v, before, port, after) in &table.rows {
-        writeln!(out, "{v:>6}  {before:>11}  {port:>4}  {after:>10}").unwrap();
+/// F1 is one fixed figure — a single job covering the crossing, the
+/// port table, and both Lemma 3.4 directions.
+pub fn jobs(_quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+    vec![ExpJob::new(
+        "f1",
+        0,
+        "figure1",
+        job_seed(suite_seed, "f1", 0),
+        |_ctx| {
+            let (i1, i2, table) = figure1();
+            let mut out = String::new();
+            writeln!(
+                out,
+                "base: canonical KT-0 8-cycle; crossing e1 = 0->1, e2 = 4->5"
+            )
+            .unwrap();
+            writeln!(out, "input edges before: {:?}", i1.input().canonical_key()).unwrap();
+            writeln!(out, "input edges after : {:?}", i2.input().canonical_key()).unwrap();
+            writeln!(out, "vertex  peer-before  port  peer-after").unwrap();
+            for (v, before, port, after) in &table.rows {
+                writeln!(out, "{v:>6}  {before:>11}  {port:>4}  {after:>10}").unwrap();
+            }
+            // Port preservation: input-edge port sets identical at all
+            // vertices.
+            let ports_preserved = (0..8).all(|v| {
+                i1.initial_knowledge(v, 1, 0).input_port_labels
+                    == i2.initial_knowledge(v, 1, 0).input_port_labels
+            });
+            writeln!(
+                out,
+                "input-edge port sets preserved at every vertex: {ports_preserved}"
+            )
+            .unwrap();
+            // Lemma 3.4 live: indistinguishable under a uniform
+            // broadcaster, distinguishable once IDs flow.
+            let indist_uniform = indistinguishable_after(&i1, &i2, &EchoBit, 6, 0);
+            let indist_ids = indistinguishable_after(&i1, &i2, &IdBroadcast::new(), 3, 0);
+            writeln!(
+                out,
+                "Lemma 3.4 (hypothesis satisfied, EchoBit, t=6): indistinguishable = {indist_uniform}"
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "Lemma 3.4 contrapositive (IdBroadcast, t=3):    indistinguishable = {indist_ids}"
+            )
+            .unwrap();
+            JobOutput::new("f1", 0, "figure1")
+                .value("ports_preserved", ports_preserved)
+                .value("indist_uniform", indist_uniform)
+                .value("indist_ids", indist_ids)
+                .check("ports preserved", ports_preserved)
+                .check("lemma 3.4 indistinguishable", indist_uniform)
+                .check("lemma 3.4 contrapositive distinguishes", !indist_ids)
+                .text(out)
+        },
+    )]
+}
+
+/// Assembles the F1 report from its job outputs.
+pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
+    sort_by_shard(&mut outputs);
+    let mut r = Report::new("f1", "port-preserving crossing (Figure 1)");
+    r.param("n", 8usize);
+    let mut text = String::new();
+    writeln!(text, "== F1: port-preserving crossing (Figure 1) ==").unwrap();
+    for o in &outputs {
+        text.push_str(&o.text);
+        for (k, v) in &o.values {
+            r.value(k.clone(), v.clone());
+        }
     }
-    // Port preservation: input-edge port sets identical at all vertices.
-    let ports_preserved = (0..8).all(|v| {
-        i1.initial_knowledge(v, 1, 0).input_port_labels
-            == i2.initial_knowledge(v, 1, 0).input_port_labels
-    });
-    writeln!(
-        out,
-        "input-edge port sets preserved at every vertex: {ports_preserved}"
-    )
-    .unwrap();
-    // Lemma 3.4 live: indistinguishable under a uniform broadcaster,
-    // distinguishable once IDs flow.
-    let indist_uniform = indistinguishable_after(&i1, &i2, &EchoBit, 6, 0);
-    let indist_ids = indistinguishable_after(&i1, &i2, &IdBroadcast::new(), 3, 0);
-    writeln!(
-        out,
-        "Lemma 3.4 (hypothesis satisfied, EchoBit, t=6): indistinguishable = {indist_uniform}"
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "Lemma 3.4 contrapositive (IdBroadcast, t=3):    indistinguishable = {indist_ids}"
-    )
-    .unwrap();
-    out
+    r.absorb_checks(&outputs);
+    r.text = text;
+    r.finalize()
+}
+
+/// The F1 report text (serial path).
+pub fn report() -> String {
+    reduce(run_jobs_serial(&jobs(false, DEFAULT_SEED))).text
 }
 
 #[cfg(test)]
@@ -93,6 +135,13 @@ mod tests {
         assert!(r.contains("preserved at every vertex: true"));
         assert!(r.contains("EchoBit, t=6): indistinguishable = true"));
         assert!(r.contains("IdBroadcast, t=3):    indistinguishable = false"));
+    }
+
+    #[test]
+    fn reduced_report_passes() {
+        let rep = reduce(run_jobs_serial(&jobs(true, DEFAULT_SEED)));
+        assert!(rep.passed);
+        assert_eq!(rep.values.len(), 3);
     }
 
     #[test]

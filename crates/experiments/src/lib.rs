@@ -2,9 +2,13 @@
 //! data series of the paper (see DESIGN.md §3 for the index, and
 //! EXPERIMENTS.md for recorded results).
 //!
-//! Each module produces a plain-text report; the `bcc-experiments`
-//! binary dispatches on an experiment id (`f1`, `f2`, `e1`…`e8`, or
-//! `all`).
+//! Each experiment module exposes `jobs(quick, seed)` (independent
+//! shards with deterministic per-job seeds) and `reduce(outputs)`
+//! (order-insensitive assembly into a typed [`job::Report`]). The
+//! `bcc-experiments` binary dispatches on an experiment id (`f1`,
+//! `f2`, `e1`…`e12`, or `all`) and can fan shards out over a
+//! `bcc_runner::Pool` — reports are byte-identical at any thread
+//! count because every shard's output is a pure function of its seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,44 +27,205 @@ pub mod exp_e8_sketch;
 pub mod exp_e9_range;
 pub mod exp_f1_crossing;
 pub mod exp_f2_reduction;
+pub mod job;
+pub mod json;
+
+use job::{ExpJob, JobOutput, Report, DEFAULT_SEED};
+use std::time::Duration;
 
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: [&str; 14] = [
     "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
-/// Runs one experiment by id, returning its report.
+/// Error for an experiment id outside [`ALL_EXPERIMENTS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The id that failed to resolve.
+    pub id: String,
+}
+
+impl std::fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown experiment id {:?} (use one of {ALL_EXPERIMENTS:?})",
+            self.id
+        )
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// The job list for one experiment.
+pub fn jobs_for(id: &str, quick: bool, suite_seed: u64) -> Result<Vec<ExpJob>, UnknownExperiment> {
+    match id {
+        "f1" => Ok(exp_f1_crossing::jobs(quick, suite_seed)),
+        "f2" => Ok(exp_f2_reduction::jobs(quick, suite_seed)),
+        "e1" => Ok(exp_e1_star::jobs(quick, suite_seed)),
+        "e2" => Ok(exp_e2_indist::jobs(quick, suite_seed)),
+        "e3" => Ok(exp_e3_rank::jobs(quick, suite_seed)),
+        "e4" => Ok(exp_e4_two_party::jobs(quick, suite_seed)),
+        "e5" => Ok(exp_e5_simulation::jobs(quick, suite_seed)),
+        "e6" => Ok(exp_e6_info::jobs(quick, suite_seed)),
+        "e7" => Ok(exp_e7_upper_bounds::jobs(quick, suite_seed)),
+        "e8" => Ok(exp_e8_sketch::jobs(quick, suite_seed)),
+        "e9" => Ok(exp_e9_range::jobs(quick, suite_seed)),
+        "e10" => Ok(exp_e10_lattice::jobs(quick, suite_seed)),
+        "e11" => Ok(exp_e11_mst::jobs(quick, suite_seed)),
+        "e12" => Ok(exp_e12_question2::jobs(quick, suite_seed)),
+        other => Err(UnknownExperiment { id: other.into() }),
+    }
+}
+
+/// Reduces one experiment's job outputs into its typed report.
+pub fn reduce_for(id: &str, outputs: Vec<JobOutput>) -> Result<Report, UnknownExperiment> {
+    match id {
+        "f1" => Ok(exp_f1_crossing::reduce(outputs)),
+        "f2" => Ok(exp_f2_reduction::reduce(outputs)),
+        "e1" => Ok(exp_e1_star::reduce(outputs)),
+        "e2" => Ok(exp_e2_indist::reduce(outputs)),
+        "e3" => Ok(exp_e3_rank::reduce(outputs)),
+        "e4" => Ok(exp_e4_two_party::reduce(outputs)),
+        "e5" => Ok(exp_e5_simulation::reduce(outputs)),
+        "e6" => Ok(exp_e6_info::reduce(outputs)),
+        "e7" => Ok(exp_e7_upper_bounds::reduce(outputs)),
+        "e8" => Ok(exp_e8_sketch::reduce(outputs)),
+        "e9" => Ok(exp_e9_range::reduce(outputs)),
+        "e10" => Ok(exp_e10_lattice::reduce(outputs)),
+        "e11" => Ok(exp_e11_mst::reduce(outputs)),
+        "e12" => Ok(exp_e12_question2::reduce(outputs)),
+        other => Err(UnknownExperiment { id: other.into() }),
+    }
+}
+
+/// Runs one experiment by id serially, returning its report text.
 ///
 /// `quick` trims instance sizes so the whole suite stays test-friendly.
-///
-/// # Panics
-///
-/// Panics on an unknown id.
-pub fn run(id: &str, quick: bool) -> String {
-    match id {
-        "f1" => exp_f1_crossing::report(),
-        "f2" => exp_f2_reduction::report(),
-        "e1" => exp_e1_star::report(quick),
-        "e2" => exp_e2_indist::report(quick),
-        "e3" => exp_e3_rank::report(quick),
-        "e4" => exp_e4_two_party::report(quick),
-        "e5" => exp_e5_simulation::report(quick),
-        "e6" => exp_e6_info::report(quick),
-        "e7" => exp_e7_upper_bounds::report(quick),
-        "e8" => exp_e8_sketch::report(quick),
-        "e9" => exp_e9_range::report(quick),
-        "e10" => exp_e10_lattice::report(quick),
-        "e11" => exp_e11_mst::report(quick),
-        "e12" => exp_e12_question2::report(quick),
-        other => panic!("unknown experiment id {other:?} (use one of {ALL_EXPERIMENTS:?})"),
+/// Unknown ids return [`UnknownExperiment`] instead of panicking.
+pub fn run(id: &str, quick: bool) -> Result<String, UnknownExperiment> {
+    let jobs = jobs_for(id, quick, DEFAULT_SEED)?;
+    let outputs = job::run_jobs_serial(&jobs);
+    Ok(reduce_for(id, outputs)?.text)
+}
+
+/// Options for a parallel suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Trim instance sizes (`--quick`).
+    pub quick: bool,
+    /// Worker threads (`--jobs`); 1 selects the serial fast path.
+    pub threads: usize,
+    /// Suite seed every per-job seed is derived from (`--seed`).
+    pub seed: u64,
+    /// Optional per-job wall-clock deadline (`--timeout-secs`).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            quick: false,
+            threads: 1,
+            seed: DEFAULT_SEED,
+            timeout: None,
+        }
     }
+}
+
+/// The result of a suite run: per-experiment reports in request
+/// order, the raw per-job results (submission order), and the pool's
+/// metrics snapshot.
+#[derive(Debug)]
+pub struct SuiteRun {
+    /// One reduced report per requested experiment, in request order.
+    pub reports: Vec<Report>,
+    /// Every job's structured result, in submission order.
+    pub job_results: Vec<bcc_runner::JobResult<JobOutput>>,
+    /// Scheduler counters and latency histogram for the whole run.
+    pub metrics: bcc_runner::MetricsSnapshot,
+}
+
+/// Runs a set of experiments through one shared pool.
+///
+/// All shards of all requested experiments are flattened into a
+/// single job list so the pool can balance across experiments; the
+/// completed outputs are regrouped by experiment id and reduced in
+/// request order. Shards that failed or timed out simply contribute
+/// no output (the report's checks will reflect the gap).
+pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownExperiment> {
+    let mut flat: Vec<ExpJob> = Vec::new();
+    for id in ids {
+        flat.extend(jobs_for(id, opts.quick, opts.seed)?);
+    }
+    let runner_jobs: Vec<bcc_runner::Job<JobOutput>> = flat
+        .into_iter()
+        .map(|j| j.into_runner_job(opts.timeout))
+        .collect();
+    let pool = bcc_runner::Pool::new(opts.threads);
+    let job_results = pool.execute(runner_jobs);
+
+    let mut reports = Vec::with_capacity(ids.len());
+    for id in ids {
+        let outputs: Vec<JobOutput> = job_results
+            .iter()
+            .filter_map(|r| r.status.output())
+            .filter(|o| o.experiment == *id)
+            .cloned()
+            .collect();
+        let completed = outputs.len();
+        let mut report = reduce_for(id, outputs)?;
+        // A reduce over missing shards (timed out, failed, panicked)
+        // can pass vacuously — an empty table satisfies every "all
+        // rows ..." check. Surface the loss as a failing check so a
+        // partial report can never read as a clean pass.
+        let scheduled = job_results
+            .iter()
+            .filter(|r| r.id.starts_with(&format!("{id}/")))
+            .count();
+        if completed < scheduled {
+            report
+                .checks
+                .push((format!("all {scheduled} jobs completed"), false));
+            report.passed = false;
+            report.text.push_str(&format!(
+                "!! only {completed}/{scheduled} jobs completed — partial report\n"
+            ));
+        }
+        reports.push(report);
+    }
+    Ok(SuiteRun {
+        reports,
+        job_results,
+        metrics: pool.metrics().snapshot(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
-    #[should_panic(expected = "unknown experiment")]
-    fn unknown_id_panics() {
-        super::run("zzz", true);
+    fn unknown_id_is_an_error() {
+        let err = super::run("zzz", true).unwrap_err();
+        assert_eq!(err.id, "zzz");
+        assert!(err.to_string().contains("unknown experiment"));
+    }
+
+    #[test]
+    fn suite_rejects_unknown_ids_before_running() {
+        let err = super::run_suite(&["f1", "nope"], &super::SuiteOptions::default()).unwrap_err();
+        assert_eq!(err.id, "nope");
+    }
+
+    #[test]
+    fn suite_run_matches_serial_report() {
+        let opts = super::SuiteOptions {
+            quick: true,
+            threads: 2,
+            ..Default::default()
+        };
+        let suite = super::run_suite(&["f1"], &opts).expect("known id");
+        assert_eq!(suite.reports.len(), 1);
+        assert_eq!(suite.reports[0].text, super::run("f1", true).unwrap());
+        assert_eq!(suite.metrics.completed, suite.job_results.len() as u64);
     }
 }

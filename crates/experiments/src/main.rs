@@ -1,24 +1,151 @@
 //! CLI for the experiment harness.
 //!
 //! ```text
-//! bcc-experiments [--quick] <id>...    id ∈ {f1, f2, e1..e8, all}
+//! bcc-experiments [OPTIONS] <id>...    id ∈ {f1, f2, e1..e12, all}
+//!
+//! OPTIONS:
+//!   --quick             trim instance sizes (test-friendly)
+//!   --jobs N            worker threads (default 1 = serial)
+//!   --seed S            suite seed (default 2024)
+//!   --timeout-secs T    per-job wall-clock deadline
+//!   --json PATH         write JSONL: one record per job, one per
+//!                       report, and a final metrics record
 //! ```
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
-    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        bcc_experiments::ALL_EXPERIMENTS
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
-    } else {
-        ids
-    };
-    for id in ids {
-        let started = std::time::Instant::now();
-        print!("{}", bcc_experiments::run(&id, quick));
-        println!("[{} finished in {:.1?}]\n", id, started.elapsed());
+use bcc_experiments::{json, SuiteOptions, ALL_EXPERIMENTS};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bcc-experiments [--quick] [--jobs N] [--seed S] \
+[--timeout-secs T] [--json PATH] <id>...\n       id ∈ {f1, f2, e1..e12, all}";
+
+struct Cli {
+    opts: SuiteOptions,
+    json_path: Option<String>,
+    ids: Vec<String>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut opts = SuiteOptions::default();
+    let mut json_path = None;
+    let mut ids = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.threads = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs: not a thread count: {v:?}"))?
+                    .max(1);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: not a u64: {v:?}"))?;
+            }
+            "--timeout-secs" => {
+                let v = it.next().ok_or("--timeout-secs needs a value")?;
+                let secs = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--timeout-secs: not a number of seconds: {v:?}"))?;
+                opts.timeout = Some(std::time::Duration::from_secs(secs));
+            }
+            "--json" => {
+                json_path = Some(it.next().ok_or("--json needs a path")?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            id => ids.push(id.to_string()),
+        }
     }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Cli {
+        opts,
+        json_path,
+        ids,
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
+
+    let started = std::time::Instant::now();
+    let suite = match bcc_experiments::run_suite(&ids, &cli.opts) {
+        Ok(suite) => suite,
+        Err(err) => {
+            eprintln!("error: {err}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = started.elapsed();
+
+    for report in &suite.reports {
+        print!("{}", report.text);
+        println!(
+            "[{} {} in {} jobs]\n",
+            report.experiment,
+            if report.passed { "passed" } else { "FAILED" },
+            suite
+                .job_results
+                .iter()
+                .filter(|r| r.id.starts_with(&format!("{}/", report.experiment)))
+                .count(),
+        );
+    }
+
+    if let Some(path) = &cli.json_path {
+        match write_jsonl(path, &suite) {
+            Ok(records) => eprintln!("wrote {records} JSONL records to {path}"),
+            Err(err) => {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "suite: {} experiments, {} jobs, {} threads, {:.1?}",
+        suite.reports.len(),
+        suite.job_results.len(),
+        cli.opts.threads,
+        elapsed
+    );
+    eprint!("{}", suite.metrics.summary_table());
+
+    if suite.reports.iter().all(|r| r.passed) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_jsonl(path: &str, suite: &bcc_experiments::SuiteRun) -> std::io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut records = 0usize;
+    for result in &suite.job_results {
+        writeln!(w, "{}", json::job_record(result))?;
+        records += 1;
+    }
+    for report in &suite.reports {
+        writeln!(w, "{}", json::report_record(report))?;
+        records += 1;
+    }
+    writeln!(w, "{}", json::metrics_record(&suite.metrics))?;
+    records += 1;
+    w.flush()?;
+    Ok(records)
 }

@@ -270,7 +270,7 @@ pub fn multi_cycle_covers(n: usize, min_len: usize) -> Vec<Graph> {
 /// the instances of the paper's `TwoPartition` problem (Section 4.1).
 pub fn perfect_matchings(n: usize) -> Vec<Vec<(usize, usize)>> {
     assert!(
-        n % 2 == 0,
+        n.is_multiple_of(2),
         "perfect matchings need an even number of vertices"
     );
     let mut out = Vec::new();
@@ -310,7 +310,7 @@ pub fn perfect_matchings(n: usize) -> Vec<Vec<(usize, usize)>> {
 ///
 /// Panics if `n` is odd or the result overflows `u64`.
 pub fn num_perfect_matchings(n: usize) -> u64 {
-    assert!(n % 2 == 0, "need even n");
+    assert!(n.is_multiple_of(2), "need even n");
     let mut acc: u64 = 1;
     let mut k = 1u64;
     while k < n as u64 {
@@ -447,7 +447,7 @@ mod tests {
         assert_eq!(num_perfect_matchings(10), 945);
         // Each matching covers every vertex exactly once.
         for m in perfect_matchings(6) {
-            let mut seen = vec![false; 6];
+            let mut seen = [false; 6];
             for (u, v) in m {
                 assert!(!seen[u] && !seen[v]);
                 seen[u] = true;

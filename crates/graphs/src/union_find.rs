@@ -132,11 +132,10 @@ impl UnionFind {
     /// minimum element.
     pub fn sets(&mut self) -> Vec<Vec<usize>> {
         let labels = self.canonical_labels();
-        let n = labels.len();
         let mut by_label: std::collections::BTreeMap<usize, Vec<usize>> =
             std::collections::BTreeMap::new();
-        for x in 0..n {
-            by_label.entry(labels[x]).or_default().push(x);
+        for (x, &label) in labels.iter().enumerate() {
+            by_label.entry(label).or_default().push(x);
         }
         by_label.into_values().collect()
     }

@@ -98,8 +98,8 @@ proptest! {
         if g.num_vertices() == 0 { return Ok(()); }
         let comps = connected_components(&g);
         let d = bfs_distances(&g, 0);
-        for v in 0..g.num_vertices() {
-            prop_assert_eq!(d[v] != usize::MAX, comps.same_component(0, v));
+        for (v, &dist) in d.iter().enumerate() {
+            prop_assert_eq!(dist != usize::MAX, comps.same_component(0, v));
         }
     }
 

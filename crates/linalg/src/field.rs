@@ -59,7 +59,7 @@ impl GfP {
         let mut acc = GfP::ONE;
         while exp > 0 {
             if exp & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             exp >>= 1;
@@ -140,6 +140,7 @@ impl std::ops::Div for GfP {
     /// # Panics
     ///
     /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the inverse
     fn div(self, rhs: GfP) -> GfP {
         self * rhs.inverse()
     }

@@ -173,7 +173,7 @@ impl RangeSimulator {
             }
             // Deliver: vertex v hears, on its port towards w, the
             // message w put on w's port towards v.
-            for v in 0..n {
+            for (v, program) in programs.iter_mut().enumerate() {
                 let inbox: Vec<(u64, Message)> = (0..n - 1)
                     .map(|p| {
                         let w = instance.network().peer_of(v, p);
@@ -184,7 +184,7 @@ impl RangeSimulator {
                         )
                     })
                     .collect();
-                programs[v].receive(rounds, &inbox);
+                program.receive(rounds, &inbox);
             }
             rounds += 1;
         }

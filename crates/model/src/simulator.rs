@@ -95,7 +95,7 @@ impl RunOutcome {
 
     /// Returns `true` if any vertex was still undecided at the end.
     pub fn any_undecided(&self) -> bool {
-        self.decisions.iter().any(|&d| d == Decision::Undecided)
+        self.decisions.contains(&Decision::Undecided)
     }
 
     /// Per-vertex component labels (for `ConnectedComponents`).

@@ -227,7 +227,7 @@ mod tests {
         let _ = algo; // factory exercised above via trait in other tests
         for round in 0..width {
             let msgs: Vec<Message> = programs.iter_mut().map(|p| p.broadcast(round)).collect();
-            for v in 0..8 {
+            for (v, program) in programs.iter_mut().enumerate() {
                 let entries: Vec<(u64, Message)> = (0..7)
                     .map(|p| {
                         let peer = i.network().peer_of(v, p);
@@ -235,11 +235,11 @@ mod tests {
                     })
                     .collect();
                 let inbox = Inbox::new(entries);
-                programs[v].receive(round, &inbox);
+                program.receive(round, &inbox);
             }
         }
-        for v in 0..8 {
-            let learned = programs[v].learned().expect("complete after width rounds");
+        for (v, program) in programs.iter().enumerate() {
+            let learned = program.learned().expect("complete after width rounds");
             for (label, id) in learned {
                 // Find the port with this label and check the true peer.
                 let p = (0..7)

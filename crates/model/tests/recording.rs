@@ -9,7 +9,9 @@ use bcc_model::{Instance, Simulator};
 fn recording_off_preserves_semantics() {
     let inst = Instance::new_kt0(generators::cycle(10), 3).unwrap();
     let on = Simulator::new(6).run(&inst, &EchoBit, 1);
-    let off = Simulator::new(6).without_transcripts().run(&inst, &EchoBit, 1);
+    let off = Simulator::new(6)
+        .without_transcripts()
+        .run(&inst, &EchoBit, 1);
     assert_eq!(on.decisions(), off.decisions());
     assert_eq!(on.stats(), off.stats());
     assert_eq!(on.completed(), off.completed());
@@ -18,7 +20,9 @@ fn recording_off_preserves_semantics() {
 #[test]
 fn recording_off_yields_empty_records() {
     let inst = Instance::new_kt1(generators::cycle(6)).unwrap();
-    let off = Simulator::new(3).without_transcripts().run(&inst, &IdBroadcast::new(), 0);
+    let off = Simulator::new(3)
+        .without_transcripts()
+        .run(&inst, &IdBroadcast::new(), 0);
     assert!(off.views().is_empty());
     for v in 0..6 {
         assert_eq!(off.transcript(v).rounds(), 0);

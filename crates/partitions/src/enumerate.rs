@@ -73,7 +73,7 @@ impl Iterator for AllPartitions {
 ///
 /// Panics if `n` is odd.
 pub fn matching_partitions(n: usize) -> impl Iterator<Item = SetPartition> {
-    assert!(n % 2 == 0, "matching partitions need even n");
+    assert!(n.is_multiple_of(2), "matching partitions need even n");
     bcc_graphs::enumerate::perfect_matchings(n)
         .into_iter()
         .map(move |pairs| {

@@ -73,7 +73,7 @@ impl PartitionLattice {
         let k = p.num_blocks();
         debug_assert!(k >= 1);
         let magnitude = GfP::new((factorial(k - 1) % ((1u128 << 61) - 1)) as u64);
-        if (k - 1) % 2 == 0 {
+        if (k - 1).is_multiple_of(2) {
             magnitude
         } else {
             -magnitude

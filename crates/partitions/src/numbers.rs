@@ -113,7 +113,7 @@ pub fn stirling2(n: usize, k: usize) -> u128 {
 ///
 /// Panics if `n` is odd or on overflow.
 pub fn num_matching_partitions(n: usize) -> u128 {
-    assert!(n % 2 == 0, "matching partitions need even n");
+    assert!(n.is_multiple_of(2), "matching partitions need even n");
     let mut acc: u128 = 1;
     let mut k: u128 = 1;
     while k < n as u128 {

@@ -39,9 +39,7 @@ pub fn uniform_partition<R: Rng + ?Sized>(n: usize, rng: &mut R) -> SetPartition
     // Then ways[n][0] = B_n, and the growth step of a uniformly random
     // RGS opens a new block with probability ways[m-1][j+1]/ways[m][j].
     let mut ways = vec![vec![0u128; n + 1]; n + 1];
-    for j in 0..=n {
-        ways[0][j] = 1;
-    }
+    ways[0].fill(1);
     for m in 1..=n {
         for j in 0..=(n - m) {
             let open_new = ways[m - 1][j + 1];
@@ -79,7 +77,7 @@ pub fn uniform_partition<R: Rng + ?Sized>(n: usize, rng: &mut R) -> SetPartition
 ///
 /// Panics if `n` is odd.
 pub fn uniform_matching_partition<R: Rng + ?Sized>(n: usize, rng: &mut R) -> SetPartition {
-    assert!(n % 2 == 0, "matching partitions need even n");
+    assert!(n.is_multiple_of(2), "matching partitions need even n");
     // Fisher–Yates then pair consecutive entries: uniform over matchings.
     let mut perm: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
@@ -115,7 +113,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let n = 4;
         let total = 15_000usize;
-        let mut counts = vec![0usize; 15];
+        let mut counts = [0usize; 15];
         for _ in 0..total {
             let p = uniform_partition(n, &mut rng);
             counts[index_of(&p)] += 1;

@@ -139,9 +139,9 @@ proptest! {
         // B_{n+1} = sum_k C(n, k) B_k.
         let bells = numbers::bell_numbers_upto(n + 1);
         let mut sum: u128 = 0;
-        for k in 0..=n {
+        for (k, &bell) in bells.iter().enumerate().take(n + 1) {
             let choose = numbers::factorial(n) / numbers::factorial(k) / numbers::factorial(n - k);
-            sum += choose * bells[k];
+            sum += choose * bell;
         }
         prop_assert_eq!(sum, bells[n + 1]);
     }

@@ -1,0 +1,12 @@
+//! `bcc-runner`: parallel job orchestration for the experiment suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod metrics;
+pub mod pool;
+
+pub use job::{CancellationToken, Job, JobCtx, JobError, JobResult, JobSpec, JobStatus};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use pool::Pool;

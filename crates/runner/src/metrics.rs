@@ -1,0 +1,274 @@
+//! Run observability: atomic counters and a fixed-bucket latency
+//! histogram, safe to record into from any number of workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets; bucket `i` covers
+/// `[2^i, 2^{i+1})` microseconds (bucket 0 additionally includes 0),
+/// so the top bucket starts at ~9.1 hours — effectively unbounded.
+pub const NUM_BUCKETS: usize = 45;
+
+/// A concurrent fixed-bucket log₂ histogram of microsecond latencies.
+///
+/// All operations are lock-free single atomics; `record` never loses
+/// or double-counts a sample regardless of contention (each sample is
+/// exactly one `fetch_add` on exactly one bucket plus the aggregates).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        if micros == 0 {
+            0
+        } else {
+            (micros.ilog2() as usize).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (exact once recording has quiesced).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_micros: u64,
+    /// Largest sample in microseconds.
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper edge (µs) of the bucket containing the `q`-quantile
+    /// (`0.0 < q <= 1.0`); 0 when empty. Bucketed, so an upper bound
+    /// within 2× of the true quantile.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_micros
+    }
+}
+
+/// Counters for everything the pool does, plus the latency histogram.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    scheduled: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    retried: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    panicked: AtomicU64,
+    stolen: AtomicU64,
+    /// Per-job wall-clock latency (one sample per finished job).
+    pub latency: Histogram,
+}
+
+macro_rules! counter {
+    ($($inc:ident / $get:ident -> $field:ident),* $(,)?) => {$(
+        #[doc = concat!("Increments the `", stringify!($field), "` counter.")]
+        pub fn $inc(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+        #[doc = concat!("Current `", stringify!($field), "` count.")]
+        pub fn $get(&self) -> u64 {
+            self.$field.load(Ordering::Relaxed)
+        }
+    )*};
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    counter! {
+        inc_scheduled / scheduled -> scheduled,
+        inc_completed / completed -> completed,
+        inc_failed / failed -> failed,
+        inc_retried / retried -> retried,
+        inc_timed_out / timed_out -> timed_out,
+        inc_cancelled / cancelled -> cancelled,
+        inc_panicked / panicked -> panicked,
+        inc_stolen / stolen -> stolen,
+    }
+
+    /// A point-in-time copy of every counter and the histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            scheduled: self.scheduled(),
+            completed: self.completed(),
+            failed: self.failed(),
+            retried: self.retried(),
+            timed_out: self.timed_out(),
+            cancelled: self.cancelled(),
+            panicked: self.panicked(),
+            stolen: self.stolen(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Immutable copy of [`Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs handed to the pool.
+    pub scheduled: u64,
+    /// Jobs that produced an output in time.
+    pub completed: u64,
+    /// Jobs whose final attempt errored or panicked.
+    pub failed: u64,
+    /// Transient-failure re-runs.
+    pub retried: u64,
+    /// Jobs that exceeded their wall-clock deadline.
+    pub timed_out: u64,
+    /// Jobs skipped because the run was cancelled first.
+    pub cancelled: u64,
+    /// Attempts that panicked (isolated by `catch_unwind`).
+    pub panicked: u64,
+    /// Jobs a worker stole from another worker's shard.
+    pub stolen: u64,
+    /// Latency histogram snapshot.
+    pub latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Human-readable end-of-run summary.
+    pub fn summary_table(&self) -> String {
+        let l = &self.latency;
+        let fmt_us = |us: u64| -> String {
+            if us >= 1_000_000 {
+                format!("{:.2}s", us as f64 / 1e6)
+            } else if us >= 1_000 {
+                format!("{:.2}ms", us as f64 / 1e3)
+            } else {
+                format!("{us}us")
+            }
+        };
+        let mut out = String::new();
+        out.push_str("-- runner metrics --\n");
+        out.push_str(&format!(
+            "jobs      scheduled {:>6}  completed {:>6}  failed {:>4}  timed-out {:>4}  cancelled {:>4}\n",
+            self.scheduled, self.completed, self.failed, self.timed_out, self.cancelled
+        ));
+        out.push_str(&format!(
+            "attempts  retried   {:>6}  panicked  {:>6}  stolen {:>4}\n",
+            self.retried, self.panicked, self.stolen
+        ));
+        out.push_str(&format!(
+            "latency   mean {}  p50<= {}  p90<= {}  p99<= {}  max {}\n",
+            fmt_us(l.mean_micros() as u64),
+            fmt_us(l.quantile_upper_micros(0.50)),
+            fmt_us(l.quantile_upper_micros(0.90)),
+            fmt_us(l.quantile_upper_micros(0.99)),
+            fmt_us(l.max_micros),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = Histogram::new();
+        for us in [1u64, 2, 4, 8, 1000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum_micros, 101_015);
+        assert_eq!(s.max_micros, 100_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert!(s.quantile_upper_micros(1.0) >= 100_000);
+        assert!(s.quantile_upper_micros(0.5) <= 16);
+    }
+
+    #[test]
+    fn summary_table_renders() {
+        let m = Metrics::new();
+        m.inc_scheduled();
+        m.inc_completed();
+        m.latency.record(Duration::from_millis(3));
+        let t = m.snapshot().summary_table();
+        assert!(t.contains("scheduled"));
+        assert!(t.contains("completed"));
+    }
+}

@@ -1,0 +1,240 @@
+//! The work-stealing thread pool.
+//!
+//! Jobs are distributed round-robin over per-worker sharded deques
+//! (the injector). Each worker pops from the front of its own shard
+//! and, when empty, steals from the back of the other shards. Since
+//! no jobs are injected after `execute` starts, "every shard empty"
+//! is a correct termination condition.
+
+use crate::job::{CancellationToken, Job, JobCtx, JobError, JobResult, JobStatus};
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One worker's deque of `(submission index, job)` pairs.
+type Shard<T> = Mutex<VecDeque<(usize, Job<T>)>>;
+
+/// A fixed-width worker pool executing [`Job`]s.
+pub struct Pool {
+    threads: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl Pool {
+    /// A pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The pool's metrics (shared across `execute` calls).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Executes all jobs and returns their results **in submission
+    /// order**, regardless of which worker ran what when — callers
+    /// can rely on positional correspondence with the input vector.
+    pub fn execute<T: Send>(&self, jobs: Vec<Job<T>>) -> Vec<JobResult<T>> {
+        self.execute_cancellable(jobs, &CancellationToken::new())
+    }
+
+    /// Like [`execute`](Self::execute), but jobs not yet started when
+    /// `token` is cancelled are reported as [`JobStatus::Cancelled`],
+    /// and running cooperative jobs observe the cancellation through
+    /// their [`JobCtx`].
+    pub fn execute_cancellable<T: Send>(
+        &self,
+        jobs: Vec<Job<T>>,
+        token: &CancellationToken,
+    ) -> Vec<JobResult<T>> {
+        let num_jobs = jobs.len();
+        if num_jobs == 0 {
+            return Vec::new();
+        }
+        for _ in 0..num_jobs {
+            self.metrics.inc_scheduled();
+        }
+
+        // Serial fast path: no threads, no channels, same semantics.
+        if self.threads == 1 {
+            return jobs
+                .iter()
+                .map(|job| {
+                    if token.is_cancelled() {
+                        self.metrics.inc_cancelled();
+                        cancelled_result(job)
+                    } else {
+                        run_job(job, token, &self.metrics)
+                    }
+                })
+                .collect();
+        }
+
+        let workers = self.threads.min(num_jobs);
+        let mut shards: Vec<Shard<T>> = (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            shards[idx % workers]
+                .get_mut()
+                .expect("fresh shard lock")
+                .push_back((idx, job));
+        }
+        let shards = &shards;
+        let (tx, rx) = mpsc::channel::<(usize, JobResult<T>)>();
+        let metrics = &self.metrics;
+
+        let mut results: Vec<Option<JobResult<T>>> = (0..num_jobs).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let tx = tx.clone();
+                let token = token.clone();
+                scope.spawn(move || {
+                    loop {
+                        // Own shard first (front), then steal from the
+                        // back of the others.
+                        let mut claimed = shards[me].lock().expect("shard lock").pop_front();
+                        if claimed.is_none() {
+                            for other in (0..shards.len()).filter(|&o| o != me) {
+                                let steal = shards[other].lock().expect("shard lock").pop_back();
+                                if steal.is_some() {
+                                    metrics.inc_stolen();
+                                    claimed = steal;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some((idx, job)) = claimed else {
+                            break; // all shards drained: run is over
+                        };
+                        let result = if token.is_cancelled() {
+                            metrics.inc_cancelled();
+                            cancelled_result(&job)
+                        } else {
+                            run_job(&job, &token, metrics)
+                        };
+                        if tx.send((idx, result)).is_err() {
+                            break; // collector went away (shouldn't happen)
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok((idx, result)) = rx.recv() {
+                results[idx] = Some(result);
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every job reports exactly one result"))
+            .collect()
+    }
+}
+
+fn cancelled_result<T>(job: &Job<T>) -> JobResult<T> {
+    JobResult {
+        id: job.spec.id.clone(),
+        seed: job.spec.seed,
+        status: JobStatus::Cancelled,
+        attempts: 0,
+        latency: Duration::ZERO,
+    }
+}
+
+/// Runs one job to its terminal state on the current thread: retry
+/// loop, deadline accounting, panic isolation, metrics booking.
+pub(crate) fn run_job<T>(
+    job: &Job<T>,
+    run_token: &CancellationToken,
+    metrics: &Metrics,
+) -> JobResult<T> {
+    let started = Instant::now();
+    let deadline = job.spec.timeout.map(|t| started + t);
+    let mut attempts = 0u32;
+    let status = loop {
+        attempts += 1;
+        let ctx = JobCtx {
+            seed: job.spec.seed,
+            attempt: attempts,
+            token: run_token.clone(),
+            deadline,
+        };
+        let overdue = || deadline.is_some_and(|d| Instant::now() >= d);
+        let outcome = catch_unwind(AssertUnwindSafe(|| (job.work)(&ctx)));
+        match outcome {
+            Ok(Ok(value)) => {
+                if overdue() {
+                    break JobStatus::TimedOut;
+                }
+                break JobStatus::Completed(value);
+            }
+            Ok(Err(JobError::Transient(msg))) => {
+                if overdue() {
+                    break JobStatus::TimedOut;
+                }
+                if attempts <= job.spec.max_retries && !run_token.is_cancelled() {
+                    metrics.inc_retried();
+                    continue;
+                }
+                break JobStatus::Failed(JobError::Transient(msg));
+            }
+            Ok(Err(err)) => {
+                if overdue() {
+                    break JobStatus::TimedOut;
+                }
+                break JobStatus::Failed(err);
+            }
+            Err(payload) => {
+                metrics.inc_panicked();
+                let msg = panic_message(payload.as_ref());
+                if overdue() {
+                    break JobStatus::TimedOut;
+                }
+                break JobStatus::Failed(JobError::Panicked(msg));
+            }
+        }
+    };
+    let latency = started.elapsed();
+    metrics.latency.record(latency);
+    match &status {
+        JobStatus::Completed(_) => metrics.inc_completed(),
+        JobStatus::Failed(_) => metrics.inc_failed(),
+        JobStatus::TimedOut => metrics.inc_timed_out(),
+        JobStatus::Cancelled => metrics.inc_cancelled(),
+    }
+    JobResult {
+        id: job.spec.id.clone(),
+        seed: job.spec.seed,
+        status,
+        attempts,
+        latency,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

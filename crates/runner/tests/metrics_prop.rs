@@ -1,0 +1,63 @@
+//! Property tests for the metrics layer: concurrent recording must
+//! never lose or double-count a sample.
+
+use bcc_runner::Metrics;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..Default::default() })]
+
+    #[test]
+    fn histogram_and_counters_are_exact_under_concurrency(
+        latencies in proptest::collection::vec(0u64..10_000_000u64, 1..200),
+        threads in 1usize..6,
+    ) {
+        let metrics = Arc::new(Metrics::new());
+        let chunk = latencies.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in latencies.chunks(chunk) {
+                let metrics = Arc::clone(&metrics);
+                scope.spawn(move || {
+                    for &us in part {
+                        metrics.latency.record(Duration::from_micros(us));
+                        metrics.inc_completed();
+                        metrics.inc_scheduled();
+                    }
+                });
+            }
+        });
+        let snap = metrics.snapshot();
+        let n = latencies.len() as u64;
+        // No sample lost, none double-counted: the total count, the
+        // per-bucket sum, and every counter agree exactly.
+        prop_assert_eq!(snap.latency.count, n);
+        prop_assert_eq!(snap.latency.buckets.iter().sum::<u64>(), n);
+        prop_assert_eq!(snap.latency.sum_micros, latencies.iter().sum::<u64>());
+        prop_assert_eq!(snap.latency.max_micros, *latencies.iter().max().unwrap());
+        prop_assert_eq!(snap.completed, n);
+        prop_assert_eq!(snap.scheduled, n);
+        prop_assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_every_sample(
+        latencies in proptest::collection::vec(0u64..1_000_000u64, 1..100),
+    ) {
+        let metrics = Metrics::new();
+        for &us in &latencies {
+            metrics.latency.record(Duration::from_micros(us));
+        }
+        let snap = metrics.snapshot();
+        let p100 = snap.latency.quantile_upper_micros(1.0);
+        // The p100 upper bound must dominate every recorded sample.
+        for &us in &latencies {
+            prop_assert!(p100 >= us, "p100 bound {} below sample {}", p100, us);
+        }
+        // Quantile upper bounds are monotone in q.
+        let p50 = snap.latency.quantile_upper_micros(0.5);
+        let p90 = snap.latency.quantile_upper_micros(0.9);
+        prop_assert!(p50 <= p90 && p90 <= p100);
+    }
+}

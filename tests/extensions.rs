@@ -36,11 +36,7 @@ fn range_separation_end_to_end() {
 /// including with non-contiguous IDs.
 #[test]
 fn mst_with_noncontiguous_ids() {
-    let g = bcclique::graphs::generators::gnm(
-        10,
-        18,
-        &mut rand::rngs::StdRng::seed_from_u64(50),
-    );
+    let g = bcclique::graphs::generators::gnm(10, 18, &mut rand::rngs::StdRng::seed_from_u64(50));
     // IDs 0..10 scaled by 3: positions in sorted-ID order still equal
     // vertex indices, so the oracle weight function lines up.
     let ids: Vec<u64> = (0..10u64).map(|v| 3 * v).collect();

@@ -1,0 +1,117 @@
+//! Collection strategies (mirror of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A (possibly degenerate) range of collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let len = self.size.pick(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.gen_value(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from
+/// `size`; rejects the candidate if the element strategy cannot supply
+/// enough distinct values.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<HashSet<S::Value>> {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        // Give duplicates a generous but bounded budget before
+        // rejecting the whole candidate.
+        let mut attempts = 0usize;
+        while out.len() < target {
+            attempts += 1;
+            if attempts > 64 * (target + 1) {
+                return None;
+            }
+            out.insert(self.element.gen_value(rng)?);
+        }
+        Some(out)
+    }
+}

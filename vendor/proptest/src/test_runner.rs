@@ -1,0 +1,140 @@
+//! Case-execution machinery backing the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::panic::resume_unwind;
+
+/// Per-test configuration (mirror of `proptest::test_runner::Config`;
+/// exposed as `ProptestConfig` from the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Total rejection budget (filters + `prop_assume!`) across the
+    /// whole test before it aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with a different case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Failure vs. rejection of a single case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case does not apply (`prop_assume!` failed); generate a
+    /// fresh one.
+    Reject(String),
+    /// The property is false.
+    Fail(String),
+}
+
+/// Result type the generated case-closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives the generate → run → record loop for one `proptest!` test.
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+    rng: StdRng,
+    successes: u32,
+    rejects: u32,
+}
+
+/// FNV-1a, used to derive a stable per-test seed from its path.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates the runner for the named test; the name seeds the RNG,
+    /// so every run of the same test sees the same cases.
+    pub fn new(config: Config, name: &'static str) -> Self {
+        let rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+        TestRunner {
+            config,
+            name,
+            rng,
+            successes: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Whether more successful cases are still needed.
+    pub fn more_cases(&self) -> bool {
+        self.successes < self.config.cases
+    }
+
+    /// Draws one accepted value tuple from `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rejection budget is exhausted.
+    pub fn generate<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        loop {
+            match strategy.gen_value(&mut self.rng) {
+                Some(v) => return v,
+                None => self.reject("strategy filter"),
+            }
+        }
+    }
+
+    fn reject(&mut self, what: &str) {
+        self.rejects += 1;
+        assert!(
+            self.rejects <= self.config.max_global_rejects,
+            "{}: too many rejections ({}) from {what}; \
+             loosen the strategy or raise `max_global_rejects`",
+            self.name,
+            self.rejects,
+        );
+    }
+
+    /// Books the outcome of one executed case.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the surrounding `#[test]`) when the case failed
+    /// or panicked; the generated inputs are reported either way.
+    pub fn record(&mut self, outcome: Result<TestCaseResult, Box<dyn Any + Send>>, inputs: &str) {
+        match outcome {
+            Ok(Ok(())) => self.successes += 1,
+            Ok(Err(TestCaseError::Reject(why))) => self.reject(&why.clone()),
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{}: property failed after {} passing case(s): {msg}\n  inputs: {inputs}",
+                    self.name, self.successes
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{}: case panicked after {} passing case(s)\n  inputs: {inputs}",
+                    self.name, self.successes
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `rand` to this path crate. It mirrors the call-site API of
+//! rand 0.8 — `Rng::{gen, gen_range, gen_bool}`, `SeedableRng`,
+//! `rngs::StdRng`, `seq::SliceRandom::{shuffle, choose, choose_multiple}`
+//! — with a deterministic xoshiro256** generator. Streams differ from
+//! upstream `rand`, which is fine: every consumer seeds explicitly and
+//! only relies on determinism and rough uniformity, not on the exact
+//! upstream stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator seedable from a fixed-size state (mirror of
+/// `rand::SeedableRng`; only the `seed_from_u64` entry point is used
+/// in this workspace, `from_seed` is provided for completeness).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (public-domain constants), the same expansion
+            // upstream uses in `SeedableRng::seed_from_u64`.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value whose type implements the [`Standard`]
+    /// distribution (`rng.gen::<bool>()`, `rng.gen::<u64>()`, …).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`0..n`, `0..=i`, `-3i64..=3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can be sampled from uniformly (mirror of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draws a uniform `u64` in `[0, span)` by rejection sampling (no
+/// modulo bias).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Zone is the largest multiple of `span` that fits in u64.
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Draws a uniform `u128` in `[0, span)` by rejection sampling.
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        return uniform_u64_below(rng, span as u64) as u128;
+    }
+    let zone = u128::MAX - (u128::MAX % span) - 1;
+    loop {
+        let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty => $wide:ty, $below:ident;)*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide) - (self.start as $wide);
+                self.start + $below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide) - (lo as $wide) + 1;
+                if span == 0 {
+                    // Full domain: every bit pattern is valid.
+                    return Standard.sample(rng);
+                }
+                lo + $below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint! {
+    u8 => u64, uniform_u64_below;
+    u16 => u64, uniform_u64_below;
+    u32 => u64, uniform_u64_below;
+    u64 => u128, uniform_u128_below;
+    usize => u128, uniform_u128_below;
+}
+
+impl SampleRange<u128> for core::ops::Range<u128> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + uniform_u128_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u128> for core::ops::RangeInclusive<u128> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        match (hi - lo).checked_add(1) {
+            Some(span) => lo + uniform_u128_below(rng, span),
+            None => Standard.sample(rng), // full domain
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty as $u:ty => $wide:ty, $below:ident;)*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as $u as $wide;
+                self.start.wrapping_add($below(rng, span as _) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = ((hi as $wide).wrapping_sub(lo as $wide) as $u as $wide) + 1;
+                if span == 0 {
+                    return Standard.sample(rng);
+                }
+                lo.wrapping_add($below(rng, span as _) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int! {
+    i8 as u8 => i128, uniform_u128_below;
+    i16 as u16 => i128, uniform_u128_below;
+    i32 as u32 => i128, uniform_u128_below;
+    i64 as u64 => i128, uniform_u128_below;
+    isize as usize => i128, uniform_u128_below;
+}
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty;)*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit: $t = Standard.sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit: $t = Standard.sample(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float! {
+    f32;
+    f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = super::rngs::StdRng::seed_from_u64(42);
+        let mut b = super::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = super::rngs::StdRng::seed_from_u64(1);
+        let mut b = super::rngs::StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+        for _ in 0..1_000 {
+            let v: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Slice sampling helpers (mirror of `rand::seq::SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements, uniformly without replacement (all
+    /// elements if `amount` exceeds the length). Order is the order
+    /// they were selected in.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        // Partial Fisher–Yates over an index vector.
+        let amount = amount.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SliceRandom;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(4);
+        let v: Vec<usize> = (0..20).collect();
+        let picked: Vec<usize> = v.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "no duplicates: {picked:?}");
+    }
+}
