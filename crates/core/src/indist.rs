@@ -19,7 +19,7 @@ use bcc_graphs::enumerate::{num_one_cycles, num_two_cycles, one_cycles, two_cycl
 use bcc_graphs::matching::{k_matching, BipartiteGraph, KMatching};
 use bcc_graphs::Graph;
 use bcc_model::{Algorithm, Instance, Symbol};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The indistinguishability graph `G^t_{x,y}`.
 #[derive(Debug, Clone)]
@@ -73,7 +73,7 @@ impl IndistGraph {
         assert!(n >= 6, "two-cycle instances need n >= 6");
         let ones: Vec<Graph> = one_cycles(n).collect();
         let twos: Vec<Graph> = two_cycle_graphs(n).collect();
-        let two_index: HashMap<Vec<(usize, usize)>, usize> = twos
+        let two_index: BTreeMap<Vec<(usize, usize)>, usize> = twos
             .iter()
             .enumerate()
             .map(|(i, g)| (g.canonical_key(), i))
@@ -262,21 +262,19 @@ pub fn lemma_3_9_degree_check(g: &IndistGraph) -> bool {
 /// `(i, measured |T_i|, predicted |T_i|)` per smaller-cycle length.
 pub fn lemma_3_9_t_counts(g: &IndistGraph) -> Vec<(usize, usize, f64)> {
     let n = g.n;
-    let mut by_i: HashMap<usize, usize> = HashMap::new();
+    let mut by_i: BTreeMap<usize, usize> = BTreeMap::new();
     for graph in &g.two_cycles {
         let s = bcc_graphs::cycles::cycle_structure(graph).expect("two-cycle promise");
         *by_i.entry(s.min_length()).or_insert(0) += 1;
     }
-    let mut out: Vec<(usize, usize, f64)> = by_i
-        .into_iter()
+    // BTreeMap iterates in key order, so the rows come out sorted by i.
+    by_i.into_iter()
         .map(|(i, count)| {
             let per_v1 = if 2 * i == n { n as f64 / 2.0 } else { n as f64 };
             let predicted = g.v1_len() as f64 * per_v1 / (2.0 * i as f64 * (n - i) as f64);
             (i, count, predicted)
         })
-        .collect();
-    out.sort_unstable_by_key(|&(i, _, _)| i);
-    out
+        .collect()
 }
 
 /// Counts of `V₁`/`V₂` from the closed-form formulas, for validating

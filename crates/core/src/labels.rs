@@ -81,7 +81,8 @@ pub fn active_edges(
 /// the pigeonhole step. Guaranteed `count ≥ m / 3^{2t}` where `m` is
 /// the number of edges (each label has `3^t` choices per side).
 pub fn best_label_pair(g: &Graph, strings: &[Vec<Symbol>]) -> (EdgeLabel, usize) {
-    let mut census: std::collections::HashMap<EdgeLabel, usize> = std::collections::HashMap::new();
+    let mut census: std::collections::BTreeMap<EdgeLabel, usize> =
+        std::collections::BTreeMap::new();
     for (_, label) in edge_labels(g, strings) {
         *census.entry(label).or_insert(0) += 1;
     }

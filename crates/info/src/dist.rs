@@ -1,12 +1,14 @@
 //! Exact finite probability distributions.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// An exact probability distribution over a finite support.
 ///
-/// Probabilities are `f64` and are normalized at construction; outcome
-/// lookup is by hash. Entropies are computed by exact summation over
+/// Probabilities are `f64` and are normalized at construction; the
+/// support is kept in a `BTreeMap` so every summation (entropy, KL,
+/// marginals) runs in outcome order — float accumulation order is
+/// deterministic across processes, which the byte-identical report
+/// guarantee relies on. Entropies are computed by exact summation over
 /// the support (no sampling).
 ///
 /// # Example
@@ -19,11 +21,11 @@ use std::hash::Hash;
 /// assert!((d.entropy() - 1.5).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Dist<T: Eq + Hash> {
-    probs: HashMap<T, f64>,
+pub struct Dist<T: Ord> {
+    probs: BTreeMap<T, f64>,
 }
 
-impl<T: Eq + Hash + Clone> Dist<T> {
+impl<T: Ord + Clone> Dist<T> {
     /// The uniform distribution over the given outcomes (duplicates
     /// accumulate mass).
     ///
@@ -33,7 +35,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
     pub fn uniform(outcomes: Vec<T>) -> Self {
         assert!(!outcomes.is_empty(), "a distribution needs support");
         let w = 1.0 / outcomes.len() as f64;
-        let mut probs: HashMap<T, f64> = HashMap::new();
+        let mut probs: BTreeMap<T, f64> = BTreeMap::new();
         for o in outcomes {
             *probs.entry(o).or_insert(0.0) += w;
         }
@@ -53,7 +55,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
             total.is_finite() && total > 0.0,
             "total weight must be positive and finite"
         );
-        let mut probs: HashMap<T, f64> = HashMap::new();
+        let mut probs: BTreeMap<T, f64> = BTreeMap::new();
         for (o, w) in weights {
             assert!(w >= 0.0, "negative weight");
             if w > 0.0 {
@@ -66,7 +68,7 @@ impl<T: Eq + Hash + Clone> Dist<T> {
     /// The point distribution on a single outcome.
     pub fn point(outcome: T) -> Self {
         Dist {
-            probs: HashMap::from([(outcome, 1.0)]),
+            probs: BTreeMap::from([(outcome, 1.0)]),
         }
     }
 
@@ -94,8 +96,8 @@ impl<T: Eq + Hash + Clone> Dist<T> {
     }
 
     /// Pushforward along `f`: the distribution of `f(X)`.
-    pub fn map<U: Eq + Hash + Clone>(&self, mut f: impl FnMut(&T) -> U) -> Dist<U> {
-        let mut probs: HashMap<U, f64> = HashMap::new();
+    pub fn map<U: Ord + Clone>(&self, mut f: impl FnMut(&T) -> U) -> Dist<U> {
+        let mut probs: BTreeMap<U, f64> = BTreeMap::new();
         for (o, &p) in &self.probs {
             *probs.entry(f(o)).or_insert(0.0) += p;
         }

@@ -1,8 +1,7 @@
 //! Joint distributions and mutual information.
 
 use crate::dist::Dist;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// An exact joint distribution over pairs `(X, Y)`.
 ///
@@ -26,11 +25,11 @@ use std::hash::Hash;
 /// assert!(ind.mutual_information().abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Joint<X: Eq + Hash, Y: Eq + Hash> {
-    probs: HashMap<(X, Y), f64>,
+pub struct Joint<X: Ord, Y: Ord> {
+    probs: BTreeMap<(X, Y), f64>,
 }
 
-impl<X: Eq + Hash + Clone, Y: Eq + Hash + Clone> Joint<X, Y> {
+impl<X: Ord + Clone, Y: Ord + Clone> Joint<X, Y> {
     /// Builds a joint distribution from nonnegative weights on pairs,
     /// normalized to total mass 1. Duplicates accumulate; zero weights
     /// are dropped.
@@ -45,7 +44,7 @@ impl<X: Eq + Hash + Clone, Y: Eq + Hash + Clone> Joint<X, Y> {
             total.is_finite() && total > 0.0,
             "total weight must be positive and finite"
         );
-        let mut probs: HashMap<(X, Y), f64> = HashMap::new();
+        let mut probs: BTreeMap<(X, Y), f64> = BTreeMap::new();
         for (pair, w) in weights {
             assert!(w >= 0.0, "negative weight");
             if w > 0.0 {

@@ -1,0 +1,259 @@
+//! The ratchet file `lint-baseline.toml`: per-rule, per-file finding
+//! counts committed at the repo root. Pre-existing debt passes the
+//! `--baseline check` gate; counts may only shrink. A minimal TOML
+//! subset is read and written here (sections of `"path" = count`
+//! entries) — the build is offline, so no TOML crate.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Allowed finding counts: rule → file → count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// One `(rule, file)` bucket that exceeds its baseline allowance.
+#[derive(Debug)]
+pub struct Regression<'a> {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Findings now present in the bucket.
+    pub found: Vec<&'a Finding>,
+    /// Allowed count from the baseline.
+    pub allowed: usize,
+}
+
+/// A bucket whose debt shrank (or vanished): the baseline can ratchet.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Ratchet {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Allowed count from the baseline.
+    pub allowed: usize,
+    /// Count actually found (strictly less than `allowed`).
+    pub found: usize,
+}
+
+impl Baseline {
+    /// Parses the baseline file contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut section: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(name.trim().to_string());
+                counts.entry(name.trim().to_string()).or_default();
+                continue;
+            }
+            let Some(rule) = &section else {
+                return Err(format!("line {}: entry before any [rule] section", idx + 1));
+            };
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `\"file\" = count`", idx + 1));
+            };
+            let file = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("line {}: file key must be quoted", idx + 1))?;
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not a number", idx + 1))?;
+            counts
+                .entry(rule.clone())
+                .or_default()
+                .insert(file.to_string(), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline that admits exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry(f.rule.to_string())
+                .or_default()
+                .entry(f.file.clone())
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Renders the committed file format (sorted, stable).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# bcc-lint baseline: pre-existing findings per (rule, file).\n\
+             # The gate fails when any bucket exceeds its count; shrink\n\
+             # counts (or delete entries) as debt is paid down. Regenerate\n\
+             # with `cargo run -p bcc-lint -- --baseline write` only when\n\
+             # intentionally ratcheting.\n",
+        );
+        for (rule, files) in &self.counts {
+            if files.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "\n[{rule}]");
+            for (file, count) in files {
+                let _ = writeln!(out, "\"{file}\" = {count}");
+            }
+        }
+        out
+    }
+
+    /// The allowed count for a bucket.
+    pub fn allowed(&self, rule: &str, file: &str) -> usize {
+        self.counts
+            .get(rule)
+            .and_then(|m| m.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of baselined findings.
+    pub fn total(&self) -> usize {
+        self.counts.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Splits findings into regressions (buckets over allowance) and
+    /// ratchet opportunities (buckets under allowance, including
+    /// baseline entries with zero current findings).
+    pub fn check<'a>(&self, findings: &'a [Finding]) -> (Vec<Regression<'a>>, Vec<Ratchet>) {
+        let mut buckets: BTreeMap<(&'static str, &str), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            buckets
+                .entry((f.rule, f.file.as_str()))
+                .or_default()
+                .push(f);
+        }
+        let mut regressions = Vec::new();
+        let mut ratchets = Vec::new();
+        for ((rule, file), found) in &buckets {
+            let allowed = self.allowed(rule, file);
+            if found.len() > allowed {
+                regressions.push(Regression {
+                    rule,
+                    file: file.to_string(),
+                    found: found.clone(),
+                    allowed,
+                });
+            } else if found.len() < allowed {
+                ratchets.push(Ratchet {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    allowed,
+                    found: found.len(),
+                });
+            }
+        }
+        for (rule, files) in &self.counts {
+            for (file, &allowed) in files {
+                if allowed > 0 && !buckets.contains_key(&(rule_id(rule), file.as_str())) {
+                    ratchets.push(Ratchet {
+                        rule: rule.clone(),
+                        file: file.clone(),
+                        allowed,
+                        found: 0,
+                    });
+                }
+            }
+        }
+        ratchets.sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+        (regressions, ratchets)
+    }
+}
+
+/// Interns known rule names so baseline keys can be compared against
+/// the `&'static str` rule ids carried by findings.
+fn rule_id(name: &str) -> &'static str {
+    match name {
+        "D1" => "D1",
+        "D2" => "D2",
+        "P1" => "P1",
+        "K1" => "K1",
+        "R1" => "R1",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            severity: "error",
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let findings = vec![
+            finding("P1", "a.rs", 1),
+            finding("P1", "a.rs", 2),
+            finding("D1", "b.rs", 9),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&b.render()).expect("own render parses");
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.allowed("P1", "a.rs"), 2);
+        assert_eq!(parsed.allowed("D1", "b.rs"), 1);
+        assert_eq!(parsed.allowed("D1", "a.rs"), 0);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn check_splits_regressions_and_ratchets() {
+        let base = Baseline::parse("[P1]\n\"a.rs\" = 1\n\"gone.rs\" = 4\n").expect("parses");
+        let findings = vec![
+            finding("P1", "a.rs", 1),
+            finding("P1", "a.rs", 2),
+            finding("D1", "new.rs", 3),
+        ];
+        let (regressions, ratchets) = base.check(&findings);
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions
+            .iter()
+            .any(|r| r.rule == "P1" && r.file == "a.rs" && r.allowed == 1 && r.found.len() == 2));
+        assert!(regressions
+            .iter()
+            .any(|r| r.rule == "D1" && r.file == "new.rs" && r.allowed == 0));
+        assert_eq!(ratchets.len(), 1);
+        assert_eq!(ratchets[0].file, "gone.rs");
+        assert_eq!(ratchets[0].found, 0);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        assert!(Baseline::parse("\"orphan.rs\" = 3\n").is_err());
+        assert!(Baseline::parse("[P1]\nnot an entry\n").is_err());
+        assert!(Baseline::parse("[P1]\n\"a.rs\" = many\n").is_err());
+        assert!(Baseline::parse("[P1]\nunquoted = 3\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\n[P1]\n# inner\n\"a.rs\" = 2\n").expect("parses");
+        assert_eq!(b.allowed("P1", "a.rs"), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Workspace walking and JSON rendering.
+
+use crate::rules::Finding;
+use crate::source::SourceFile;
+use crate::Workspace;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into. `vendor/` holds std-only
+/// stand-ins for third-party crates (rand/proptest/criterion) whose
+/// panic/entropy surface mimics the real crates — linting them would
+/// only measure how faithful the shims are. `fixtures/` holds the
+/// lint's own seeded-violation test inputs.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Reads and lexes every workspace `.rs` file under `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures (unreadable directory or file).
+pub fn collect_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::parse(rel, &src));
+    }
+    Ok(Workspace { files })
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders one finding as a JSONL record.
+pub fn json_record(f: &Finding, baselined: bool) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"baselined\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+        f.rule,
+        f.severity,
+        escape(&f.file),
+        f.line,
+        baselined,
+        escape(&f.message),
+        escape(&f.snippet),
+    )
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_record_escapes() {
+        let f = Finding {
+            rule: "P1",
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            severity: "error",
+            message: "tab\there".to_string(),
+            snippet: "let s = \"x\";".to_string(),
+        };
+        let rec = json_record(&f, true);
+        assert!(rec.contains("\"file\":\"a\\\"b.rs\""));
+        assert!(rec.contains("tab\\there"));
+        assert!(rec.contains("\"baselined\":true"));
+        assert!(rec.starts_with('{') && rec.ends_with('}'));
+    }
+}

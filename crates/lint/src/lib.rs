@@ -1,0 +1,28 @@
+//! `bcc-lint` — project-specific static analysis for the bcclique
+//! workspace.
+//!
+//! The reproduction's headline guarantees are conventions a compiler
+//! cannot check: byte-identical reports at any `--jobs` value
+//! (determinism), no panic paths in library code, the KT-0/KT-1
+//! knowledge separation of Section 1.2, and a complete experiment
+//! registry. This crate makes them machine-checked: a lightweight
+//! Rust lexer (no `syn` — the build is offline), a rule engine
+//! ([`rules`]), inline `// bcc-lint: allow(<rule>)` suppressions
+//! ([`source`]), and a committed ratchet file ([`baseline`]).
+//!
+//! See DESIGN.md §"Static analysis & enforced invariants" for the
+//! rule-by-rule rationale, and the `bcc-lint` binary for the CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use baseline::Baseline;
+pub use engine::collect_workspace;
+pub use rules::{run_all, Finding, Workspace};
+pub use source::SourceFile;

@@ -1,0 +1,197 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! bcc-lint [OPTIONS]
+//!
+//! OPTIONS:
+//!   --root DIR          workspace root (default: auto-detected from
+//!                       the manifest dir, falling back to `.`)
+//!   --baseline write    regenerate lint-baseline.toml from findings
+//!   --baseline check    fail only on findings beyond the baseline
+//!   --json              emit findings as JSONL on stdout
+//!
+//! Exit codes follow the runner's conventions: 0 clean, 1 findings,
+//! 2 usage or I/O error.
+//! ```
+
+use bcc_lint::{baseline::Baseline, engine, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bcc-lint [--root DIR] [--baseline write|check] [--json]";
+
+const BASELINE_FILE: &str = "lint-baseline.toml";
+
+#[derive(PartialEq)]
+enum BaselineMode {
+    /// Report every finding.
+    Off,
+    /// Rewrite the baseline from current findings.
+    Write,
+    /// Fail only on findings beyond the baseline.
+    Check,
+}
+
+struct Cli {
+    root: PathBuf,
+    mode: BaselineMode,
+    json: bool,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut root = None;
+    let mut mode = BaselineMode::Off;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?));
+            }
+            "--baseline" => {
+                mode = match it.next().as_deref() {
+                    Some("write") => BaselineMode::Write,
+                    Some("check") => BaselineMode::Check,
+                    other => {
+                        return Err(format!(
+                            "--baseline needs `write` or `check`, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Cli {
+        root: root.unwrap_or_else(default_root),
+        mode,
+        json,
+    })
+}
+
+/// The workspace root: two levels above this crate's manifest
+/// (`crates/lint`), or the current directory when running a moved
+/// binary.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cli) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(cli: &Cli) -> Result<ExitCode, String> {
+    let ws = engine::collect_workspace(&cli.root)
+        .map_err(|e| format!("walking {}: {e}", cli.root.display()))?;
+    let findings = rules::run_all(&ws);
+    let baseline_path = cli.root.join(BASELINE_FILE);
+
+    match cli.mode {
+        BaselineMode::Write => {
+            let baseline = Baseline::from_findings(&findings);
+            std::fs::write(&baseline_path, baseline.render())
+                .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+            eprintln!(
+                "bcc-lint: wrote {} ({} findings across {} files)",
+                baseline_path.display(),
+                findings.len(),
+                ws.files.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        BaselineMode::Off => {
+            for f in &findings {
+                print_finding(f, false, cli.json);
+            }
+            eprintln!(
+                "bcc-lint: {} findings in {} files",
+                findings.len(),
+                ws.files.len()
+            );
+            Ok(exit_for(findings.is_empty()))
+        }
+        BaselineMode::Check => {
+            let text = std::fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+            let baseline =
+                Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+            let (regressions, ratchets) = baseline.check(&findings);
+            let num_new: usize = regressions.iter().map(|r| r.found.len() - r.allowed).sum();
+            for r in &regressions {
+                eprintln!(
+                    "bcc-lint: [{}] {}: {} findings exceed baseline allowance {}:",
+                    r.rule,
+                    r.file,
+                    r.found.len(),
+                    r.allowed
+                );
+                for f in &r.found {
+                    print_finding(f, false, cli.json);
+                }
+            }
+            if cli.json {
+                // Baselined buckets are still emitted for dashboards,
+                // flagged so consumers can filter.
+                for f in findings.iter().filter(|f| {
+                    !regressions
+                        .iter()
+                        .any(|r| r.rule == f.rule && r.file == f.file)
+                }) {
+                    println!("{}", engine::json_record(f, true));
+                }
+            }
+            for r in &ratchets {
+                eprintln!(
+                    "bcc-lint: ratchet available: [{}] {} allows {} but has {} — shrink the baseline",
+                    r.rule, r.file, r.allowed, r.found
+                );
+            }
+            eprintln!(
+                "bcc-lint: {} findings ({} new, {} baselined allowance) in {} files",
+                findings.len(),
+                num_new,
+                baseline.total(),
+                ws.files.len()
+            );
+            Ok(exit_for(regressions.is_empty()))
+        }
+    }
+}
+
+fn print_finding(f: &rules::Finding, baselined: bool, json: bool) {
+    if json {
+        println!("{}", engine::json_record(f, baselined));
+    } else {
+        println!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            println!("    | {}", f.snippet);
+        }
+    }
+}
+
+fn exit_for(clean: bool) -> ExitCode {
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

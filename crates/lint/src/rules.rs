@@ -1,0 +1,328 @@
+//! The rule set. Each rule protects a specific guarantee of the
+//! reproduction (see DESIGN.md §"Static analysis & enforced
+//! invariants"):
+//!
+//! * **D1** — nondeterministic iteration: `HashMap`/`HashSet` in the
+//!   crates whose outputs feed experiment [`Report`]s. Hash iteration
+//!   order varies per process, which would break the byte-identical
+//!   `--jobs 1` ≡ `--jobs N` guarantee (and, via float summation
+//!   order, the entropy accounting of Theorem 4.5).
+//! * **D2** — wall-clock/entropy reads outside the runner's timing
+//!   layer: a job body reading `Instant::now` or an OS entropy source
+//!   is no longer a pure function of its seed.
+//! * **P1** — `unwrap`/`expect`/`panic!`-family in non-test library
+//!   code: new panic paths are errors; pre-existing debt lives in
+//!   `lint-baseline.toml` and may only shrink.
+//! * **K1** — knowledge-regime hygiene: protocol modules in
+//!   `crates/algorithms` may see the model only through the node
+//!   surface (`InitialKnowledge`/`Inbox`/`NodeProgram` — the KT-0/KT-1
+//!   views). Touching `Simulator`, `Instance`, or run outcomes from a
+//!   protocol would let an algorithm read knowledge the paper's
+//!   KT-0/KT-1 separation (Section 1.2) says it cannot have.
+//! * **R1** — experiment-registry completeness: every
+//!   `crates/experiments/src/exp_*.rs` module must expose
+//!   `jobs()`/`reduce()` and be dispatched by id in `lib.rs`, so no
+//!   series silently drops out of `all` runs.
+//!
+//! [`Report`]: https://docs.rs/bcc-experiments
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`"D1"`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Severity (`"error"` — the baseline, not the severity, is what
+    /// lets pre-existing debt through).
+    pub severity: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Trimmed source line.
+    pub snippet: String,
+}
+
+/// All lexed workspace files.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Parsed files, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+/// Crates whose non-test code feeds experiment reports: the D1 scope.
+pub const D1_PATHS: [&str; 5] = [
+    "crates/experiments/",
+    "crates/runner/",
+    "crates/partitions/",
+    "crates/core/",
+    "crates/info/",
+];
+
+/// Crates allowed to read clocks: the runner owns deadlines, latency
+/// metrics, and retry timing — its *results* (timings) are labelled as
+/// measurements, never folded into report bytes.
+pub const D2_EXEMPT: [&str; 1] = ["crates/runner/"];
+
+/// Path prefix of the protocol crate checked by K1.
+pub const K1_PATH: &str = "crates/algorithms/";
+
+/// `bcc_model` items a protocol module must not name: everything that
+/// exists outside a single node's KT-0/KT-1 view.
+pub const K1_FORBIDDEN: [&str; 6] = [
+    "Simulator",
+    "Instance",
+    "RunOutcome",
+    "NodeView",
+    "Transcript",
+    "runs_indistinguishable",
+];
+
+/// Runs every rule over the workspace; findings are sorted by
+/// (file, line, rule) and inline suppressions are already applied.
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        rule_d1(file, &mut out);
+        rule_d2(file, &mut out);
+        rule_p1(file, &mut out);
+        rule_k1(file, &mut out);
+    }
+    rule_r1(ws, &mut out);
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out
+}
+
+fn emit(file: &SourceFile, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+    if file.is_suppressed(rule, line) {
+        return;
+    }
+    out.push(Finding {
+        rule,
+        file: file.path.clone(),
+        line,
+        severity: "error",
+        message,
+        snippet: file.line_text(line).to_string(),
+    });
+}
+
+/// D1: hash-ordered collections in report-feeding crates.
+fn rule_d1(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !D1_PATHS.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    for t in file.code() {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !file.is_test_line(t.line)
+        {
+            emit(
+                file,
+                out,
+                "D1",
+                t.line,
+                format!(
+                    "`{}` in a report-feeding crate: iteration order is \
+                     nondeterministic; use `BTree{}` or sort before iterating",
+                    t.text,
+                    &t.text[4..]
+                ),
+            );
+        }
+    }
+}
+
+/// D2: wall-clock or OS-entropy reads outside the runner.
+fn rule_d2(file: &SourceFile, out: &mut Vec<Finding>) {
+    if D2_EXEMPT.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    let code: Vec<_> = file.code().collect();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        let clock_type = t.text == "Instant" || t.text == "SystemTime";
+        if clock_type
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            emit(
+                file,
+                out,
+                "D2",
+                t.line,
+                format!(
+                    "`{}::now()` outside the runner's timing layer: job bodies \
+                     must be pure functions of their seed",
+                    t.text
+                ),
+            );
+        }
+        if ["thread_rng", "from_entropy", "OsRng", "getrandom"].contains(&t.text.as_str()) {
+            emit(
+                file,
+                out,
+                "D2",
+                t.line,
+                format!(
+                    "`{}` draws OS entropy: derive randomness from the blessed \
+                     per-job seed path (`job_seed`) instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// P1: panic paths in non-test library code.
+fn rule_p1(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code: Vec<_> = file.code().collect();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.text == name
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        };
+        if method_call("unwrap") || method_call("expect") {
+            emit(
+                file,
+                out,
+                "P1",
+                t.line,
+                format!(
+                    "`.{}()` in library code: return a typed error (or add the \
+                     call to lint-baseline.toml only when shrinking existing debt)",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        let panic_macro = ["panic", "unreachable", "todo", "unimplemented"]
+            .contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if panic_macro {
+            emit(
+                file,
+                out,
+                "P1",
+                t.line,
+                format!(
+                    "`{}!` in library code: return a typed error instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// K1: protocol modules must stay inside the node-view surface.
+fn rule_k1(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.path.starts_with(K1_PATH) {
+        return;
+    }
+    for t in file.code() {
+        if t.kind == TokKind::Ident
+            && K1_FORBIDDEN.contains(&t.text.as_str())
+            && !file.is_test_line(t.line)
+        {
+            emit(
+                file,
+                out,
+                "K1",
+                t.line,
+                format!(
+                    "`{}` reaches beyond the KT-0/KT-1 node view: protocol code \
+                     may only use InitialKnowledge/Inbox/NodeProgram (the \
+                     knowledge separation of Section 1.2)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// R1: every experiment module is complete and registered.
+fn rule_r1(ws: &Workspace, out: &mut Vec<Finding>) {
+    let lib = ws
+        .files
+        .iter()
+        .find(|f| f.path == "crates/experiments/src/lib.rs");
+    for file in &ws.files {
+        let Some(name) = file
+            .path
+            .strip_prefix("crates/experiments/src/")
+            .and_then(|p| p.strip_suffix(".rs"))
+            .filter(|p| p.starts_with("exp_") && !p.contains('/'))
+        else {
+            continue;
+        };
+        // Module name `exp_e10_lattice` → experiment id `e10`.
+        let id = name
+            .trim_start_matches("exp_")
+            .split('_')
+            .next()
+            .unwrap_or_default();
+        for f in ["jobs", "reduce"] {
+            if !has_pub_fn(file, f) {
+                emit(
+                    file,
+                    out,
+                    "R1",
+                    1,
+                    format!("experiment module `{name}` does not define `pub fn {f}`"),
+                );
+            }
+        }
+        let Some(lib) = lib else {
+            continue;
+        };
+        for f in ["jobs", "reduce"] {
+            if !calls_module_fn(lib, name, f) {
+                emit(
+                    lib,
+                    out,
+                    "R1",
+                    1,
+                    format!("`{name}::{f}` is not dispatched in lib.rs — experiment `{id}` would silently drop from suite runs"),
+                );
+            }
+        }
+        let quoted = format!("\"{id}\"");
+        if !lib
+            .code()
+            .any(|t| t.kind == TokKind::StrLit && t.text == quoted)
+        {
+            emit(
+                lib,
+                out,
+                "R1",
+                1,
+                format!("experiment id \"{id}\" missing from the id registry in lib.rs"),
+            );
+        }
+    }
+}
+
+fn has_pub_fn(file: &SourceFile, name: &str) -> bool {
+    let code: Vec<_> = file.code().collect();
+    code.windows(3)
+        .any(|w| w[0].is_ident("pub") && w[1].is_ident("fn") && w[2].is_ident(name))
+}
+
+fn calls_module_fn(file: &SourceFile, module: &str, func: &str) -> bool {
+    let code: Vec<_> = file.code().collect();
+    code.windows(4).any(|w| {
+        w[0].is_ident(module) && w[1].is_punct(':') && w[2].is_punct(':') && w[3].is_ident(func)
+    })
+}

@@ -1,0 +1,18 @@
+//! A protocol module that illegally reaches past the node view.
+
+pub fn cheat() {
+    // Naming the simulator from protocol code is the K1 violation.
+    let _sim = Simulator::new(4); // seeded K1
+}
+
+pub fn fine(inbox: &[u8]) -> usize {
+    inbox.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_drive_the_simulator() {
+        let _sim = Simulator::new(1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture workspace: a miniature experiments crate with one
+//! well-registered module and one broken one.
+
+mod exp_yy_broken;
+mod exp_zz_good;
+
+pub fn dispatch(id: &str) {
+    match id {
+        "zz" => {
+            let js = exp_zz_good::jobs();
+            exp_zz_good::reduce(js);
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-rule behaviour on the seeded-violation fixture workspace under
+//! `tests/fixtures/ws/` (a directory the real workspace walk skips).
+
+use bcc_lint::{collect_workspace, run_all, Finding};
+use std::path::Path;
+
+fn fixture_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let ws = collect_workspace(&root).expect("fixture workspace readable");
+    run_all(&ws)
+}
+
+fn by_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn d1_flags_hash_collections_and_honours_suppression() {
+    let findings = fixture_findings();
+    let d1 = by_rule(&findings, "D1");
+    // `use ... HashMap` plus two `HashMap` tokens on the construction
+    // line; the suppressed `HashSet` must not appear.
+    assert_eq!(d1.len(), 3, "{d1:?}");
+    assert!(d1
+        .iter()
+        .all(|f| f.file == "crates/experiments/src/exp_yy_broken.rs"));
+    assert!(d1.iter().all(|f| f.message.contains("BTree")));
+}
+
+#[test]
+fn d2_flags_clock_reads() {
+    let findings = fixture_findings();
+    let d2 = by_rule(&findings, "D2");
+    assert_eq!(d2.len(), 1, "{d2:?}");
+    assert!(d2[0].message.contains("Instant::now"));
+    assert!(d2[0].snippet.contains("Instant::now()"));
+}
+
+#[test]
+fn p1_flags_unwrap_outside_tests_only() {
+    let findings = fixture_findings();
+    let p1 = by_rule(&findings, "P1");
+    // One unsuppressed `.unwrap()`; the suppressed one and the one in
+    // `#[cfg(test)]` code (exp_zz_good) must not appear.
+    assert_eq!(p1.len(), 1, "{p1:?}");
+    assert_eq!(p1[0].file, "crates/experiments/src/exp_yy_broken.rs");
+}
+
+#[test]
+fn k1_flags_simulator_in_protocol_code_but_not_tests() {
+    let findings = fixture_findings();
+    let k1 = by_rule(&findings, "K1");
+    assert_eq!(k1.len(), 1, "{k1:?}");
+    assert_eq!(k1[0].file, "crates/algorithms/src/proto.rs");
+    assert!(k1[0].message.contains("KT-0/KT-1"));
+}
+
+#[test]
+fn r1_flags_unregistered_experiment_module() {
+    let findings = fixture_findings();
+    let r1 = by_rule(&findings, "R1");
+    // exp_yy_broken: missing jobs + reduce (2 on the module), not
+    // dispatched (2 on lib.rs), id "yy" absent from lib.rs (1).
+    assert_eq!(r1.len(), 5, "{r1:?}");
+    assert_eq!(
+        r1.iter()
+            .filter(|f| f.file == "crates/experiments/src/exp_yy_broken.rs")
+            .count(),
+        2
+    );
+    assert_eq!(
+        r1.iter()
+            .filter(|f| f.file == "crates/experiments/src/lib.rs")
+            .count(),
+        3
+    );
+    // The fully-registered module is clean.
+    assert!(!r1.iter().any(|f| f.file.contains("exp_zz_good")));
+}
+
+#[test]
+fn clean_file_produces_no_findings() {
+    let findings = fixture_findings();
+    assert!(
+        !findings.iter().any(|f| f.file.contains("clean.rs")),
+        "decoy strings/comments must not trigger rules"
+    );
+}
+
+#[test]
+fn findings_are_sorted_by_file_line_rule() {
+    let findings = fixture_findings();
+    let keys: Vec<_> = findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

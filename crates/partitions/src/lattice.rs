@@ -126,7 +126,7 @@ impl PartitionLattice {
             i: usize,
             j: usize,
             leq: &Vec<Vec<bool>>,
-            memo: &mut std::collections::HashMap<(usize, usize), GfP>,
+            memo: &mut std::collections::BTreeMap<(usize, usize), GfP>,
         ) -> GfP {
             if i == j {
                 return GfP::ONE;
@@ -147,7 +147,7 @@ impl PartitionLattice {
             memo.insert((i, j), v);
             v
         }
-        let mut memo = std::collections::HashMap::new();
+        let mut memo = std::collections::BTreeMap::new();
         for i in 0..d {
             for j in 0..d {
                 mu.set(i, j, compute(i, j, &leq, &mut memo));

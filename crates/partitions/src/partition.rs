@@ -120,7 +120,7 @@ impl SetPartition {
     /// canonicalized to an RGS.
     pub fn from_assignment(labels: &[usize]) -> Self {
         let n = labels.len();
-        let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut remap: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
         let mut rgs = Vec::with_capacity(n);
         for &l in labels {
             let next = remap.len();

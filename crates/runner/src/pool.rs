@@ -11,7 +11,7 @@ use crate::metrics::Metrics;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One worker's deque of `(submission index, job)` pairs.
@@ -90,11 +90,19 @@ impl Pool {
         }
 
         let workers = self.threads.min(num_jobs);
+        // Spec echoes, kept outside the shards so a result slot that a
+        // worker never fills (a lost send, which only a bug or a shard
+        // poisoned mid-pop could cause) degrades into a Failed result
+        // instead of a panic in the collector.
+        let specs: Vec<(String, u64)> = jobs
+            .iter()
+            .map(|j| (j.spec.id.clone(), j.spec.seed))
+            .collect();
         let mut shards: Vec<Shard<T>> = (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (idx, job) in jobs.into_iter().enumerate() {
             shards[idx % workers]
                 .get_mut()
-                .expect("fresh shard lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push_back((idx, job));
         }
         let shards = &shards;
@@ -110,10 +118,10 @@ impl Pool {
                     loop {
                         // Own shard first (front), then steal from the
                         // back of the others.
-                        let mut claimed = shards[me].lock().expect("shard lock").pop_front();
+                        let mut claimed = lock_shard(&shards[me]).pop_front();
                         if claimed.is_none() {
                             for other in (0..shards.len()).filter(|&o| o != me) {
-                                let steal = shards[other].lock().expect("shard lock").pop_back();
+                                let steal = lock_shard(&shards[other]).pop_back();
                                 if steal.is_some() {
                                     metrics.inc_stolen();
                                     claimed = steal;
@@ -144,8 +152,32 @@ impl Pool {
 
         results
             .into_iter()
-            .map(|r| r.expect("every job reports exactly one result"))
+            .zip(specs)
+            .map(|(r, (id, seed))| r.unwrap_or_else(|| lost_result(id, seed, metrics)))
             .collect()
+    }
+}
+
+/// Locks a shard, recovering the queue if a previous holder panicked
+/// while holding the lock. The guarded data is a plain `VecDeque`
+/// mutated only by non-panicking `pop_front`/`pop_back`/`push_back`
+/// calls, so a poisoned queue is still structurally sound.
+fn lock_shard<T>(shard: &Shard<T>) -> MutexGuard<'_, VecDeque<(usize, Job<T>)>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The terminal state for a job whose result never reached the
+/// collector — reported as failed rather than poisoning the whole run.
+fn lost_result<T>(id: String, seed: u64, metrics: &Metrics) -> JobResult<T> {
+    metrics.inc_failed();
+    JobResult {
+        id,
+        seed,
+        status: JobStatus::Failed(JobError::Fatal(
+            "job result was lost by the pool (worker exited without reporting)".to_string(),
+        )),
+        attempts: 0,
+        latency: Duration::ZERO,
     }
 }
 
