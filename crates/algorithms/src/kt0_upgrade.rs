@@ -126,7 +126,8 @@ impl<A: Algorithm> NodeProgram for UpgradeNode<A> {
     fn receive(&mut self, round: usize, inbox: &Inbox) {
         if round < self.width {
             for (label, acc) in &mut self.accs {
-                acc.push(inbox.by_label(*label).expect("port present").symbol());
+                let fed = acc.push(inbox.by_label(*label).expect("port present").symbol());
+                debug_assert!(fed.is_ok(), "sender broke the bit-serial encoding");
             }
             if round + 1 == self.width {
                 self.finish_prologue();

@@ -232,11 +232,12 @@ impl NodeProgram for MstNode {
                     continue; // silent sender this phase
                 }
                 let sym = inbox.by_label(*label).expect("port present").symbol();
-                if r - 1 < WEIGHT_BITS {
-                    wacc.push(sym);
+                let fed = if r - 1 < WEIGHT_BITS {
+                    wacc.push(sym)
                 } else {
-                    pacc.push(sym);
-                }
+                    pacc.push(sym)
+                };
+                debug_assert!(fed.is_ok(), "sender broke the bit-serial encoding");
             }
         }
         self.phase_state.round_in += 1;

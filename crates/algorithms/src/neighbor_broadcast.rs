@@ -169,7 +169,8 @@ impl NodeProgram for NeighborNode {
                     .collect();
             }
             for (label, acc) in &mut self.degree_accs {
-                acc.push(inbox.by_label(*label).expect("port present").symbol());
+                let fed = acc.push(inbox.by_label(*label).expect("port present").symbol());
+                debug_assert!(fed.is_ok(), "sender broke the bit-serial encoding");
             }
             if round + 1 == self.width {
                 let degrees: Vec<(u64, usize)> = self
@@ -189,7 +190,8 @@ impl NodeProgram for NeighborNode {
             let slot = offset / self.width;
             for (label, accs) in &mut self.id_accs {
                 if let Some(acc) = accs.get_mut(slot) {
-                    acc.push(inbox.by_label(*label).expect("port present").symbol());
+                    let fed = acc.push(inbox.by_label(*label).expect("port present").symbol());
+                    debug_assert!(fed.is_ok(), "sender broke the bit-serial encoding");
                 }
             }
         }

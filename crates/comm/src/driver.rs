@@ -1,6 +1,8 @@
 //! A deterministic two-party protocol driver with exact bit
 //! accounting.
 
+use bcc_trace::{field, TraceBuf};
+
 /// Which party acts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Turn {
@@ -8,6 +10,16 @@ pub enum Turn {
     Alice,
     /// Bob (sends on odd turns).
     Bob,
+}
+
+impl Turn {
+    /// Machine-readable speaker tag (`"alice"` / `"bob"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Turn::Alice => "alice",
+            Turn::Bob => "bob",
+        }
+    }
 }
 
 /// One side of a two-party protocol, parameterized by the output type.
@@ -65,34 +77,23 @@ pub fn run_protocol<Out: Clone>(
     bob: &mut dyn Party<Out>,
     max_messages: usize,
 ) -> ProtocolRun<Out> {
-    let mut transcript = Vec::new();
-    let mut bits = 0;
-    let mut turn = Turn::Alice;
-    for _ in 0..max_messages {
-        if alice.output().is_some() && bob.output().is_some() {
-            break;
-        }
-        let msg = match turn {
-            Turn::Alice => alice.send(),
-            Turn::Bob => bob.send(),
-        };
-        bits += msg.len();
-        match turn {
-            Turn::Alice => bob.receive(&msg),
-            Turn::Bob => alice.receive(&msg),
-        }
-        transcript.push((turn, msg));
-        turn = match turn {
-            Turn::Alice => Turn::Bob,
-            Turn::Bob => Turn::Alice,
-        };
-    }
-    ProtocolRun {
-        alice_output: alice.output(),
-        bob_output: bob.output(),
-        bits_exchanged: bits,
-        transcript,
-    }
+    run_protocol_traced(alice, bob, max_messages, &mut TraceBuf::disabled())
+}
+
+/// Like [`run_protocol`], recording each exchanged message into
+/// `trace`: a `protocol` span wrapping one `message` event per message
+/// with the speaker, its index, bit length, and the bit offset where
+/// it starts in the transcript. Everything recorded is logical —
+/// message indices and bit positions, never timing — so equal inputs
+/// yield byte-identical traces, and the returned run is identical
+/// whether `trace` records or not.
+pub fn run_protocol_traced<Out: Clone>(
+    alice: &mut dyn Party<Out>,
+    bob: &mut dyn Party<Out>,
+    max_messages: usize,
+    trace: &mut TraceBuf,
+) -> ProtocolRun<Out> {
+    run_core(alice, bob, None, max_messages, trace)
 }
 
 /// Runs a protocol under a *bit budget*: once `budget` bits have been
@@ -106,6 +107,37 @@ pub fn run_with_bit_budget<Out: Clone>(
     budget: usize,
     max_messages: usize,
 ) -> ProtocolRun<Out> {
+    run_with_bit_budget_traced(alice, bob, budget, max_messages, &mut TraceBuf::disabled())
+}
+
+/// [`run_with_bit_budget`] with tracing; see [`run_protocol_traced`]
+/// for the event shape. Truncated messages carry `truncated = true`.
+pub fn run_with_bit_budget_traced<Out: Clone>(
+    alice: &mut dyn Party<Out>,
+    bob: &mut dyn Party<Out>,
+    budget: usize,
+    max_messages: usize,
+    trace: &mut TraceBuf,
+) -> ProtocolRun<Out> {
+    run_core(alice, bob, Some(budget), max_messages, trace)
+}
+
+/// The single alternating-message loop behind both public entry
+/// points (`budget: None` = unbounded).
+fn run_core<Out: Clone>(
+    alice: &mut dyn Party<Out>,
+    bob: &mut dyn Party<Out>,
+    budget: Option<usize>,
+    max_messages: usize,
+    trace: &mut TraceBuf,
+) -> ProtocolRun<Out> {
+    if trace.spans_enabled() {
+        let mut fields = vec![field("max_messages", max_messages)];
+        if let Some(b) = budget {
+            fields.push(field("budget_bits", b));
+        }
+        trace.span_start("protocol", fields);
+    }
     let mut transcript = Vec::new();
     let mut bits = 0;
     let mut turn = Turn::Alice;
@@ -113,15 +145,30 @@ pub fn run_with_bit_budget<Out: Clone>(
         if alice.output().is_some() && bob.output().is_some() {
             break;
         }
-        if bits >= budget {
+        if budget.is_some_and(|b| bits >= b) {
             break;
         }
         let mut msg = match turn {
             Turn::Alice => alice.send(),
             Turn::Bob => bob.send(),
         };
-        if bits + msg.len() > budget {
-            msg.truncate(budget - bits);
+        let truncated = budget.is_some_and(|b| bits + msg.len() > b);
+        if truncated {
+            // `budget >= bits` here, or the loop would have broken.
+            msg.truncate(budget.unwrap_or(0) - bits);
+        }
+        if trace.events_enabled() {
+            let mut fields = vec![
+                field("msg_index", transcript.len()),
+                field("speaker", turn.tag()),
+                field("bits", msg.len()),
+                field("bit_offset", bits),
+            ];
+            if truncated {
+                fields.push(field("truncated", true));
+            }
+            trace.event("message", fields);
+            trace.counter("bits_exchanged", msg.len() as u64);
         }
         bits += msg.len();
         match turn {
@@ -134,12 +181,24 @@ pub fn run_with_bit_budget<Out: Clone>(
             Turn::Bob => Turn::Alice,
         };
     }
-    ProtocolRun {
+    let run = ProtocolRun {
         alice_output: alice.output(),
         bob_output: bob.output(),
         bits_exchanged: bits,
         transcript,
+    };
+    if trace.spans_enabled() {
+        trace.span_end(
+            "protocol",
+            vec![
+                field("messages", run.transcript.len()),
+                field("bits_exchanged", run.bits_exchanged),
+                field("alice_decided", run.alice_output.is_some()),
+                field("bob_decided", run.bob_output.is_some()),
+            ],
+        );
     }
+    run
 }
 
 #[cfg(test)]
@@ -238,6 +297,73 @@ mod tests {
         let run = run_with_bit_budget(&mut alice, &mut bob, 4, 10);
         assert_eq!(run.bits_exchanged, 4);
         assert_eq!(run.bob_output, None, "Bob cannot decode a truncated input");
+    }
+
+    #[test]
+    fn traced_run_records_messages_and_matches_untraced() {
+        use bcc_trace::{EventKind, FieldValue, TraceLevel};
+        let build = || {
+            (
+                SumAlice {
+                    bits: vec![true, false, true],
+                    sent: 0,
+                    result: None,
+                },
+                SumBob {
+                    own: 10,
+                    received: Vec::new(),
+                    expected: 3,
+                },
+            )
+        };
+        let (mut alice, mut bob) = build();
+        let plain = run_protocol(&mut alice, &mut bob, 10);
+        let (mut alice, mut bob) = build();
+        let mut buf = TraceBuf::new(TraceLevel::Events, "u");
+        let traced = run_protocol_traced(&mut alice, &mut bob, 10, &mut buf);
+        assert_eq!(plain, traced);
+        let events = buf.into_events();
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[0].name, "protocol");
+        let msgs: Vec<_> = events.iter().filter(|e| e.name == "message").collect();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(
+            msgs[0].field("speaker"),
+            Some(&FieldValue::Str("alice".into()))
+        );
+        assert_eq!(msgs[0].field("bits"), Some(&FieldValue::UInt(3)));
+        assert_eq!(msgs[0].field("bit_offset"), Some(&FieldValue::UInt(0)));
+        assert_eq!(
+            msgs[1].field("speaker"),
+            Some(&FieldValue::Str("bob".into()))
+        );
+        assert_eq!(msgs[1].field("bit_offset"), Some(&FieldValue::UInt(3)));
+        assert_eq!(msgs[1].path, "protocol");
+        let end = events.last().unwrap();
+        assert_eq!(end.kind, EventKind::SpanEnd);
+        assert_eq!(end.field("bits_exchanged"), Some(&FieldValue::UInt(11)));
+    }
+
+    #[test]
+    fn budget_truncation_is_traced() {
+        use bcc_trace::{FieldValue, TraceLevel};
+        let mut alice = SumAlice {
+            bits: vec![true; 10],
+            sent: 0,
+            result: None,
+        };
+        let mut bob = SumBob {
+            own: 0,
+            received: Vec::new(),
+            expected: 10,
+        };
+        let mut buf = TraceBuf::new(TraceLevel::Events, "u");
+        let run = run_with_bit_budget_traced(&mut alice, &mut bob, 4, 10, &mut buf);
+        assert_eq!(run.bits_exchanged, 4);
+        let events = buf.into_events();
+        let msg = events.iter().find(|e| e.name == "message").unwrap();
+        assert_eq!(msg.field("truncated"), Some(&FieldValue::Bool(true)));
+        assert_eq!(msg.field("bits"), Some(&FieldValue::UInt(4)));
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Typed errors for the two-party machinery.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from protocol encodings, gadget construction, and drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A bit string did not decode to a valid protocol message.
+    BadEncoding {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Alice's and Bob's partitions live on different ground sets, so
+    /// no gadget graph `G(P_A, P_B)` exists for the pair.
+    GroundSetMismatch {
+        /// Alice's ground size.
+        alice: usize,
+        /// Bob's ground size.
+        bob: usize,
+    },
+    /// The gadget edge list was rejected by the graph constructor.
+    InvalidGadget {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A protocol run ended without the deciding party producing an
+    /// output (message limit or bit budget hit too early).
+    ProtocolIncomplete,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::BadEncoding { reason } => write!(f, "bad encoding: {reason}"),
+            CommError::GroundSetMismatch { alice, bob } => {
+                write!(
+                    f,
+                    "partitions must share a ground set (Alice has {alice}, Bob has {bob})"
+                )
+            }
+            CommError::InvalidGadget { reason } => write!(f, "invalid gadget graph: {reason}"),
+            CommError::ProtocolIncomplete => {
+                write!(
+                    f,
+                    "protocol ended before the deciding party produced an output"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CommError::GroundSetMismatch { alice: 3, bob: 4 }
+            .to_string()
+            .contains("ground set"));
+        assert!(CommError::ProtocolIncomplete.to_string().contains("output"));
+        assert_eq!(
+            CommError::BadEncoding { reason: "x".into() }.to_string(),
+            "bad encoding: x"
+        );
+    }
+}

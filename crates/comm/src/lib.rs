@@ -35,6 +35,8 @@
 
 pub mod bounds;
 pub mod driver;
+mod error;
+pub use error::CommError;
 pub mod protocols;
 pub mod randomized;
 pub mod reduction;

@@ -9,6 +9,7 @@
 //! 2-party complexity of `Partition` is settled up to constants.
 
 use crate::driver::Party;
+use crate::error::CommError;
 use bcc_model::codec::{bits_needed, bits_to_u64, u64_to_bits};
 use bcc_partitions::SetPartition;
 
@@ -24,18 +25,28 @@ pub fn encode_partition(p: &SetPartition) -> Vec<bool> {
 
 /// Decodes a partition encoded by [`encode_partition`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the bit string has the wrong length or is not a valid
-/// RGS.
-pub fn decode_partition(n: usize, bits: &[bool]) -> SetPartition {
+/// Returns [`CommError::BadEncoding`] if the bit string has the wrong
+/// length or does not decode to a valid restricted-growth string.
+pub fn decode_partition(n: usize, bits: &[bool]) -> Result<SetPartition, CommError> {
     let w = bits_needed(n.max(2));
-    assert_eq!(bits.len(), n * w, "wrong encoding length");
+    if bits.len() != n * w {
+        return Err(CommError::BadEncoding {
+            reason: format!(
+                "partition encoding for ground size {n} needs {} bits, got {}",
+                n * w,
+                bits.len()
+            ),
+        });
+    }
     let rgs: Vec<usize> = bits
         .chunks(w)
         .map(|chunk| bits_to_u64(chunk) as usize)
         .collect();
-    SetPartition::from_rgs(rgs).expect("encoded RGS is valid")
+    SetPartition::from_rgs(rgs).map_err(|e| CommError::BadEncoding {
+        reason: e.to_string(),
+    })
 }
 
 /// Bits of the trivial protocol's first message for ground size `n`.
@@ -104,9 +115,12 @@ impl Party<bool> for TrivialJoinBob {
 
     fn receive(&mut self, bits: &[bool]) {
         let n = self.input.ground_size();
+        // A malformed message leaves Bob undecided rather than
+        // crashing him; the driver reports the missing output.
         if bits.len() == trivial_message_bits(n) {
-            let pa = decode_partition(n, bits);
-            self.answer = Some(pa.join(&self.input).is_trivial());
+            if let Ok(pa) = decode_partition(n, bits) {
+                self.answer = Some(pa.join(&self.input).is_trivial());
+            }
         }
     }
 
@@ -139,7 +153,7 @@ impl Party<SetPartition> for JoinCompAlice {
     fn receive(&mut self, bits: &[bool]) {
         let n = self.input.ground_size();
         if bits.len() == trivial_message_bits(n) {
-            self.join = Some(decode_partition(n, bits));
+            self.join = decode_partition(n, bits).ok();
         }
     }
 
@@ -173,8 +187,9 @@ impl Party<SetPartition> for JoinCompBob {
     fn receive(&mut self, bits: &[bool]) {
         let n = self.input.ground_size();
         if bits.len() == trivial_message_bits(n) {
-            let pa = decode_partition(n, bits);
-            self.join = Some(pa.join(&self.input));
+            if let Ok(pa) = decode_partition(n, bits) {
+                self.join = Some(pa.join(&self.input));
+            }
         }
     }
 
@@ -194,7 +209,7 @@ mod tests {
         for p in all_partitions(6) {
             let bits = encode_partition(&p);
             assert_eq!(bits.len(), trivial_message_bits(6));
-            assert_eq!(decode_partition(6, &bits), p);
+            assert_eq!(decode_partition(6, &bits).unwrap(), p);
         }
     }
 

@@ -17,6 +17,7 @@
 //! **Theorem 4.3**: the partition induced on `L` (equivalently `R`) by
 //! the connected components of `G(P_A, P_B)` is exactly `P_A ∨ P_B`.
 
+use crate::error::CommError;
 use bcc_graphs::connectivity::connected_components;
 use bcc_graphs::Graph;
 use bcc_partitions::SetPartition;
@@ -123,21 +124,34 @@ pub fn bob_edges(gadget: Gadget, pb: &SetPartition) -> Vec<(usize, usize)> {
 
 /// Builds the full gadget graph `G(P_A, P_B)`.
 ///
+/// # Errors
+///
+/// Returns [`CommError::GroundSetMismatch`] if the partitions live on
+/// different ground sets, or [`CommError::InvalidGadget`] if the edge
+/// list is rejected by the graph constructor.
+///
 /// # Panics
 ///
-/// Panics if ground sets differ, or the 2-regular gadget is requested
-/// for non-matching partitions.
-pub fn gadget_graph(gadget: Gadget, pa: &SetPartition, pb: &SetPartition) -> Graph {
-    assert_eq!(
-        pa.ground_size(),
-        pb.ground_size(),
-        "partitions must share a ground set"
-    );
+/// Panics if the 2-regular gadget is requested for non-matching
+/// partitions (see [`alice_edges`] / [`bob_edges`]).
+pub fn gadget_graph(
+    gadget: Gadget,
+    pa: &SetPartition,
+    pb: &SetPartition,
+) -> Result<Graph, CommError> {
+    if pa.ground_size() != pb.ground_size() {
+        return Err(CommError::GroundSetMismatch {
+            alice: pa.ground_size(),
+            bob: pb.ground_size(),
+        });
+    }
     let n = pa.ground_size();
     let mut edges = shared_edges(gadget, n);
     edges.extend(alice_edges(gadget, pa));
     edges.extend(bob_edges(gadget, pb));
-    Graph::from_edges(gadget.num_vertices(n), edges).expect("gadget edges are simple")
+    Graph::from_edges(gadget.num_vertices(n), edges).map_err(|e| CommError::InvalidGadget {
+        reason: e.to_string(),
+    })
 }
 
 /// The partition induced on `L` by the connected components of the
@@ -155,8 +169,13 @@ pub fn induced_partition_on_l(gadget: Gadget, n: usize, g: &Graph) -> SetPartiti
 /// Executable Theorem 4.3: checks that the component partition on `L`
 /// equals the join, and (as the corollary used by Theorem 4.4) that
 /// the gadget is connected iff the join is trivial.
+///
+/// Returns `false` (theorem not verified) when no gadget graph exists
+/// for the pair — e.g. mismatched ground sets.
 pub fn verify_theorem_4_3(gadget: Gadget, pa: &SetPartition, pb: &SetPartition) -> bool {
-    let g = gadget_graph(gadget, pa, pb);
+    let Ok(g) = gadget_graph(gadget, pa, pb) else {
+        return false;
+    };
     let join = pa.join(pb);
     let induced = induced_partition_on_l(gadget, pa.ground_size(), &g);
     induced == join && g.is_connected() == join.is_trivial()
@@ -193,13 +212,15 @@ mod tests {
         // Join of the figure's partitions is the trivial partition
         // (1..8 all connect through the chain of blocks).
         assert!(pa.join(&pb).is_trivial());
-        assert!(gadget_graph(Gadget::General, &pa, &pb).is_connected());
+        assert!(gadget_graph(Gadget::General, &pa, &pb)
+            .unwrap()
+            .is_connected());
     }
 
     #[test]
     fn figure2_right_structure() {
         let (pa, pb) = figure2_right();
-        let g = gadget_graph(Gadget::TwoRegular, &pa, &pb);
+        let g = gadget_graph(Gadget::TwoRegular, &pa, &pb).unwrap();
         // 2-regular: disjoint cycles, each of length >= 4.
         let s = cycle_structure(&g).expect("2-regular disjoint cycles");
         assert!(s.min_length() >= 4);
@@ -236,7 +257,7 @@ mod tests {
                         "PA={pa} PB={pb}"
                     );
                     // Cycle count = blocks of join; all cycles length >= 4.
-                    let g = gadget_graph(Gadget::TwoRegular, pa, pb);
+                    let g = gadget_graph(Gadget::TwoRegular, pa, pb).unwrap();
                     let s = cycle_structure(&g).unwrap();
                     assert_eq!(s.count(), pa.join(pb).num_blocks());
                     assert!(s.min_length() >= 4);
@@ -248,7 +269,7 @@ mod tests {
     #[test]
     fn general_gadget_counts() {
         let (pa, pb) = figure2_left();
-        let g = gadget_graph(Gadget::General, &pa, &pb);
+        let g = gadget_graph(Gadget::General, &pa, &pb).unwrap();
         assert_eq!(g.num_vertices(), 32);
         // n matching edges + n Alice edges (8 = 3+3+2 block members +
         // 5 leftover a's... blocks use 3 a's, leftover 5 attach to ℓ*)
@@ -270,7 +291,18 @@ mod tests {
         edges.extend(alice_edges(Gadget::General, &pa));
         edges.extend(bob_edges(Gadget::General, &pb));
         let g = Graph::from_edges(32, edges).unwrap();
-        assert_eq!(g, gadget_graph(Gadget::General, &pa, &pb));
+        assert_eq!(g, gadget_graph(Gadget::General, &pa, &pb).unwrap());
+    }
+
+    #[test]
+    fn mismatched_ground_sets_are_an_error() {
+        let pa = SetPartition::trivial(3);
+        let pb = SetPartition::trivial(4);
+        assert_eq!(
+            gadget_graph(Gadget::General, &pa, &pb),
+            Err(CommError::GroundSetMismatch { alice: 3, bob: 4 })
+        );
+        assert!(!verify_theorem_4_3(Gadget::General, &pa, &pb));
     }
 
     #[test]

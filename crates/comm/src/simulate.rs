@@ -178,7 +178,7 @@ mod tests {
             for pb in &parts {
                 let report = simulate_two_party(Gadget::TwoRegular, &algo, pa, pb, 0, 10_000);
                 // Direct run on the full gadget instance.
-                let g = gadget_graph(Gadget::TwoRegular, pa, pb);
+                let g = gadget_graph(Gadget::TwoRegular, pa, pb).unwrap();
                 let inst = Instance::new_kt1(g).unwrap();
                 let direct = Simulator::new(10_000).run(&inst, &algo, 0);
                 assert_eq!(
@@ -239,7 +239,7 @@ mod tests {
         // Join is trivial → gadget connected → YES.
         assert!(pa.join(&pb).is_trivial());
         assert_eq!(report.system_decision(), Decision::Yes);
-        let g = gadget_graph(Gadget::General, &pa, &pb);
+        let g = gadget_graph(Gadget::General, &pa, &pb).unwrap();
         let direct = Simulator::new(10_000).run(&Instance::new_kt1(g).unwrap(), &algo, 0);
         assert_eq!(report.decisions, direct.decisions());
     }

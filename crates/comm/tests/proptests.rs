@@ -54,7 +54,7 @@ proptest! {
     fn encoding_roundtrip(p in arb_partition(16)) {
         let bits = encode_partition(&p);
         prop_assert_eq!(bits.len(), trivial_message_bits(p.ground_size()));
-        prop_assert_eq!(decode_partition(p.ground_size(), &bits), p);
+        prop_assert_eq!(decode_partition(p.ground_size(), &bits).unwrap(), p);
     }
 
     /// The decision protocol is correct on random pairs, with its
@@ -100,7 +100,7 @@ proptest! {
     #[test]
     fn theorem_4_3_two_regular_random((pa, pb) in arb_matching_pair(6)) {
         prop_assert!(verify_theorem_4_3(Gadget::TwoRegular, &pa, &pb));
-        let g = gadget_graph(Gadget::TwoRegular, &pa, &pb);
+        let g = gadget_graph(Gadget::TwoRegular, &pa, &pb).unwrap();
         prop_assert!(g.is_regular(2));
         let s = bcc_graphs::cycles::cycle_structure(&g).unwrap();
         prop_assert!(s.min_length() >= 4);
@@ -111,7 +111,7 @@ proptest! {
     /// gadgets.
     #[test]
     fn connectivity_iff_trivial_join((pa, pb) in arb_pair(7)) {
-        let g = gadget_graph(Gadget::General, &pa, &pb);
+        let g = gadget_graph(Gadget::General, &pa, &pb).unwrap();
         prop_assert_eq!(g.is_connected(), pa.join(&pb).is_trivial());
     }
 }

@@ -72,10 +72,18 @@ pub fn cross_graph(g: &Graph, e1: DirectedEdge, e2: DirectedEdge) -> Result<Grap
     let mut out = g.clone();
     out.remove_edge(e1.tail, e1.head);
     out.remove_edge(e2.tail, e2.head);
+    // Independence keeps the graph simple, so these cannot fail on a
+    // well-formed input; a failure surfaces as a typed error anyway.
     out.add_edge(e1.tail, e2.head)
-        .expect("independence keeps the graph simple");
+        .map_err(|e| CoreError::RewireFailed {
+            step: "add e1'",
+            reason: e.to_string(),
+        })?;
     out.add_edge(e2.tail, e1.head)
-        .expect("independence keeps the graph simple");
+        .map_err(|e| CoreError::RewireFailed {
+            step: "add e2'",
+            reason: e.to_string(),
+        })?;
     Ok(out)
 }
 
@@ -110,12 +118,21 @@ pub fn cross_instance(
     let (v1, u1, v2, u2) = (e1.tail, e1.head, e2.tail, e2.head);
     {
         let net = out.network_mut();
-        net.swap_peers(v1, u1, u2).expect("validated KT-0 swap");
-        net.swap_peers(v2, u1, u2).expect("validated KT-0 swap");
-        net.swap_peers(u1, v1, v2).expect("validated KT-0 swap");
-        net.swap_peers(u2, v1, v2).expect("validated KT-0 swap");
+        // `cross_graph` has already validated both edges and their
+        // independence, so every swap sees the peers it expects.
+        for (at, a, b) in [(v1, u1, u2), (v2, u1, u2), (u1, v1, v2), (u2, v1, v2)] {
+            net.swap_peers(at, a, b)
+                .map_err(|e| CoreError::RewireFailed {
+                    step: "swap ports",
+                    reason: e.to_string(),
+                })?;
+        }
     }
-    out.set_input(crossed_graph).expect("same vertex count");
+    out.set_input(crossed_graph)
+        .map_err(|e| CoreError::RewireFailed {
+            step: "set input",
+            reason: e.to_string(),
+        })?;
     Ok(out)
 }
 

@@ -20,6 +20,15 @@ pub enum CoreError {
     },
     /// Crossing requested on a KT-1 instance.
     Kt1Crossing,
+    /// A rewiring step that independence should make infallible was
+    /// rejected by the graph or network layer — a sign the instance
+    /// violated a structural invariant (e.g. a corrupted port map).
+    RewireFailed {
+        /// Which step failed.
+        step: &'static str,
+        /// The underlying layer's message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +42,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Kt1Crossing => {
                 write!(f, "port-preserving crossings require a KT-0 instance")
+            }
+            CoreError::RewireFailed { step, reason } => {
+                write!(f, "crossing rewire step `{step}` failed: {reason}")
             }
         }
     }

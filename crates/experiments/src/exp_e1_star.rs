@@ -9,6 +9,7 @@ use bcc_algorithms::{
 };
 use bcc_core::hard::{distributional_error, randomized_error, star_distribution, star_error_floor};
 use bcc_model::testing::ConstantDecision;
+use bcc_trace::field;
 use std::fmt::Write as _;
 
 /// One row of the E1 series.
@@ -139,7 +140,20 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 None => format!("n={n} t={t} {algo}"),
             },
             job_seed(suite_seed, "e1", s),
-            move |_ctx| piece_output(s, n, t, algo, coin),
+            move |ctx| {
+                let out = piece_output(s, n, t, algo, coin);
+                ctx.trace().event(
+                    "e1.error",
+                    vec![
+                        field("n", n),
+                        field("t", t),
+                        field("algo", algo),
+                        field("error", out.float("error").unwrap_or(f64::NAN)),
+                        field("floor", out.float("floor").unwrap_or(f64::NAN)),
+                    ],
+                );
+                out
+            },
         ));
         shard += 1;
     };
@@ -163,7 +177,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
         shard,
         "transition",
         job_seed(suite_seed, "e1", shard),
-        move |_ctx| {
+        move |ctx| {
             let t_full = 4 * bcc_model::codec::bits_needed(n);
             let dist = star_distribution(n);
             let full = Truncated::new(
@@ -171,6 +185,10 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 t_full,
             );
             let e_full = distributional_error(&dist, &full, t_full, 0);
+            ctx.trace().event(
+                "e1.transition",
+                vec![field("n", n), field("t_full", t_full), field("error", e_full)],
+            );
             JobOutput::new("e1", shard, "transition")
                 .value("n", n)
                 .value("t_full", t_full)

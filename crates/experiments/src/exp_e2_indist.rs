@@ -11,6 +11,7 @@ use bcc_algorithms::{
 use bcc_core::hard::{distributional_error, uniform_two_cycle_distribution};
 use bcc_core::indist::{harmonic_tail, lemma_3_9_degree_check, lemma_3_9_t_counts, IndistGraph};
 use bcc_model::testing::ConstantDecision;
+use bcc_trace::field;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
@@ -87,6 +88,16 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
             move |ctx| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
                 let r = structure_row(n, &mut rng);
+                ctx.trace().event(
+                    "e2.structure",
+                    vec![
+                        field("n", r.n),
+                        field("v1", r.v1),
+                        field("v2", r.v2),
+                        field("ratio", r.ratio),
+                        field("expansion", r.expansion),
+                    ],
+                );
                 let text = format!(
                     "{:>3} {:>8} {:>8} {:>8.4} {:>9.4} {:>8} {:>5} {:>9.3}\n",
                     r.n, r.v1, r.v2, r.ratio, r.harmonic, r.degrees_exact, r.k_v2, r.expansion
@@ -118,8 +129,16 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
         shard,
         format!("census n={n_big}"),
         job_seed(suite_seed, "e2", shard),
-        move |_ctx| {
+        move |ctx| {
             let g = IndistGraph::round_zero(n_big);
+            ctx.trace().event(
+                "e2.census",
+                vec![
+                    field("n", n_big),
+                    field("v1", g.v1_len()),
+                    field("v2", g.v2_len()),
+                ],
+            );
             let mut text = String::new();
             writeln!(
                 text,
@@ -146,7 +165,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
             shard,
             format!("error t={t}"),
             job_seed(suite_seed, "e2", shard),
-            move |_ctx| {
+            move |ctx| {
                 let dist = uniform_two_cycle_distribution(n_err);
                 let trunc = Truncated::new(
                     Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
@@ -170,6 +189,16 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                         distributional_error(&dist, &trunc, t, 0),
                     ),
                 ];
+                for (name, e) in &rows {
+                    ctx.trace().event(
+                        "e2.error",
+                        vec![
+                            field("t", t),
+                            field("algo", name.as_str()),
+                            field("error", *e),
+                        ],
+                    );
+                }
                 let s: Vec<String> = rows.iter().map(|(n, e)| format!("{n}={e:.4}")).collect();
                 let mut out = JobOutput::new("e2", shard, format!("error t={t}"))
                     .value("n", n_err)

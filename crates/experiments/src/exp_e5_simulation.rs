@@ -10,6 +10,7 @@ use bcc_comm::simulate::simulate_two_party;
 use bcc_core::kt1::{simulation_bits_per_round, theorem_4_4_certificate};
 use bcc_partitions::numbers::log2_bell;
 use bcc_partitions::random::uniform_matching_partition;
+use bcc_trace::field;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
@@ -99,6 +100,16 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
             move |ctx| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
                 let r = sim_row(n, samples, &mut rng);
+                ctx.trace().event(
+                    "e5.sim",
+                    vec![
+                        field("n", r.n),
+                        field("rounds", r.rounds),
+                        field("bits", r.bits),
+                        field("implied_rounds", r.implied_rounds),
+                    ],
+                );
+                ctx.trace().counter("e5.bits_exchanged", r.bits as u64);
                 let text = format!(
                     "{:>4} {:>7} {:>9} {:>9} {:>10.1} {:>13.2} {:>8}\n",
                     r.n,
@@ -132,8 +143,16 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
         shard,
         format!("certificate n={cert_n}"),
         job_seed(suite_seed, "e5", shard),
-        move |_ctx| {
+        move |ctx| {
             let cert = theorem_4_4_certificate(Gadget::TwoRegular, cert_n);
+            ctx.trace().event(
+                "e5.certificate",
+                vec![
+                    field("n", cert.n),
+                    field("rank", cert.rank.rank),
+                    field("round_lower_bound", cert.round_lower_bound),
+                ],
+            );
             JobOutput::new("e5", shard, format!("certificate n={cert_n}"))
                 .value("n", cert.n)
                 .value("rank", cert.rank.rank)

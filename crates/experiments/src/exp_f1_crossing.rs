@@ -8,6 +8,7 @@ use bcc_core::crossing::{cross_instance, indistinguishable_after, DirectedEdge};
 use bcc_graphs::generators;
 use bcc_model::testing::{EchoBit, IdBroadcast};
 use bcc_model::Instance;
+use bcc_trace::field;
 use std::fmt::Write as _;
 
 /// The eight ports of Figure 1 for a crossing of `(v₁,u₁), (v₂,u₂)`,
@@ -51,8 +52,12 @@ pub fn jobs(_quick: bool, suite_seed: u64) -> Vec<ExpJob> {
         0,
         "figure1",
         job_seed(suite_seed, "f1", 0),
-        |_ctx| {
+        |ctx| {
             let (i1, i2, table) = figure1();
+            ctx.trace().event(
+                "f1.crossing",
+                vec![field("n", 8usize), field("crossed_edges", 2usize)],
+            );
             let mut out = String::new();
             writeln!(
                 out,
@@ -80,6 +85,13 @@ pub fn jobs(_quick: bool, suite_seed: u64) -> Vec<ExpJob> {
             // broadcaster, distinguishable once IDs flow.
             let indist_uniform = indistinguishable_after(&i1, &i2, &EchoBit, 6, 0);
             let indist_ids = indistinguishable_after(&i1, &i2, &IdBroadcast::new(), 3, 0);
+            ctx.trace().event(
+                "f1.lemma_3_4",
+                vec![
+                    field("indist_uniform", indist_uniform),
+                    field("indist_ids", indist_ids),
+                ],
+            );
             writeln!(
                 out,
                 "Lemma 3.4 (hypothesis satisfied, EchoBit, t=6): indistinguishable = {indist_uniform}"

@@ -15,7 +15,14 @@ fn left_figure() -> JobOutput {
     // Left figure: PA = (1,2,3)(4,5,6)(7,8), PB = (1,2,6)(3,4,7)(5,8).
     let pa = SetPartition::from_blocks(8, &[vec![0, 1, 2], vec![3, 4, 5], vec![6, 7]]).unwrap();
     let pb = SetPartition::from_blocks(8, &[vec![0, 1, 5], vec![2, 3, 6], vec![4, 7]]).unwrap();
-    let g = gadget_graph(Gadget::General, &pa, &pb);
+    let g = match gadget_graph(Gadget::General, &pa, &pb) {
+        Ok(g) => g,
+        Err(e) => {
+            return JobOutput::new("f2", 0, "left figure")
+                .check("gadget graph built", false)
+                .text(format!("gadget construction failed: {e}\n"))
+        }
+    };
     let holds = verify_theorem_4_3(Gadget::General, &pa, &pb);
     let mut out = String::new();
     writeln!(out, "-- left: general gadget, PA={pa} PB={pb}").unwrap();
@@ -49,7 +56,14 @@ fn right_figure() -> JobOutput {
         SetPartition::from_blocks(8, &[vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]).unwrap();
     let pb2 =
         SetPartition::from_blocks(8, &[vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]).unwrap();
-    let g2 = gadget_graph(Gadget::TwoRegular, &pa2, &pb2);
+    let g2 = match gadget_graph(Gadget::TwoRegular, &pa2, &pb2) {
+        Ok(g) => g,
+        Err(e) => {
+            return JobOutput::new("f2", 1, "right figure")
+                .check("gadget graph built", false)
+                .text(format!("gadget construction failed: {e}\n"))
+        }
+    };
     let s = cycle_structure(&g2).expect("2-regular");
     let holds = verify_theorem_4_3(Gadget::TwoRegular, &pa2, &pb2);
     let join_blocks = pa2.join(&pb2).num_blocks();

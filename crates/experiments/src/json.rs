@@ -124,37 +124,11 @@ pub fn report_record(report: &Report) -> String {
     ])
 }
 
-/// The final JSONL record of a run (`"type":"metrics"`).
+/// The final JSONL record of a run (`"type":"metrics"`) — the
+/// snapshot renders itself so the runner CLI-less callers and the
+/// experiment binary emit the exact same bytes.
 pub fn metrics_record(m: &MetricsSnapshot) -> String {
-    let latency = object([
-        ("count", m.latency.count.to_string()),
-        ("mean_us", float_json(m.latency.mean_micros())),
-        (
-            "p50_le_us",
-            m.latency.quantile_upper_micros(0.50).to_string(),
-        ),
-        (
-            "p90_le_us",
-            m.latency.quantile_upper_micros(0.90).to_string(),
-        ),
-        (
-            "p99_le_us",
-            m.latency.quantile_upper_micros(0.99).to_string(),
-        ),
-        ("max_us", m.latency.max_micros.to_string()),
-    ]);
-    object([
-        ("type", "\"metrics\"".to_string()),
-        ("scheduled", m.scheduled.to_string()),
-        ("completed", m.completed.to_string()),
-        ("failed", m.failed.to_string()),
-        ("retried", m.retried.to_string()),
-        ("timed_out", m.timed_out.to_string()),
-        ("cancelled", m.cancelled.to_string()),
-        ("panicked", m.panicked.to_string()),
-        ("stolen", m.stolen.to_string()),
-        ("latency", latency),
-    ])
+    m.to_jsonl()
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub mod exp_f2_reduction;
 pub mod job;
 pub mod json;
 
+use bcc_trace::{Collector, Trace, TraceLevel};
 use job::{ExpJob, JobOutput, Report, DEFAULT_SEED};
 use std::time::Duration;
 
@@ -120,6 +121,9 @@ pub struct SuiteOptions {
     pub seed: u64,
     /// Optional per-job wall-clock deadline (`--timeout-secs`).
     pub timeout: Option<Duration>,
+    /// Trace recording level (`--trace-level`); `Off` disables
+    /// collection entirely and costs nothing per job.
+    pub trace_level: TraceLevel,
 }
 
 impl Default for SuiteOptions {
@@ -129,6 +133,7 @@ impl Default for SuiteOptions {
             threads: 1,
             seed: DEFAULT_SEED,
             timeout: None,
+            trace_level: TraceLevel::Off,
         }
     }
 }
@@ -144,6 +149,10 @@ pub struct SuiteRun {
     pub job_results: Vec<bcc_runner::JobResult<JobOutput>>,
     /// Scheduler counters and latency histogram for the whole run.
     pub metrics: bcc_runner::MetricsSnapshot,
+    /// The merged trace — empty unless `trace_level > Off`. Merged by
+    /// `(unit, seq)`, so it is byte-identical at any thread count, and
+    /// collecting it never changes a report byte.
+    pub trace: Trace,
 }
 
 /// Runs a set of experiments through one shared pool.
@@ -163,7 +172,12 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         .map(|j| j.into_runner_job(opts.timeout))
         .collect();
     let pool = bcc_runner::Pool::new(opts.threads);
-    let job_results = pool.execute(runner_jobs);
+    let collector = Collector::new(opts.trace_level);
+    let job_results = pool.execute_traced(
+        runner_jobs,
+        &bcc_runner::CancellationToken::new(),
+        &collector,
+    );
 
     let mut reports = Vec::with_capacity(ids.len());
     for id in ids {
@@ -198,6 +212,7 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         reports,
         job_results,
         metrics: pool.metrics().snapshot(),
+        trace: collector.finish(),
     })
 }
 

@@ -10,24 +10,33 @@
 //!   --timeout-secs T    per-job wall-clock deadline
 //!   --json PATH         write JSONL: one record per job, one per
 //!                       report, and a final metrics record
+//!   --trace PATH        write the merged event trace as JSONL
+//!                       (implies --trace-level events)
+//!   --trace-level L     off | spans | events (default: off, or
+//!                       events when --trace is given)
 //! ```
 
 use bcc_experiments::{json, SuiteOptions, ALL_EXPERIMENTS};
+use bcc_trace::TraceLevel;
 use std::io::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bcc-experiments [--quick] [--jobs N] [--seed S] \
-[--timeout-secs T] [--json PATH] <id>...\n       id ∈ {f1, f2, e1..e12, all}";
+[--timeout-secs T] [--json PATH] [--trace PATH] [--trace-level off|spans|events] \
+<id>...\n       id ∈ {f1, f2, e1..e12, all}";
 
 struct Cli {
     opts: SuiteOptions,
     json_path: Option<String>,
+    trace_path: Option<String>,
     ids: Vec<String>,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     let mut opts = SuiteOptions::default();
     let mut json_path = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_level: Option<TraceLevel> = None;
     let mut ids = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -56,6 +65,22 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             "--json" => {
                 json_path = Some(it.next().ok_or("--json needs a path")?);
             }
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--trace-level" => {
+                let v = it.next().ok_or("--trace-level needs a value")?;
+                trace_level = Some(match v.as_str() {
+                    "off" => TraceLevel::Off,
+                    "spans" => TraceLevel::Spans,
+                    "events" => TraceLevel::Events,
+                    other => {
+                        return Err(format!(
+                            "--trace-level: expected off, spans, or events, got {other:?}"
+                        ))
+                    }
+                });
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -65,9 +90,17 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+    // --trace without an explicit level records everything; an
+    // explicit --trace-level (even off) always wins.
+    opts.trace_level = match (trace_level, &trace_path) {
+        (Some(level), _) => level,
+        (None, Some(_)) => TraceLevel::Events,
+        (None, None) => TraceLevel::Off,
+    };
     Ok(Cli {
         opts,
         json_path,
+        trace_path,
         ids,
     })
 }
@@ -118,6 +151,22 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &cli.trace_path {
+        match write_trace(path, &suite.trace) {
+            Ok(()) => eprintln!(
+                "wrote {} trace events to {path}",
+                suite.trace.events().len()
+            ),
+            Err(err) => {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !suite.trace.is_empty() {
+        eprint!("{}", suite.trace.summary());
+    }
+
     eprintln!(
         "suite: {} experiments, {} jobs, {} threads, {:.1?}",
         suite.reports.len(),
@@ -150,4 +199,11 @@ fn write_jsonl(path: &str, suite: &bcc_experiments::SuiteRun) -> std::io::Result
     records += 1;
     w.flush()?;
     Ok(records)
+}
+
+fn write_trace(path: &str, trace: &bcc_trace::Trace) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    trace.write_jsonl(&mut w)?;
+    w.flush()
 }

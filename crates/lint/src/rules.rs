@@ -23,6 +23,12 @@
 //!   `crates/experiments/src/exp_*.rs` module must expose
 //!   `jobs()`/`reduce()` and be dispatched by id in `lib.rs`, so no
 //!   series silently drops out of `all` runs.
+//! * **O1** — trace emission hygiene: outside `crates/trace`, code
+//!   must reach rendered trace bytes only through the `Collector` →
+//!   `Trace` pipeline (`Trace::write_jsonl`/`summary`). Naming a sink
+//!   type or calling `write_event` directly would bypass the
+//!   `(unit, seq)` merge that makes traces byte-identical across
+//!   thread counts.
 //!
 //! [`Report`]: https://docs.rs/bcc-experiments
 
@@ -55,12 +61,15 @@ pub struct Workspace {
 }
 
 /// Crates whose non-test code feeds experiment reports: the D1 scope.
-pub const D1_PATHS: [&str; 5] = [
+/// `crates/trace` is included because merged traces carry the same
+/// byte-identity guarantee as reports.
+pub const D1_PATHS: [&str; 6] = [
     "crates/experiments/",
     "crates/runner/",
     "crates/partitions/",
     "crates/core/",
     "crates/info/",
+    "crates/trace/",
 ];
 
 /// Crates allowed to read clocks: the runner owns deadlines, latency
@@ -70,6 +79,14 @@ pub const D2_EXEMPT: [&str; 1] = ["crates/runner/"];
 
 /// Path prefix of the protocol crate checked by K1.
 pub const K1_PATH: &str = "crates/algorithms/";
+
+/// The only crate allowed to touch sinks directly: the O1 exemption.
+pub const O1_EXEMPT: &str = "crates/trace/";
+
+/// Sink-layer names forbidden outside `crates/trace` by O1: naming
+/// one means trace events reach bytes without the deterministic
+/// `Collector` merge.
+pub const O1_FORBIDDEN: [&str; 4] = ["JsonlSink", "SummarySink", "NullSink", "write_event"];
 
 /// `bcc_model` items a protocol module must not name: everything that
 /// exists outside a single node's KT-0/KT-1 view.
@@ -91,6 +108,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
         rule_d2(file, &mut out);
         rule_p1(file, &mut out);
         rule_k1(file, &mut out);
+        rule_o1(file, &mut out);
     }
     rule_r1(ws, &mut out);
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
@@ -245,6 +263,32 @@ fn rule_k1(file: &SourceFile, out: &mut Vec<Finding>) {
                     "`{}` reaches beyond the KT-0/KT-1 node view: protocol code \
                      may only use InitialKnowledge/Inbox/NodeProgram (the \
                      knowledge separation of Section 1.2)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// O1: trace bytes only via the Collector → Trace pipeline.
+fn rule_o1(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.path.starts_with(O1_EXEMPT) {
+        return;
+    }
+    for t in file.code() {
+        if t.kind == TokKind::Ident
+            && O1_FORBIDDEN.contains(&t.text.as_str())
+            && !file.is_test_line(t.line)
+        {
+            emit(
+                file,
+                out,
+                "O1",
+                t.line,
+                format!(
+                    "`{}` bypasses the Collector merge: emit trace bytes only \
+                     through `Trace::write_jsonl`/`Trace::summary` so traces \
+                     stay byte-identical across thread counts",
                     t.text
                 ),
             );

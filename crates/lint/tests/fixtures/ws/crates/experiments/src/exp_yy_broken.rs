@@ -30,3 +30,15 @@ pub fn allowed_set() -> usize {
     let s: std::collections::HashSet<u32> = Default::default(); // bcc-lint: allow(D1)
     s.len()
 }
+
+pub fn sneaky_trace(events: &[u8]) -> usize {
+    let mut sink = JsonlSink::new(events); // seeded O1
+    sink.write_event(0); // seeded O1
+    0
+}
+
+pub fn suppressed_trace() -> usize {
+    // bcc-lint: allow(O1)
+    let _ = NullSink::default();
+    0
+}

@@ -18,3 +18,13 @@ mod tests {
         v.unwrap();
     }
 }
+
+#[cfg(test)]
+mod sink_tests {
+    // Sinks in test code are fine: no O1 here.
+    #[test]
+    fn summary_sink_in_tests_is_allowed() {
+        let _name = "SummarySink";
+        let _ = SummarySink::new();
+    }
+}

@@ -79,6 +79,20 @@ fn r1_flags_unregistered_experiment_module() {
 }
 
 #[test]
+fn o1_flags_direct_sink_use_outside_trace_crate() {
+    let findings = fixture_findings();
+    let o1 = by_rule(&findings, "O1");
+    // `JsonlSink` + `write_event` in library code; the suppressed
+    // `NullSink` and the `SummarySink` inside `#[cfg(test)]` code (and
+    // the one in a string literal) must not appear.
+    assert_eq!(o1.len(), 2, "{o1:?}");
+    assert!(o1
+        .iter()
+        .all(|f| f.file == "crates/experiments/src/exp_yy_broken.rs"));
+    assert!(o1.iter().all(|f| f.message.contains("Collector")));
+}
+
+#[test]
 fn clean_file_produces_no_findings() {
     let findings = fixture_findings();
     assert!(

@@ -4,6 +4,7 @@
 //! these helpers fix the (LSB-first) bit order once so every algorithm
 //! and its decoder agree.
 
+use crate::error::ModelError;
 use crate::symbol::Symbol;
 
 /// Bits needed to encode any value in `0..n` (at least 1).
@@ -114,16 +115,23 @@ impl BitAccumulator {
     /// Feeds one received symbol; silent symbols beyond the payload are
     /// ignored, silent symbols inside it are an encoding error.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a silent symbol arrives before the payload completes.
-    pub fn push(&mut self, s: Symbol) {
+    /// Returns [`ModelError::CorruptPayload`] if a silent symbol
+    /// arrives before the payload completes. The accumulator is left
+    /// unchanged, so a caller that cannot propagate the error (a
+    /// `NodeProgram::receive` body) degrades to an incomplete payload
+    /// instead of a crash.
+    pub fn push(&mut self, s: Symbol) -> Result<(), ModelError> {
         if self.is_complete() {
-            return;
+            return Ok(());
         }
         match s.as_bit() {
-            Some(b) => self.bits.push(b),
-            None => panic!("silent symbol inside a {}-bit payload", self.width),
+            Some(b) => {
+                self.bits.push(b);
+                Ok(())
+            }
+            None => Err(ModelError::CorruptPayload { width: self.width }),
         }
     }
 
@@ -175,21 +183,27 @@ mod tests {
         let mut a = BitAccumulator::new(3);
         assert!(!a.is_complete());
         assert_eq!(a.value(), None);
-        a.push(Symbol::One);
-        a.push(Symbol::Zero);
-        a.push(Symbol::One);
+        a.push(Symbol::One).unwrap();
+        a.push(Symbol::Zero).unwrap();
+        a.push(Symbol::One).unwrap();
         assert!(a.is_complete());
         assert_eq!(a.value(), Some(0b101));
         // Extra silence after completion is fine.
-        a.push(Symbol::Silent);
+        a.push(Symbol::Silent).unwrap();
         assert_eq!(a.value(), Some(0b101));
     }
 
     #[test]
-    #[should_panic(expected = "silent symbol inside")]
     fn accumulator_rejects_early_silence() {
         let mut a = BitAccumulator::new(2);
-        a.push(Symbol::Silent);
+        assert_eq!(
+            a.push(Symbol::Silent),
+            Err(ModelError::CorruptPayload { width: 2 })
+        );
+        // The accumulator is unchanged and still usable.
+        a.push(Symbol::One).unwrap();
+        a.push(Symbol::Zero).unwrap();
+        assert_eq!(a.value(), Some(0b01));
     }
 
     #[test]

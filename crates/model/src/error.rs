@@ -34,6 +34,17 @@ pub enum ModelError {
         /// Human-readable description.
         reason: String,
     },
+    /// A bit-serial payload contained a silent symbol before all of
+    /// its bits arrived — an encoding bug in the sending program.
+    CorruptPayload {
+        /// Expected payload width in bits.
+        width: usize,
+    },
+    /// An indistinguishability comparison was asked of a run executed
+    /// with transcript recording disabled: with no views there is
+    /// nothing to compare, and a vacuous "indistinguishable" would be
+    /// unsound.
+    UnrecordedRun,
 }
 
 impl fmt::Display for ModelError {
@@ -56,6 +67,16 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::InvalidRewire { reason } => write!(f, "invalid rewiring: {reason}"),
+            ModelError::CorruptPayload { width } => {
+                write!(f, "silent symbol inside a {width}-bit payload")
+            }
+            ModelError::UnrecordedRun => {
+                write!(
+                    f,
+                    "run was executed without transcript recording; views are unavailable \
+                     for indistinguishability comparison"
+                )
+            }
         }
     }
 }

@@ -69,7 +69,8 @@ pub use instance::Instance;
 pub use network::{KnowledgeMode, Network};
 pub use program::{Algorithm, Decision, Inbox, InitialKnowledge, NodeProgram};
 pub use simulator::{
-    runs_indistinguishable, NodeView, RunOutcome, RunStats, Simulator, Transcript,
+    runs_indistinguishable, try_runs_indistinguishable, NodeView, RunOutcome, RunStats, Simulator,
+    Transcript,
 };
 pub use symbol::{Message, Symbol};
 

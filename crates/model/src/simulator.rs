@@ -1,8 +1,10 @@
 //! The synchronous executor and the per-vertex state it records.
 
+use crate::error::ModelError;
 use crate::instance::Instance;
 use crate::program::{Algorithm, Decision, Inbox};
 use crate::symbol::Message;
+use bcc_trace::{field, TraceBuf};
 
 /// The full communication record of one vertex: what it broadcast and
 /// what it received on each port, round by round.
@@ -65,6 +67,109 @@ pub struct RunStats {
     pub messages_delivered: usize,
 }
 
+/// Counts rounds, bits, and deliveries, and — when the caller asked
+/// for a trace — mirrors the same quantities into round spans and
+/// broadcast/decision events. All RunStats accounting goes through
+/// here, so the statistics a report prints and the events a trace
+/// records can never drift apart.
+///
+/// Every recorded value is logical (round numbers, node ids, bit
+/// counts); the simulator never reads a clock, so equal-seed runs
+/// produce byte-identical traces.
+struct SimRecorder<'a> {
+    trace: &'a mut TraceBuf,
+    stats: RunStats,
+    round_bits: usize,
+}
+
+impl<'a> SimRecorder<'a> {
+    fn new(trace: &'a mut TraceBuf) -> Self {
+        SimRecorder {
+            trace,
+            stats: RunStats::default(),
+            round_bits: 0,
+        }
+    }
+
+    fn run_start(&mut self, n: usize, bandwidth: usize, max_rounds: usize, coin_seed: u64) {
+        if self.trace.spans_enabled() {
+            self.trace.span_start(
+                "sim",
+                vec![
+                    field("n", n),
+                    field("bandwidth", bandwidth),
+                    field("max_rounds", max_rounds),
+                    field("coin_seed", coin_seed),
+                ],
+            );
+        }
+    }
+
+    fn round_start(&mut self, round: usize) {
+        self.round_bits = 0;
+        if self.trace.spans_enabled() {
+            self.trace.span_start(&format!("round={round}"), vec![]);
+        }
+    }
+
+    fn broadcast(&mut self, v: usize, message: &Message) {
+        let bits = message.bits_used();
+        self.stats.bits_broadcast += bits;
+        self.round_bits += bits;
+        if self.trace.events_enabled() {
+            self.trace.event(
+                "broadcast",
+                vec![
+                    field("node", v),
+                    field("bits", bits),
+                    field("msg", message.to_string()),
+                ],
+            );
+        }
+    }
+
+    fn delivered(&mut self, count: usize) {
+        self.stats.messages_delivered += count;
+    }
+
+    fn round_end(&mut self, round: usize) {
+        self.stats.rounds = round + 1;
+        if self.trace.events_enabled() {
+            self.trace.counter("bits_broadcast", self.round_bits as u64);
+        }
+        if self.trace.spans_enabled() {
+            self.trace.span_end(&format!("round={round}"), vec![]);
+        }
+    }
+
+    fn decision(&mut self, v: usize, decision: Decision) {
+        if self.trace.events_enabled() {
+            let tag = match decision {
+                Decision::Yes => "yes",
+                Decision::No => "no",
+                Decision::Undecided => "undecided",
+            };
+            self.trace
+                .event("decision", vec![field("node", v), field("decision", tag)]);
+        }
+    }
+
+    fn run_end(&mut self, completed: bool) -> RunStats {
+        if self.trace.spans_enabled() {
+            self.trace.span_end(
+                "sim",
+                vec![
+                    field("rounds", self.stats.rounds),
+                    field("bits_broadcast", self.stats.bits_broadcast),
+                    field("messages_delivered", self.stats.messages_delivered),
+                    field("completed", completed),
+                ],
+            );
+        }
+        self.stats
+    }
+}
+
 /// The result of simulating an algorithm on an instance.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -75,6 +180,7 @@ pub struct RunOutcome {
     views: Vec<NodeView>,
     stats: RunStats,
     all_done: bool,
+    recorded: bool,
 }
 
 impl RunOutcome {
@@ -141,6 +247,14 @@ impl RunOutcome {
     /// Whether every program reported done before the round limit.
     pub fn completed(&self) -> bool {
         self.all_done
+    }
+
+    /// Whether transcripts and views were recorded for this run.
+    /// `false` after [`Simulator::without_transcripts`], in which case
+    /// [`views`](Self::views) is empty and the outcome cannot take
+    /// part in indistinguishability comparisons.
+    pub fn recorded(&self) -> bool {
+        self.recorded
     }
 }
 
@@ -218,6 +332,27 @@ impl Simulator {
         algorithm: &dyn Algorithm,
         coin_seed: u64,
     ) -> RunOutcome {
+        self.run_traced(instance, algorithm, coin_seed, &mut TraceBuf::disabled())
+    }
+
+    /// Like [`run`](Self::run), recording the execution into `trace`:
+    /// a `sim` span wrapping one `round=r` span per executed round,
+    /// with per-node `broadcast` events, a per-round `bits_broadcast`
+    /// counter, and one final `decision` event per vertex (events at
+    /// [`Events`](bcc_trace::TraceLevel::Events) level; spans alone at
+    /// `Spans`).
+    ///
+    /// Tracing is an observer: the returned outcome — and every report
+    /// derived from it — is identical whether `trace` is recording or
+    /// disabled, and everything recorded is a pure function of
+    /// `(instance, algorithm, coin_seed)`, never of wall-clock time.
+    pub fn run_traced(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn Algorithm,
+        coin_seed: u64,
+        trace: &mut TraceBuf,
+    ) -> RunOutcome {
         let n = instance.num_vertices();
         let mut programs: Vec<_> = (0..n)
             .map(|v| algorithm.spawn(instance.initial_knowledge(v, self.bandwidth, coin_seed)))
@@ -229,20 +364,22 @@ impl Simulator {
             };
             n
         ];
-        let mut stats = RunStats::default();
+        let mut recorder = SimRecorder::new(trace);
+        recorder.run_start(n, self.bandwidth, self.max_rounds, coin_seed);
         let mut all_done = programs.iter().all(|p| p.is_done());
 
         for round in 0..self.max_rounds {
             if all_done {
                 break;
             }
+            recorder.round_start(round);
             // Phase 1: everyone broadcasts.
             let broadcasts: Vec<Message> = programs
                 .iter_mut()
                 .map(|p| p.broadcast(round).normalized(self.bandwidth))
                 .collect();
             for (v, m) in broadcasts.iter().enumerate() {
-                stats.bits_broadcast += m.bits_used();
+                recorder.broadcast(v, m);
                 if self.record {
                     transcripts[v].sent.push(m.clone());
                 }
@@ -263,9 +400,9 @@ impl Simulator {
                 }
                 let inbox = Inbox::new(entries);
                 programs[v].receive(round, &inbox);
-                stats.messages_delivered += n - 1;
+                recorder.delivered(n - 1);
             }
-            stats.rounds = round + 1;
+            recorder.round_end(round);
             all_done = programs.iter().all(|p| p.is_done());
         }
 
@@ -292,14 +429,21 @@ impl Simulator {
             })
             .collect();
 
+        let decisions: Vec<Decision> = programs.iter().map(|p| p.decide()).collect();
+        for (v, &d) in decisions.iter().enumerate() {
+            recorder.decision(v, d);
+        }
+        let stats = recorder.run_end(all_done);
+
         RunOutcome {
-            decisions: programs.iter().map(|p| p.decide()).collect(),
+            decisions,
             component_labels: programs.iter().map(|p| p.component_label()).collect(),
             spanning_edges: programs.iter().map(|p| p.spanning_edges()).collect(),
             transcripts,
             views,
             stats,
             all_done,
+            recorded: self.record,
         }
     }
 }
@@ -308,15 +452,35 @@ impl Simulator {
 /// an identical [`NodeView`] (initial knowledge + transcript) in both.
 /// Vertices are matched by ID, per the paper's convention that the
 /// "same" vertex appears in both instances.
+///
+/// Returns `false` — never a vacuous `true` — when either run was
+/// produced by a [`Simulator::without_transcripts`] simulator: an
+/// unrecorded run has no views, so nothing can be attested about it.
+/// Use [`try_runs_indistinguishable`] to distinguish "distinguishable"
+/// from "unanswerable" as a typed error.
 pub fn runs_indistinguishable(a: &RunOutcome, b: &RunOutcome) -> bool {
+    try_runs_indistinguishable(a, b).unwrap_or(false)
+}
+
+/// Fallible form of [`runs_indistinguishable`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::UnrecordedRun`] when either outcome was
+/// produced without transcript recording — the comparison would
+/// otherwise be over empty view sets and trivially succeed.
+pub fn try_runs_indistinguishable(a: &RunOutcome, b: &RunOutcome) -> Result<bool, ModelError> {
+    if !a.recorded || !b.recorded {
+        return Err(ModelError::UnrecordedRun);
+    }
     if a.views.len() != b.views.len() {
-        return false;
+        return Ok(false);
     }
     let mut b_by_id: std::collections::HashMap<u64, &NodeView> =
         b.views.iter().map(|v| (v.id, v)).collect();
-    a.views
+    Ok(a.views
         .iter()
-        .all(|va| b_by_id.remove(&va.id).is_some_and(|vb| va == vb))
+        .all(|va| b_by_id.remove(&va.id).is_some_and(|vb| va == vb)))
 }
 
 #[cfg(test)]
@@ -378,6 +542,90 @@ mod tests {
         let rb = Simulator::new(1).run(&b, &EchoBit, 0);
         // Input-edge port sets differ at some vertex.
         assert!(!runs_indistinguishable(&ra, &rb));
+    }
+
+    #[test]
+    fn unrecorded_runs_never_vacuously_indistinguishable() {
+        let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
+        let a = Simulator::new(4).without_transcripts().run(&i, &EchoBit, 7);
+        let b = Simulator::new(4).without_transcripts().run(&i, &EchoBit, 7);
+        assert!(!a.recorded());
+        assert!(!runs_indistinguishable(&a, &b));
+        assert_eq!(
+            try_runs_indistinguishable(&a, &b),
+            Err(crate::error::ModelError::UnrecordedRun)
+        );
+        let recorded = Simulator::new(4).run(&i, &EchoBit, 7);
+        assert!(recorded.recorded());
+        assert_eq!(
+            try_runs_indistinguishable(&recorded, &recorded.clone()),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_outcome() {
+        use bcc_trace::TraceLevel;
+        let i = Instance::new_kt0(generators::cycle(5), 3).unwrap();
+        let sim = Simulator::new(4);
+        let plain = sim.run(&i, &EchoBit, 1);
+        let mut buf = TraceBuf::new(TraceLevel::Events, "test");
+        let traced = sim.run_traced(&i, &EchoBit, 1, &mut buf);
+        // Tracing is an observer: identical outcome.
+        assert_eq!(plain.decisions(), traced.decisions());
+        assert_eq!(plain.stats(), traced.stats());
+        assert!(runs_indistinguishable(&plain, &traced));
+        // The trace has the sim span, one round span pair + n
+        // broadcasts + 1 counter per round, and n decisions.
+        let events = buf.into_events();
+        assert!(!events.is_empty());
+        assert_eq!(events[0].name, "sim");
+        let rounds = plain.stats().rounds;
+        let broadcasts = events.iter().filter(|e| e.name == "broadcast").count();
+        assert_eq!(broadcasts, 5 * rounds);
+        let decisions = events.iter().filter(|e| e.name == "decision").count();
+        assert_eq!(decisions, 5);
+        // Broadcast events carry the logical position in their path.
+        let b0 = events.iter().find(|e| e.name == "broadcast").unwrap();
+        assert_eq!(b0.path, "sim/round=0");
+        // Counter totals equal the stats the report sees.
+        let counted: u64 = events
+            .iter()
+            .filter(|e| e.name == "bits_broadcast")
+            .filter_map(|e| match e.field("delta") {
+                Some(bcc_trace::FieldValue::UInt(d)) => Some(*d),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(counted, plain.stats().bits_broadcast as u64);
+    }
+
+    #[test]
+    fn same_seed_traces_are_identical() {
+        use bcc_trace::TraceLevel;
+        let i = Instance::new_kt0(generators::two_cycles(3, 4), 9).unwrap();
+        let run = || {
+            let mut buf = TraceBuf::new(TraceLevel::Events, "u");
+            Simulator::new(6).run_traced(&i, &EchoBit, 42, &mut buf);
+            buf.into_events()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spans_level_records_rounds_without_broadcasts() {
+        use bcc_trace::TraceLevel;
+        let i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let mut buf = TraceBuf::new(TraceLevel::Spans, "u");
+        Simulator::new(2).run_traced(&i, &EchoBit, 0, &mut buf);
+        let events = buf.into_events();
+        assert!(events.iter().all(|e| {
+            matches!(
+                e.kind,
+                bcc_trace::EventKind::SpanStart | bcc_trace::EventKind::SpanEnd
+            )
+        }));
+        assert!(events.iter().any(|e| e.name == "round=1"));
     }
 
     #[test]

@@ -158,7 +158,11 @@ impl NodeProgram for IdBroadcastNode {
     fn receive(&mut self, _round: usize, inbox: &Inbox) {
         for (label, acc) in &mut self.accumulators {
             if let Some(m) = inbox.by_label(*label) {
-                acc.push(m.symbol());
+                // A corrupt payload (early silence) degrades to an
+                // incomplete accumulator — this vertex stays Undecided
+                // rather than crashing the whole simulation.
+                let fed = acc.push(m.symbol());
+                debug_assert!(fed.is_ok(), "sender broke the bit-serial encoding");
             }
         }
         self.round += 1;

@@ -1,8 +1,85 @@
 //! The typed job model: specs, execution context, errors, results.
 
+use bcc_trace::{FieldValue, TraceBuf, TraceLevel};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// A job's handle to its own trace buffer.
+///
+/// The pool gives every job one buffer (unit = the job id) and hands
+/// the work closure this shared wrapper through [`JobCtx::trace`].
+/// The wrapper exists because `JobCtx` is `Clone` while `TraceBuf` is
+/// single-owner: the mutex serializes the (rare) case of a closure
+/// cloning its context. Recording stays deterministic — everything
+/// lands in the one per-job buffer, in call order, keyed by the
+/// buffer's own sequence counter, never by wall-clock.
+///
+/// When tracing is off every method is a branch on a cached flag —
+/// no lock, no allocation — so instrumented code needs no `if`s.
+#[derive(Debug, Clone)]
+pub struct TraceScope {
+    level: TraceLevel,
+    buf: Arc<Mutex<TraceBuf>>,
+}
+
+impl TraceScope {
+    /// Wraps a buffer for sharing with work closures.
+    pub fn new(buf: TraceBuf) -> Self {
+        TraceScope {
+            level: buf.level(),
+            buf: Arc::new(Mutex::new(buf)),
+        }
+    }
+
+    /// A scope that records nothing (detached contexts, untraced runs).
+    pub fn disabled() -> Self {
+        TraceScope::new(TraceBuf::disabled())
+    }
+
+    /// True when point events / counters / gauges are kept.
+    pub fn enabled(&self) -> bool {
+        self.level >= TraceLevel::Events
+    }
+
+    /// Runs `f` with exclusive access to the underlying buffer — the
+    /// bridge into traced library APIs that take `&mut TraceBuf`
+    /// (e.g. a simulator or protocol driver recording its own spans).
+    pub fn with<R>(&self, f: impl FnOnce(&mut TraceBuf) -> R) -> R {
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut buf)
+    }
+
+    /// Records a domain point event (no-op when tracing is off).
+    pub fn event(&self, name: &str, fields: Vec<(String, FieldValue)>) {
+        if self.enabled() {
+            self.with(|b| b.event(name, fields));
+        }
+    }
+
+    /// Records a counter increment (no-op when tracing is off).
+    pub fn counter(&self, name: &str, delta: u64) {
+        if self.enabled() {
+            self.with(|b| b.counter(name, delta));
+        }
+    }
+
+    /// Records an instantaneous level (no-op when tracing is off).
+    pub fn gauge(&self, name: &str, value: impl Into<FieldValue>) {
+        if self.enabled() {
+            self.with(|b| b.gauge(name, value));
+        }
+    }
+
+    /// Takes the buffer back out, leaving a disabled one behind. The
+    /// pool calls this once per job to absorb the records; a closure
+    /// that (incorrectly) kept a clone alive past its job records
+    /// into the discarded replacement, never corrupting the trace.
+    pub fn take(&self) -> TraceBuf {
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        std::mem::replace(&mut *buf, TraceBuf::disabled())
+    }
+}
 
 /// A shared flag that flips exactly once, from "running" to
 /// "cancelled". Cheap to clone; all clones observe the flip.
@@ -105,6 +182,7 @@ pub struct JobCtx {
     pub attempt: u32,
     pub(crate) token: CancellationToken,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) trace: TraceScope,
 }
 
 impl JobCtx {
@@ -116,7 +194,14 @@ impl JobCtx {
             attempt: 1,
             token: CancellationToken::new(),
             deadline: None,
+            trace: TraceScope::disabled(),
         }
+    }
+
+    /// The job's trace scope. Disabled (every call a cheap no-op)
+    /// unless the run went through a traced pool entry point.
+    pub fn trace(&self) -> &TraceScope {
+        &self.trace
     }
 
     /// True once the job's deadline passed or the run was cancelled.
@@ -166,7 +251,12 @@ impl<T> Job<T> {
     /// Runs the job inline on the calling thread (serial mode): same
     /// retry and panic-isolation semantics as the pool, no threads.
     pub fn run_inline(&self) -> JobResult<T> {
-        crate::pool::run_job(self, &CancellationToken::new(), &crate::Metrics::new())
+        crate::pool::run_job(
+            self,
+            &CancellationToken::new(),
+            &crate::Metrics::new(),
+            &TraceScope::disabled(),
+        )
     }
 }
 

@@ -7,6 +7,8 @@ pub mod job;
 pub mod metrics;
 pub mod pool;
 
-pub use job::{CancellationToken, Job, JobCtx, JobError, JobResult, JobSpec, JobStatus};
+pub use job::{
+    CancellationToken, Job, JobCtx, JobError, JobResult, JobSpec, JobStatus, TraceScope,
+};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use pool::Pool;

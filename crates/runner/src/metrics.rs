@@ -97,6 +97,13 @@ impl HistogramSnapshot {
     /// Upper edge (µs) of the bucket containing the `q`-quantile
     /// (`0.0 < q <= 1.0`); 0 when empty. Bucketed, so an upper bound
     /// within 2× of the true quantile.
+    ///
+    /// The edge is clamped to the recorded maximum: a bucket's upper
+    /// edge can overshoot every sample in it (a lone 5µs sample lands
+    /// in `[4, 8)`, edge 8), which used to render nonsense like
+    /// `p50<= 8us  max 5us` whenever only one bucket was populated.
+    /// `max_micros` is itself an upper bound on every sample, so the
+    /// clamp only ever tightens the estimate.
     pub fn quantile_upper_micros(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -106,7 +113,7 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return 1u64 << (i + 1);
+                return (1u64 << (i + 1)).min(self.max_micros);
             }
         }
         self.max_micros
@@ -230,6 +237,45 @@ impl MetricsSnapshot {
         ));
         out
     }
+
+    /// This snapshot as one JSONL record (`"type":"metrics"`), the
+    /// final line of a `--json` run. Key order is fixed; the output
+    /// contains only plain JSON numbers, so the record is stable
+    /// byte-for-byte for equal snapshots.
+    pub fn to_jsonl(&self) -> String {
+        let l = &self.latency;
+        let mean = l.mean_micros();
+        // `{:?}` keeps a trailing `.0` on integral floats so the value
+        // stays a JSON number; mean of finite sums is always finite.
+        let mean_json = if mean.is_finite() {
+            format!("{mean:?}")
+        } else {
+            "null".to_string()
+        };
+        format!(
+            concat!(
+                "{{\"type\":\"metrics\",\"scheduled\":{},\"completed\":{},",
+                "\"failed\":{},\"retried\":{},\"timed_out\":{},",
+                "\"cancelled\":{},\"panicked\":{},\"stolen\":{},",
+                "\"latency\":{{\"count\":{},\"mean_us\":{},\"p50_le_us\":{},",
+                "\"p90_le_us\":{},\"p99_le_us\":{},\"max_us\":{}}}}}"
+            ),
+            self.scheduled,
+            self.completed,
+            self.failed,
+            self.retried,
+            self.timed_out,
+            self.cancelled,
+            self.panicked,
+            self.stolen,
+            l.count,
+            mean_json,
+            l.quantile_upper_micros(0.50),
+            l.quantile_upper_micros(0.90),
+            l.quantile_upper_micros(0.99),
+            l.max_micros,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +305,51 @@ mod tests {
         assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
         assert!(s.quantile_upper_micros(1.0) >= 100_000);
         assert!(s.quantile_upper_micros(0.5) <= 16);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_clamp_to_max() {
+        // One populated bucket: every percentile is the one bucket,
+        // whose raw edge (8) overshoots the only samples (5µs).
+        let h = Histogram::new();
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(5));
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile_upper_micros(q), 5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_upper_bounds_and_monotone() {
+        let h = Histogram::new();
+        for us in [3u64, 5, 6, 120] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        let (p50, p90, p100) = (
+            s.quantile_upper_micros(0.5),
+            s.quantile_upper_micros(0.9),
+            s.quantile_upper_micros(1.0),
+        );
+        assert!(p50 >= 5, "p50={p50}"); // true median is 5
+        assert!(p50 <= p90 && p90 <= p100);
+        assert_eq!(p100, 120); // clamped to max, not bucket edge 128
+    }
+
+    #[test]
+    fn jsonl_record_shape() {
+        let m = Metrics::new();
+        m.inc_scheduled();
+        m.inc_completed();
+        m.latency.record(Duration::from_micros(100));
+        let rec = m.snapshot().to_jsonl();
+        assert!(rec.starts_with("{\"type\":\"metrics\""));
+        assert!(rec.ends_with("}}"));
+        assert!(rec.contains("\"scheduled\":1"));
+        assert!(rec.contains("\"latency\":{\"count\":1,\"mean_us\":100.0"));
+        assert!(rec.contains("\"max_us\":100"));
+        assert!(!rec.contains('\n'));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! no jobs are injected after `execute` starts, "every shard empty"
 //! is a correct termination condition.
 
-use crate::job::{CancellationToken, Job, JobCtx, JobError, JobResult, JobStatus};
+use crate::job::{CancellationToken, Job, JobCtx, JobError, JobResult, JobStatus, TraceScope};
 use crate::metrics::Metrics;
+use bcc_trace::{field, Collector};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -66,6 +67,27 @@ impl Pool {
         jobs: Vec<Job<T>>,
         token: &CancellationToken,
     ) -> Vec<JobResult<T>> {
+        self.execute_traced(jobs, token, &Collector::disabled())
+    }
+
+    /// Like [`execute_cancellable`](Self::execute_cancellable), with
+    /// per-job tracing: every job gets a buffer (unit = job id) whose
+    /// lifecycle span wraps whatever the work closure records through
+    /// [`JobCtx::trace`], and finished buffers are absorbed into
+    /// `collector`.
+    ///
+    /// Span fields are logical only — id, seed, terminal status tag,
+    /// attempt count — never latency or any other clock reading, so
+    /// the merged trace is byte-identical across `--jobs 1` and
+    /// `--jobs 8` runs of the same suite (the collector sorts by
+    /// `(unit, seq)`, both pure functions of the schedule-independent
+    /// recording order inside each job).
+    pub fn execute_traced<T: Send>(
+        &self,
+        jobs: Vec<Job<T>>,
+        token: &CancellationToken,
+        collector: &Collector,
+    ) -> Vec<JobResult<T>> {
         let num_jobs = jobs.len();
         if num_jobs == 0 {
             return Vec::new();
@@ -83,7 +105,7 @@ impl Pool {
                         self.metrics.inc_cancelled();
                         cancelled_result(job)
                     } else {
-                        run_job(job, token, &self.metrics)
+                        run_traced_job(job, token, &self.metrics, collector)
                     }
                 })
                 .collect();
@@ -136,7 +158,7 @@ impl Pool {
                             metrics.inc_cancelled();
                             cancelled_result(&job)
                         } else {
-                            run_job(&job, &token, metrics)
+                            run_traced_job(&job, &token, metrics, collector)
                         };
                         if tx.send((idx, result)).is_err() {
                             break; // collector went away (shouldn't happen)
@@ -191,12 +213,44 @@ fn cancelled_result<T>(job: &Job<T>) -> JobResult<T> {
     }
 }
 
+/// Runs one job inside a fresh trace buffer: opens the `job` span,
+/// executes, closes the span with the terminal status, absorbs the
+/// buffer. Everything the span records is logical — no clock values.
+fn run_traced_job<T>(
+    job: &Job<T>,
+    run_token: &CancellationToken,
+    metrics: &Metrics,
+    collector: &Collector,
+) -> JobResult<T> {
+    let mut buf = collector.buf(job.spec.id.clone());
+    buf.span_start(
+        "job",
+        vec![
+            field("id", job.spec.id.clone()),
+            field("seed", job.spec.seed),
+        ],
+    );
+    let scope = TraceScope::new(buf);
+    let result = run_job(job, run_token, metrics, &scope);
+    let mut buf = scope.take();
+    buf.span_end(
+        "job",
+        vec![
+            field("status", result.status.tag()),
+            field("attempts", result.attempts),
+        ],
+    );
+    collector.absorb(buf);
+    result
+}
+
 /// Runs one job to its terminal state on the current thread: retry
 /// loop, deadline accounting, panic isolation, metrics booking.
 pub(crate) fn run_job<T>(
     job: &Job<T>,
     run_token: &CancellationToken,
     metrics: &Metrics,
+    trace: &TraceScope,
 ) -> JobResult<T> {
     let started = Instant::now();
     let deadline = job.spec.timeout.map(|t| started + t);
@@ -208,6 +262,7 @@ pub(crate) fn run_job<T>(
             attempt: attempts,
             token: run_token.clone(),
             deadline,
+            trace: trace.clone(),
         };
         let overdue = || deadline.is_some_and(|d| Instant::now() >= d);
         let outcome = catch_unwind(AssertUnwindSafe(|| (job.work)(&ctx)));

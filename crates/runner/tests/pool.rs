@@ -234,3 +234,80 @@ fn run_inline_matches_pool_semantics() {
     assert_eq!(r.status, JobStatus::Completed(7));
     assert_eq!(r.attempts, 2);
 }
+
+mod tracing {
+    use bcc_runner::{CancellationToken, Job, JobSpec, Pool};
+    use bcc_trace::{Collector, EventKind, FieldValue, TraceLevel};
+
+    fn traced_jobs(n: u64) -> Vec<Job<u64>> {
+        (0..n)
+            .map(|i| {
+                Job::new(JobSpec::new(format!("t{i:02}"), i), |ctx| {
+                    ctx.trace()
+                        .event("work", vec![bcc_trace::field("seed", ctx.seed)]);
+                    ctx.trace().counter("items", ctx.seed + 1);
+                    Ok(ctx.seed)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn job_spans_wrap_work_events() {
+        let collector = Collector::new(TraceLevel::Events);
+        let results =
+            Pool::new(1).execute_traced(traced_jobs(2), &CancellationToken::new(), &collector);
+        assert_eq!(results.len(), 2);
+        let trace = collector.finish();
+        let unit0: Vec<_> = trace.events().iter().filter(|e| e.unit == "t00").collect();
+        assert_eq!(unit0.len(), 4); // span_start, work, items, span_end
+        assert_eq!(unit0[0].kind, EventKind::SpanStart);
+        assert_eq!(unit0[0].name, "job");
+        assert_eq!(unit0[1].name, "work");
+        assert_eq!(unit0[1].path, "job");
+        assert_eq!(unit0[2].kind, EventKind::Counter);
+        assert_eq!(unit0[3].kind, EventKind::SpanEnd);
+        assert_eq!(
+            unit0[3].field("status"),
+            Some(&FieldValue::Str("completed".into()))
+        );
+        assert_eq!(unit0[3].field("attempts"), Some(&FieldValue::UInt(1)));
+    }
+
+    #[test]
+    fn serial_and_parallel_traces_are_identical() {
+        let run = |threads: usize| {
+            let collector = Collector::new(TraceLevel::Events);
+            Pool::new(threads).execute_traced(
+                traced_jobs(24),
+                &CancellationToken::new(),
+                &collector,
+            );
+            collector.finish()
+        };
+        let (serial, parallel) = (run(1), run(8));
+        assert!(!serial.is_empty());
+        assert_eq!(serial.events(), parallel.events());
+    }
+
+    #[test]
+    fn disabled_collector_adds_no_records_and_no_failures() {
+        let collector = Collector::disabled();
+        let results =
+            Pool::new(4).execute_traced(traced_jobs(8), &CancellationToken::new(), &collector);
+        assert!(results.iter().all(|r| r.status.output().is_some()));
+        assert!(collector.finish().is_empty());
+    }
+
+    #[test]
+    fn spans_level_keeps_lifecycles_only() {
+        let collector = Collector::new(TraceLevel::Spans);
+        Pool::new(2).execute_traced(traced_jobs(3), &CancellationToken::new(), &collector);
+        let trace = collector.finish();
+        assert_eq!(trace.events().len(), 6); // 3 jobs x (start + end)
+        assert!(trace
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::SpanStart | EventKind::SpanEnd)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Trace-file validator: checks that a JSONL trace emitted by
+//! `--trace` is well-formed. Used by CI after the trace smoke run.
+//!
+//! Checks, per file:
+//!
+//! 1. every line parses back through the codec (`parse_event`);
+//! 2. lines appear in merge order — `(unit, seq)` non-decreasing, so
+//!    units are grouped and sequences increase within each unit;
+//! 3. spans balance within each unit: every `span_end` matches the
+//!    innermost open `span_start`, and no span is left open.
+//!
+//! Usage: `validate_trace <trace.jsonl>...`; exits 0 when every file
+//! is valid, 1 on any violation, 2 on usage/IO errors.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use bcc_trace::json::parse_event;
+use bcc_trace::EventKind;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace <trace.jsonl>...");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match validate(&text) {
+                Ok(stats) => println!("{path}: ok ({stats})"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs all checks over one file's contents; returns a stats line.
+fn validate(text: &str) -> Result<String, String> {
+    let mut prev: Option<(String, u64)> = None;
+    // Per-unit stack of open span names.
+    let mut open: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let e = parse_event(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let key = (e.unit.clone(), e.seq);
+        if let Some(p) = &prev {
+            if *p > key {
+                return Err(format!(
+                    "line {lineno}: out of merge order: ({}, {}) after ({}, {})",
+                    key.0, key.1, p.0, p.1
+                ));
+            }
+        }
+        prev = Some(key);
+        let stack = open.entry(e.unit.clone()).or_default();
+        match e.kind {
+            EventKind::SpanStart => stack.push(e.name.clone()),
+            EventKind::SpanEnd => match stack.pop() {
+                Some(top) if top == e.name => {}
+                Some(top) => {
+                    return Err(format!(
+                        "line {lineno}: span_end `{}` closes open span `{top}` in unit `{}`",
+                        e.name, e.unit
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "line {lineno}: span_end `{}` with no open span in unit `{}`",
+                        e.name, e.unit
+                    ));
+                }
+            },
+            EventKind::Point | EventKind::Counter | EventKind::Gauge => {}
+        }
+        events += 1;
+    }
+    for (unit, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("span `{name}` left open in unit `{unit}`"));
+        }
+    }
+    Ok(format!("{events} events, {} units", open.len()))
+}

@@ -1,0 +1,230 @@
+//! The per-unit recording buffer: plain pushes, no locks, no clocks.
+
+use crate::event::{Event, EventKind, FieldValue};
+
+/// How much a run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing; every recording call is a cheap early return.
+    #[default]
+    Off,
+    /// Record span opens/closes only (job lifecycles, rounds).
+    Spans,
+    /// Record everything: spans, counters, gauges, and point events.
+    Events,
+}
+
+impl TraceLevel {
+    /// Parses a CLI-style level name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(TraceLevel::Off),
+            "spans" => Some(TraceLevel::Spans),
+            "events" => Some(TraceLevel::Events),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Spans => "spans",
+            TraceLevel::Events => "events",
+        }
+    }
+}
+
+/// A per-unit event buffer. One buffer belongs to exactly one logical
+/// unit (a job, the suite) and is written from exactly one thread at
+/// a time, so recording is a plain `Vec::push` — the only lock in the
+/// whole pipeline is the one `Collector::absorb` takes per *buffer*.
+///
+/// The buffer maintains a stack of open spans; event `path`s are the
+/// slash-joined open-span names, so merged traces can be filtered by
+/// logical position (`round=3/node=7`) without any global state.
+#[derive(Debug, Clone)]
+pub struct TraceBuf {
+    level: TraceLevel,
+    unit: String,
+    seq: u64,
+    stack: Vec<String>,
+    events: Vec<Event>,
+}
+
+impl TraceBuf {
+    /// A buffer for `unit` recording at `level`.
+    pub fn new(level: TraceLevel, unit: impl Into<String>) -> Self {
+        TraceBuf {
+            level,
+            unit: unit.into(),
+            seq: 0,
+            stack: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// A buffer that records nothing (the default for untraced runs).
+    pub fn disabled() -> Self {
+        TraceBuf::new(TraceLevel::Off, "")
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// The owning unit.
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// True when span records are kept.
+    pub fn spans_enabled(&self) -> bool {
+        self.level >= TraceLevel::Spans
+    }
+
+    /// True when counter/gauge/point records are kept.
+    pub fn events_enabled(&self) -> bool {
+        self.level >= TraceLevel::Events
+    }
+
+    fn record(&mut self, kind: EventKind, name: &str, fields: Vec<(String, FieldValue)>) {
+        let event = Event {
+            unit: self.unit.clone(),
+            seq: self.seq,
+            path: self.stack.join("/"),
+            kind,
+            name: name.to_string(),
+            fields,
+        };
+        self.seq += 1;
+        self.events.push(event);
+    }
+
+    /// Opens a span. The span's `name` (plus any `key=value` detail
+    /// the caller bakes into it) joins the logical path of every
+    /// record until the matching [`span_end`](Self::span_end).
+    pub fn span_start(&mut self, name: &str, fields: Vec<(String, FieldValue)>) {
+        if self.spans_enabled() {
+            self.record(EventKind::SpanStart, name, fields);
+        }
+        self.stack.push(name.to_string());
+    }
+
+    /// Closes the innermost span. `name` is recorded for readability;
+    /// the stack pops regardless so a mismatched name cannot corrupt
+    /// deeper paths.
+    pub fn span_end(&mut self, name: &str, fields: Vec<(String, FieldValue)>) {
+        self.stack.pop();
+        if self.spans_enabled() {
+            self.record(EventKind::SpanEnd, name, fields);
+        }
+    }
+
+    /// Records a domain point event.
+    pub fn event(&mut self, name: &str, fields: Vec<(String, FieldValue)>) {
+        if self.events_enabled() {
+            self.record(EventKind::Point, name, fields);
+        }
+    }
+
+    /// Records a counter increment.
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        if self.events_enabled() {
+            self.record(
+                EventKind::Counter,
+                name,
+                vec![("delta".into(), delta.into())],
+            );
+        }
+    }
+
+    /// Records an instantaneous level.
+    pub fn gauge(&mut self, name: &str, value: impl Into<FieldValue>) {
+        if self.events_enabled() {
+            self.record(EventKind::Gauge, name, vec![("value".into(), value.into())]);
+        }
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the buffer into its records.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::field;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(TraceLevel::Off < TraceLevel::Spans);
+        assert!(TraceLevel::Spans < TraceLevel::Events);
+        for l in [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Events] {
+            assert_eq!(TraceLevel::from_name(l.name()), Some(l));
+        }
+        assert_eq!(TraceLevel::from_name("verbose"), None);
+    }
+
+    #[test]
+    fn disabled_buf_records_nothing() {
+        let mut b = TraceBuf::disabled();
+        b.span_start("job", vec![]);
+        b.event("x", vec![field("a", 1u64)]);
+        b.counter("c", 2);
+        b.gauge("g", 3u64);
+        b.span_end("job", vec![]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn spans_level_drops_events_keeps_spans() {
+        let mut b = TraceBuf::new(TraceLevel::Spans, "u");
+        b.span_start("job", vec![]);
+        b.event("x", vec![]);
+        b.counter("c", 1);
+        b.span_end("job", vec![]);
+        let ev = b.into_events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, EventKind::SpanStart);
+        assert_eq!(ev[1].kind, EventKind::SpanEnd);
+    }
+
+    #[test]
+    fn paths_follow_span_stack() {
+        let mut b = TraceBuf::new(TraceLevel::Events, "u");
+        b.span_start("round=0", vec![]);
+        b.span_start("node=3", vec![]);
+        b.event("broadcast", vec![field("bit", true)]);
+        b.span_end("node=3", vec![]);
+        b.span_end("round=0", vec![]);
+        let ev = b.into_events();
+        assert_eq!(ev[2].path, "round=0/node=3");
+        assert_eq!(ev[3].path, "round=0");
+        assert_eq!(ev[4].path, "");
+        // Sequence numbers are dense and ordered.
+        let seqs: Vec<u64> = ev.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mismatched_span_end_still_pops() {
+        let mut b = TraceBuf::new(TraceLevel::Events, "u");
+        b.span_start("a", vec![]);
+        b.span_end("b", vec![]);
+        b.event("x", vec![]);
+        assert_eq!(b.into_events()[2].path, "");
+    }
+}

@@ -1,0 +1,202 @@
+//! The typed event model: logical-time events with named fields.
+
+use std::fmt;
+
+/// A typed field value. Floats are carried as `f64` and serialized
+/// with `{:?}` so integral values keep a trailing `.0` and round-trip
+/// exactly; non-finite floats are rejected at construction (they have
+/// no JSON literal and would break round-tripping).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer (counts, deltas).
+    Int(i64),
+    /// Unsigned integer (ids, seeds, indices).
+    UInt(u64),
+    /// Finite real (errors, bounds).
+    Float(f64),
+    /// Boolean (verified properties, decisions).
+    Bool(bool),
+    /// Free-form label (algorithm names, statuses).
+    Str(String),
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::UInt(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::UInt(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::UInt(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            FieldValue::Float(v)
+        } else {
+            // A non-finite measurement is a label, not a number — keep
+            // the trace parseable rather than emitting bare `NaN`.
+            FieldValue::Str(format!("{v}"))
+        }
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Int(v) => write!(f, "{v}"),
+            FieldValue::UInt(v) => write!(f, "{v}"),
+            FieldValue::Float(v) => write!(f, "{v:?}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Builds one named field — sugar for `(name.into(), value.into())`.
+pub fn field(name: impl Into<String>, value: impl Into<FieldValue>) -> (String, FieldValue) {
+    (name.into(), value.into())
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A logical scope opened (experiment, job, protocol, round).
+    SpanStart,
+    /// A logical scope closed.
+    SpanEnd,
+    /// A monotonically accumulated quantity (bits broadcast,
+    /// messages delivered).
+    Counter,
+    /// An instantaneous level (inbox size, frontier width).
+    Gauge,
+    /// A domain point event (a broadcast, a message, a decision, a
+    /// crossing statistic).
+    Point,
+}
+
+impl EventKind {
+    /// Machine-readable tag, stable across versions.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Point => "point",
+        }
+    }
+
+    /// Parses a tag produced by [`tag`](Self::tag).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "span_start" => Some(EventKind::SpanStart),
+            "span_end" => Some(EventKind::SpanEnd),
+            "counter" => Some(EventKind::Counter),
+            "gauge" => Some(EventKind::Gauge),
+            "point" => Some(EventKind::Point),
+            _ => None,
+        }
+    }
+}
+
+/// One trace record, keyed entirely on logical time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The owning logical unit — a job id (`"e1/n=27 t=0"`) or
+    /// `"suite"`. Units are the outer merge key; each unit's events
+    /// keep their recording order.
+    pub unit: String,
+    /// Per-unit sequence number (recording order within the unit).
+    pub seq: u64,
+    /// Slash-joined logical path *inside* the unit, from open spans:
+    /// `"round=3/node=7"`. Empty at unit scope.
+    pub path: String,
+    /// The record kind.
+    pub kind: EventKind,
+    /// Event name (`"broadcast"`, `"bits_broadcast"`, `"job"`).
+    pub name: String,
+    /// Named fields, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_conversions() {
+        assert_eq!(field("a", 3i64).1, FieldValue::Int(3));
+        assert_eq!(field("b", 3usize).1, FieldValue::UInt(3));
+        assert_eq!(field("c", true).1, FieldValue::Bool(true));
+        assert_eq!(field("d", "x").1, FieldValue::Str("x".into()));
+        assert_eq!(field("e", 0.5).1, FieldValue::Float(0.5));
+    }
+
+    #[test]
+    fn non_finite_floats_become_labels() {
+        assert_eq!(field("n", f64::NAN).1, FieldValue::Str("NaN".into()));
+        assert_eq!(field("i", f64::INFINITY).1, FieldValue::Str("inf".into()));
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for k in [
+            EventKind::SpanStart,
+            EventKind::SpanEnd,
+            EventKind::Counter,
+            EventKind::Gauge,
+            EventKind::Point,
+        ] {
+            assert_eq!(EventKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(EventKind::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn event_field_lookup() {
+        let e = Event {
+            unit: "u".into(),
+            seq: 0,
+            path: String::new(),
+            kind: EventKind::Point,
+            name: "x".into(),
+            fields: vec![field("n", 4usize)],
+        };
+        assert_eq!(e.field("n"), Some(&FieldValue::UInt(4)));
+        assert_eq!(e.field("m"), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the trace layer: arbitrary events round-trip
+//! through the JSONL sink, and the collector merge is a pure function
+//! of event content.
+
+use bcc_trace::json::{event_to_json, parse_event};
+use bcc_trace::{Collector, Event, EventKind, FieldValue, TraceLevel};
+use proptest::prelude::*;
+
+/// Maps a generator word to a printable string, exercising escapes.
+fn word(bits: u64, len: usize) -> String {
+    const ALPHABET: [char; 16] = [
+        'a', 'b', 'z', '0', '9', ' ', '=', '/', '"', '\\', '\n', '\t', 'é', '⊥', '{', '}',
+    ];
+    (0..len)
+        .map(|i| ALPHABET[((bits >> (i * 4)) & 0xf) as usize])
+        .collect()
+}
+
+fn kind_for(selector: u8) -> EventKind {
+    match selector % 5 {
+        0 => EventKind::SpanStart,
+        1 => EventKind::SpanEnd,
+        2 => EventKind::Counter,
+        3 => EventKind::Gauge,
+        _ => EventKind::Point,
+    }
+}
+
+/// Builds a field value; non-negative `Int`s are avoided because they
+/// serialize identically to `UInt` (the documented representation
+/// ambiguity), and floats are quantized to stay finite.
+fn value_for(selector: u8, payload: u64) -> FieldValue {
+    match selector % 5 {
+        0 => FieldValue::Int(-((payload >> 1) as i64).abs() - 1),
+        1 => FieldValue::UInt(payload),
+        2 => FieldValue::Float((payload as f64) / 256.0 - 1e6),
+        3 => FieldValue::Bool(payload.is_multiple_of(2)),
+        _ => FieldValue::Str(word(payload, 6)),
+    }
+}
+
+fn event_from(
+    unit_bits: u64,
+    seq: u64,
+    path_bits: u64,
+    kind_sel: u8,
+    name_bits: u64,
+    fields_raw: Vec<(u64, u8, u64)>,
+) -> Event {
+    Event {
+        unit: word(unit_bits, 8),
+        seq,
+        path: word(path_bits, 5),
+        kind: kind_for(kind_sel),
+        name: word(name_bits, 4),
+        fields: fields_raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (key_bits, sel, payload))| {
+                // Suffix with the index so duplicate keys cannot arise
+                // (lookup by name would be ambiguous otherwise).
+                (
+                    format!("{}{}", word(key_bits, 3), i),
+                    value_for(sel, payload),
+                )
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    #[test]
+    fn events_round_trip_through_jsonl(
+        unit_bits in proptest::strategy::any::<u64>(),
+        seq in 0u64..1_000_000,
+        path_bits in proptest::strategy::any::<u64>(),
+        kind_sel in proptest::strategy::any::<u8>(),
+        name_bits in proptest::strategy::any::<u64>(),
+        fields_raw in proptest::collection::vec(
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u8>(),
+                proptest::strategy::any::<u64>(),
+            ),
+            0..6,
+        ),
+    ) {
+        let event = event_from(unit_bits, seq, path_bits, kind_sel, name_bits, fields_raw);
+        let line = event_to_json(&event);
+        prop_assert!(!line.contains('\n'), "JSONL record must be one line: {line:?}");
+        let parsed = parse_event(&line).expect("writer output must parse");
+        prop_assert_eq!(&parsed, &event);
+        // Serialization is a pure function: a second pass is identical.
+        prop_assert_eq!(event_to_json(&parsed), line);
+    }
+
+    #[test]
+    fn collector_merge_ignores_absorb_order(
+        units in proptest::collection::vec(
+            (proptest::strategy::any::<u64>(), 1usize..8),
+            1..6,
+        ),
+        flip in proptest::strategy::any::<bool>(),
+    ) {
+        let build = |reverse: bool| {
+            let collector = Collector::new(TraceLevel::Events);
+            let mut bufs: Vec<_> = units
+                .iter()
+                .enumerate()
+                .map(|(i, (bits, n))| {
+                    // Index-suffixed units stay unique even when the
+                    // generator repeats a word.
+                    let mut buf = collector.buf(format!("{}#{i}", word(*bits, 6)));
+                    for k in 0..*n {
+                        buf.event("e", vec![bcc_trace::field("k", k)]);
+                    }
+                    buf
+                })
+                .collect();
+            if reverse {
+                bufs.reverse();
+            }
+            for buf in bufs {
+                collector.absorb(buf);
+            }
+            collector.finish()
+        };
+        let (one, two) = (build(flip), build(!flip));
+        prop_assert_eq!(one.events(), two.events());
+    }
+}

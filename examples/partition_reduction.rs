@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The 2-regular gadget: a MultiCycle instance whose cycles are the
     // blocks of the join.
-    let g = gadget_graph(Gadget::TwoRegular, &pa, &pb);
+    let g = gadget_graph(Gadget::TwoRegular, &pa, &pb)?;
     let s = cycle_structure(&g)?;
     println!(
         "gadget G(PA, PB): {} vertices, cycles {:?} — Theorem 4.3: induced partition on L = {}",

@@ -42,7 +42,7 @@ fn simulation_equivalence_multiple_algorithms() {
             for pb in &parts {
                 let report =
                     simulate_two_party(Gadget::TwoRegular, algo.as_ref(), pa, pb, 0, 100_000);
-                let g = gadget_graph(Gadget::TwoRegular, pa, pb);
+                let g = gadget_graph(Gadget::TwoRegular, pa, pb).unwrap();
                 let direct =
                     Simulator::new(100_000).run(&Instance::new_kt1(g).unwrap(), algo.as_ref(), 0);
                 assert_eq!(report.decisions, direct.decisions(), "{}", algo.name());

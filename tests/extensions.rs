@@ -99,7 +99,7 @@ fn lattice_vs_flat_matrices() {
 fn question2_harness_sane() {
     let pa = SetPartition::trivial(10);
     let pb = SetPartition::finest(10);
-    let (ans, bits) = run_sampled(&pa, &pb, 200, 1);
+    let (ans, bits) = run_sampled(&pa, &pb, 200, 1).unwrap();
     assert!(ans, "dense sampling of a trivial-join pair must say YES");
     assert_eq!(bits, 201);
     let inputs = vec![(SetPartition::finest(6), SetPartition::finest(6))];
