@@ -296,13 +296,13 @@ impl NodeProgram for BoruvkaNode {
 mod tests {
     use super::*;
     use bcc_graphs::{generators, Graph};
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn run(g: Graph) -> bcc_model::RunOutcome {
         let i = Instance::new_kt1(g).unwrap();
-        Simulator::new(10_000).run(&i, &BoruvkaMinLabel::new(Problem::ConnectedComponents), 0)
+        SimConfig::bcc1(10_000).run(&i, &BoruvkaMinLabel::new(Problem::ConnectedComponents), 0)
     }
 
     #[test]
@@ -360,9 +360,10 @@ mod tests {
             let g = generators::cycle(n);
             let inst = Instance::new_kt1(g).unwrap();
             let algo = BoruvkaMinLabel::new(Problem::Connectivity);
-            let r1 = Simulator::new(100_000).run(&inst, &algo, 0).stats().rounds;
+            let r1 = SimConfig::bcc1(100_000).run(&inst, &algo, 0).stats().rounds;
             let w = bits_needed(n);
-            let rlog = Simulator::with_bandwidth(100_000, w)
+            let rlog = SimConfig::bcc1(100_000)
+                .bandwidth(w)
                 .run(&inst, &algo, 0)
                 .stats()
                 .rounds;
@@ -377,7 +378,7 @@ mod tests {
         let g = generators::two_cycles(3, 3);
         let i = Instance::new_kt1_with_ids(g, vec![99, 5, 42, 17, 63, 8]).unwrap();
         let out =
-            Simulator::new(10_000).run(&i, &BoruvkaMinLabel::new(Problem::ConnectedComponents), 0);
+            SimConfig::bcc1(10_000).run(&i, &BoruvkaMinLabel::new(Problem::ConnectedComponents), 0);
         let labels: Vec<u64> = out.component_labels().iter().map(|l| l.unwrap()).collect();
         assert_eq!(labels, vec![5, 5, 5, 8, 8, 8]);
     }

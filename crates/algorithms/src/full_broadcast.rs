@@ -147,11 +147,11 @@ impl NodeProgram for FullBroadcastNode {
 mod tests {
     use super::*;
     use bcc_graphs::generators;
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
 
     fn run(g: bcc_graphs::Graph, problem: Problem) -> bcc_model::RunOutcome {
         let i = Instance::new_kt1(g).unwrap();
-        Simulator::new(200).run(&i, &FullGraphBroadcast::new(problem), 0)
+        SimConfig::bcc1(200).run(&i, &FullGraphBroadcast::new(problem), 0)
     }
 
     #[test]
@@ -184,7 +184,7 @@ mod tests {
     fn works_with_nontrivial_ids() {
         let g = generators::two_cycles(3, 3);
         let i = Instance::new_kt1_with_ids(g, vec![50, 10, 30, 40, 20, 60]).unwrap();
-        let out = Simulator::new(100).run(
+        let out = SimConfig::bcc1(100).run(
             &i,
             &FullGraphBroadcast::new(Problem::ConnectedComponents),
             0,
@@ -211,6 +211,6 @@ mod tests {
     #[should_panic(expected = "requires KT-1")]
     fn rejects_kt0() {
         let i = Instance::new_kt0(generators::cycle(4), 0).unwrap();
-        Simulator::new(10).run(&i, &FullGraphBroadcast::new(Problem::Connectivity), 0);
+        SimConfig::bcc1(10).run(&i, &FullGraphBroadcast::new(Problem::Connectivity), 0);
     }
 }

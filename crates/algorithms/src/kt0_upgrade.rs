@@ -176,12 +176,12 @@ mod tests {
     use super::*;
     use crate::{FullGraphBroadcast, NeighborIdBroadcast, Problem};
     use bcc_graphs::generators;
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
 
     #[test]
     fn upgraded_neighbor_broadcast_solves_two_cycle_on_kt0() {
         let algo = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle));
-        let sim = Simulator::new(500);
+        let sim = SimConfig::bcc1(500);
         for seed in 0..3 {
             let one = Instance::new_kt0(generators::cycle(12), seed).unwrap();
             assert_eq!(sim.run(&one, &algo, 0).system_decision(), Decision::Yes);
@@ -195,7 +195,7 @@ mod tests {
         for n in [8usize, 16, 32] {
             let i = Instance::new_kt0(generators::cycle(n), 7).unwrap();
             let algo = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::Connectivity));
-            let out = Simulator::new(1000).run(&i, &algo, 0);
+            let out = SimConfig::bcc1(1000).run(&i, &algo, 0);
             let expect = Kt0Upgrade::<NeighborIdBroadcast>::prologue_rounds(n)
                 + NeighborIdBroadcast::rounds_for(n, 2);
             assert_eq!(out.stats().rounds, expect, "n={n}");
@@ -206,7 +206,7 @@ mod tests {
     fn upgraded_full_broadcast_component_labels() {
         let i = Instance::new_kt0(generators::two_cycles(3, 4), 9).unwrap();
         let algo = Kt0Upgrade::new(FullGraphBroadcast::new(Problem::ConnectedComponents));
-        let out = Simulator::new(100).run(&i, &algo, 0);
+        let out = SimConfig::bcc1(100).run(&i, &algo, 0);
         let labels: Vec<u64> = out.component_labels().iter().map(|l| l.unwrap()).collect();
         assert_eq!(labels, vec![0, 0, 0, 3, 3, 3, 3]);
     }
@@ -216,13 +216,13 @@ mod tests {
     fn rejects_kt1_instances() {
         let i = Instance::new_kt1(generators::cycle(4)).unwrap();
         let algo = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::Connectivity));
-        Simulator::new(10).run(&i, &algo, 0);
+        SimConfig::bcc1(10).run(&i, &algo, 0);
     }
 
     #[test]
     fn works_on_random_wirings() {
         let algo = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::MultiCycle));
-        let sim = Simulator::new(500);
+        let sim = SimConfig::bcc1(500);
         for seed in 0..5 {
             let i = Instance::new_kt0(generators::multi_cycle(&[4, 4, 4]), seed).unwrap();
             assert_eq!(

@@ -37,11 +37,11 @@
 //!
 //! ```
 //! use bcc_algorithms::{NeighborIdBroadcast, Problem};
-//! use bcc_model::{Instance, Simulator, Decision};
+//! use bcc_model::{Instance, SimConfig, Decision};
 //! use bcc_graphs::generators;
 //!
 //! let algo = NeighborIdBroadcast::new(Problem::TwoCycle);
-//! let sim = Simulator::new(100);
+//! let sim = SimConfig::bcc1(100);
 //! let one = Instance::new_kt1(generators::cycle(8)).unwrap();
 //! assert_eq!(sim.run(&one, &algo, 0).system_decision(), Decision::Yes);
 //! let two = Instance::new_kt1(generators::two_cycles(4, 4)).unwrap();

@@ -316,7 +316,7 @@ mod tests {
     use super::*;
     use bcc_graphs::weighted::WeightedGraph;
     use bcc_graphs::{generators, Graph};
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
     use rand::SeedableRng;
 
     /// Runs the distributed MST and compares its forest with Kruskal's
@@ -325,7 +325,7 @@ mod tests {
         let n = g.num_vertices();
         let algo = BoruvkaMst::new(weight_seed);
         let inst = Instance::new_kt1(g.clone()).unwrap();
-        let out = Simulator::new(1_000_000).run(&inst, &algo, 0);
+        let out = SimConfig::bcc1(1_000_000).run(&inst, &algo, 0);
         assert!(out.completed());
         // Oracle on the same weights (ids are 0..n so positions = ids).
         let wg = WeightedGraph::from_graph_hashed(&g, weight_seed);
@@ -380,7 +380,7 @@ mod tests {
     fn round_count_polylog() {
         let g = generators::cycle(32);
         let inst = Instance::new_kt1(g).unwrap();
-        let out = Simulator::new(1_000_000).run(&inst, &BoruvkaMst::new(1), 0);
+        let out = SimConfig::bcc1(1_000_000).run(&inst, &BoruvkaMst::new(1), 0);
         let w = bits_needed(32);
         let per_phase = 1 + WEIGHT_BITS + w;
         let max_phases = w + 2;

@@ -222,11 +222,11 @@ impl NodeProgram for NeighborNode {
 mod tests {
     use super::*;
     use bcc_graphs::generators;
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
 
     fn run(g: bcc_graphs::Graph, problem: Problem) -> bcc_model::RunOutcome {
         let i = Instance::new_kt1(g).unwrap();
-        Simulator::new(500).run(&i, &NeighborIdBroadcast::new(problem), 0)
+        SimConfig::bcc1(500).run(&i, &NeighborIdBroadcast::new(problem), 0)
     }
 
     #[test]

@@ -329,7 +329,7 @@ impl NodeProgram for SketchNode {
 mod tests {
     use super::*;
     use bcc_graphs::{generators, Graph};
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -349,7 +349,7 @@ mod tests {
 
     fn run(g: Graph, b: usize, coin: u64) -> bcc_model::RunOutcome {
         let i = Instance::new_kt1(g).unwrap();
-        Simulator::with_bandwidth(2_000_000, b).run(
+        SimConfig::bcc1(2_000_000).bandwidth(b).run(
             &i,
             &SketchConnectivity::new(Problem::Connectivity),
             coin,

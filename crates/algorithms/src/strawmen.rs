@@ -160,15 +160,15 @@ impl NodeProgram for ParityNode {
 mod tests {
     use super::*;
     use bcc_graphs::generators;
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
 
     #[test]
     fn strawmen_run_for_exactly_t_rounds() {
         let i = Instance::new_kt0(generators::cycle(10), 3).unwrap();
         for t in [1usize, 3, 5] {
-            let out = Simulator::new(100).run(&i, &HashVoteDecider::new(t), 0);
+            let out = SimConfig::bcc1(100).run(&i, &HashVoteDecider::new(t), 0);
             assert_eq!(out.stats().rounds, t);
-            let out = Simulator::new(100).run(&i, &ParityDecider::new(t), 0);
+            let out = SimConfig::bcc1(100).run(&i, &ParityDecider::new(t), 0);
             assert_eq!(out.stats().rounds, t);
         }
     }
@@ -176,9 +176,9 @@ mod tests {
     #[test]
     fn strawmen_always_decide() {
         let i = Instance::new_kt0(generators::two_cycles(3, 4), 1).unwrap();
-        let out = Simulator::new(100).run(&i, &HashVoteDecider::new(2), 9);
+        let out = SimConfig::bcc1(100).run(&i, &HashVoteDecider::new(2), 9);
         assert!(!out.any_undecided());
-        let out = Simulator::new(100).run(&i, &ParityDecider::new(2), 9);
+        let out = SimConfig::bcc1(100).run(&i, &ParityDecider::new(2), 9);
         assert!(!out.any_undecided());
     }
 
@@ -190,7 +190,7 @@ mod tests {
         let mut seen_yes = false;
         let mut seen_no = false;
         for coin in 0..32 {
-            match Simulator::new(100)
+            match SimConfig::bcc1(100)
                 .run(&i, &HashVoteDecider::new(2), coin)
                 .system_decision()
             {

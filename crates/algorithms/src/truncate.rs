@@ -94,14 +94,14 @@ mod tests {
     use super::*;
     use crate::{NeighborIdBroadcast, Problem};
     use bcc_graphs::generators;
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
 
     #[test]
     fn truncation_limits_rounds() {
         let i = Instance::new_kt1(generators::cycle(32)).unwrap();
         let full = NeighborIdBroadcast::new(Problem::TwoCycle);
         let t = Truncated::new(full, 3);
-        let out = Simulator::new(1000).run(&i, &t, 0);
+        let out = SimConfig::bcc1(1000).run(&i, &t, 0);
         assert_eq!(out.stats().rounds, 3);
         // Forced vote: YES by default.
         assert_eq!(out.system_decision(), Decision::Yes);
@@ -111,7 +111,7 @@ mod tests {
     fn generous_budget_lets_inner_finish() {
         let i = Instance::new_kt1(generators::two_cycles(4, 4)).unwrap();
         let t = Truncated::new(NeighborIdBroadcast::new(Problem::TwoCycle), 500);
-        let out = Simulator::new(1000).run(&i, &t, 0);
+        let out = SimConfig::bcc1(1000).run(&i, &t, 0);
         assert_eq!(out.system_decision(), Decision::No);
         assert!(out.stats().rounds < 500);
     }
@@ -121,7 +121,7 @@ mod tests {
         let i = Instance::new_kt1(generators::cycle(32)).unwrap();
         let t =
             Truncated::with_default(NeighborIdBroadcast::new(Problem::TwoCycle), 2, Decision::No);
-        let out = Simulator::new(1000).run(&i, &t, 0);
+        let out = SimConfig::bcc1(1000).run(&i, &t, 0);
         assert_eq!(out.system_decision(), Decision::No);
     }
 }

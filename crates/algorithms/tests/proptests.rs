@@ -7,7 +7,7 @@ use bcc_algorithms::{
 };
 use bcc_graphs::connectivity::connected_components;
 use bcc_graphs::{generators, Graph};
-use bcc_model::{Decision, Instance, Simulator};
+use bcc_model::{Decision, Instance, SimConfig};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -34,7 +34,7 @@ proptest! {
     /// arbitrary graphs, with correct component labels.
     #[test]
     fn full_knowledge_algorithms_exact(g in arb_graph()) {
-        let sim = Simulator::new(1_000_000);
+        let sim = SimConfig::bcc1(1_000_000);
         let inst = Instance::new_kt1(g.clone()).unwrap();
         let expect = truth(&g);
         for algo in [
@@ -60,7 +60,7 @@ proptest! {
         let expect = truth(&g);
         let inst = Instance::new_kt0(g, wiring).unwrap();
         let algo = Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::Connectivity));
-        let out = Simulator::new(1_000_000).run(&inst, &algo, 0);
+        let out = SimConfig::bcc1(1_000_000).run(&inst, &algo, 0);
         prop_assert_eq!(out.system_decision(), expect);
     }
 
@@ -70,7 +70,7 @@ proptest! {
     fn truncation_respects_budget(n in 6usize..20, t in 0usize..12) {
         let inst = Instance::new_kt1(generators::cycle(n)).unwrap();
         let algo = Truncated::new(NeighborIdBroadcast::new(Problem::TwoCycle), t);
-        let out = Simulator::new(1_000_000).run(&inst, &algo, 0);
+        let out = SimConfig::bcc1(1_000_000).run(&inst, &algo, 0);
         prop_assert!(out.stats().rounds <= t);
     }
 

@@ -4,7 +4,7 @@
 use bcc_algorithms::{BoruvkaMinLabel, Problem, SketchConnectivity};
 use bcc_bench::kt1_cycle;
 use bcc_model::testing::EchoBit;
-use bcc_model::Simulator;
+use bcc_model::SimConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("sketch_phase_budget", phases),
             &phases,
             |b, _| {
-                let sim = Simulator::with_bandwidth(50_000_000, 256).without_transcripts();
+                let sim = SimConfig::bcc1(50_000_000)
+                    .bandwidth(256)
+                    .transcripts(false);
                 b.iter(|| sim.run(&inst, &algo, 3).stats().rounds)
             },
         );
@@ -34,7 +36,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("boruvka_bandwidth", b_width),
             &b_width,
             |b, &bw| {
-                let sim = Simulator::with_bandwidth(1_000_000, bw).without_transcripts();
+                let sim = SimConfig::bcc1(1_000_000).bandwidth(bw).transcripts(false);
                 b.iter(|| sim.run(&inst64, &algo, 0).stats().rounds)
             },
         );
@@ -49,9 +51,9 @@ fn bench(c: &mut Criterion) {
             &record,
             |b, &rec| {
                 let sim = if rec {
-                    Simulator::new(8)
+                    SimConfig::bcc1(8)
                 } else {
-                    Simulator::new(8).without_transcripts()
+                    SimConfig::bcc1(8).transcripts(false)
                 };
                 b.iter(|| sim.run(&inst32, &EchoBit, 0).stats().rounds)
             },

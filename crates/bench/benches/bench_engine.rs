@@ -1,0 +1,35 @@
+//! Engine bench: the batched lockstep kernel vs the scalar executor
+//! on the E2 error measurement, and the artifact cache cold vs warm
+//! on the round-0 indistinguishability graph.
+
+use bcc_algorithms::HashVoteDecider;
+use bcc_core::hard::{distributional_error, uniform_two_cycle_distribution};
+use bcc_core::indist::IndistGraph;
+use bcc_engine::artifacts::indist_round_zero;
+use bcc_engine::{distributional_error_batched, ArtifactStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for n in [6usize, 7] {
+        let dist = uniform_two_cycle_distribution(n);
+        let algo = HashVoteDecider::new(2);
+        group.bench_with_input(BenchmarkId::new("error_scalar_t2", n), &n, |b, _| {
+            b.iter(|| distributional_error(&dist, &algo, 2, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("error_batched_t2", n), &n, |b, _| {
+            b.iter(|| distributional_error_batched(&dist, &algo, 2, 0))
+        });
+    }
+    group.bench_function("indist_cold_n7", |b| b.iter(|| IndistGraph::round_zero(7)));
+    let store = ArtifactStore::in_memory();
+    indist_round_zero(&store, 7);
+    group.bench_function("indist_warm_n7", |b| {
+        b.iter(|| indist_round_zero(&store, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

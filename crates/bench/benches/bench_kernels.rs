@@ -4,7 +4,7 @@
 use bcc_graphs::matching::{hopcroft_karp, BipartiteGraph};
 use bcc_graphs::{generators, UnionFind};
 use bcc_model::testing::EchoBit;
-use bcc_model::{Instance, Simulator};
+use bcc_model::{Instance, SimConfig};
 use bcc_partitions::random::uniform_partition;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
@@ -53,7 +53,7 @@ fn bench(c: &mut Criterion) {
 
     for n in [32usize, 128] {
         let inst = Instance::new_kt1(generators::cycle(n)).unwrap();
-        let sim = Simulator::new(8);
+        let sim = SimConfig::bcc1(8);
         group.bench_with_input(BenchmarkId::new("simulator_8_rounds", n), &n, |b, _| {
             b.iter(|| sim.run(&inst, &EchoBit, 0).stats().rounds)
         });

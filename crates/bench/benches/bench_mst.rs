@@ -3,7 +3,7 @@
 use bcc_algorithms::BoruvkaMst;
 use bcc_graphs::generators;
 use bcc_graphs::weighted::WeightedGraph;
-use bcc_model::{Instance, Simulator};
+use bcc_model::{Instance, SimConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         });
         let inst = Instance::new_kt1(g.clone()).unwrap();
         group.bench_with_input(BenchmarkId::new("boruvka_bcc1", n), &n, |b, _| {
-            let sim = Simulator::new(10_000_000).without_transcripts();
+            let sim = SimConfig::bcc1(10_000_000).transcripts(false);
             b.iter(|| sim.run(&inst, &BoruvkaMst::new(7), 0).stats().rounds)
         });
     }

@@ -3,7 +3,7 @@
 use bcc_algorithms::sketch::L0Sketch;
 use bcc_algorithms::{Problem, SketchConnectivity};
 use bcc_bench::kt1_cycle;
-use bcc_model::Simulator;
+use bcc_model::SimConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("connectivity_cycle12", bandwidth),
             &bandwidth,
             |b, &bw| {
-                let sim = Simulator::with_bandwidth(50_000_000, bw);
+                let sim = SimConfig::bcc1(50_000_000).bandwidth(bw);
                 b.iter(|| sim.run(&inst, &algo, 1).stats().rounds)
             },
         );

@@ -1,6 +1,6 @@
 //! E4 bench: the trivial Partition protocol.
 
-use bcc_comm::driver::run_protocol;
+use bcc_comm::driver::{run_protocol, DriverOpts};
 use bcc_comm::protocols::{TrivialJoinAlice, TrivialJoinBob};
 use bcc_partitions::random::uniform_partition;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut alice = TrivialJoinAlice::new(pa.clone());
                 let mut bob = TrivialJoinBob::new(pb.clone());
-                run_protocol(&mut alice, &mut bob, 8).bits_exchanged
+                run_protocol(&mut alice, &mut bob, &DriverOpts::new(8)).bits_exchanged
             })
         });
     }

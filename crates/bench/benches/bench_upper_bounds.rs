@@ -4,13 +4,13 @@ use bcc_algorithms::{
     BoruvkaMinLabel, FullGraphBroadcast, Kt0Upgrade, NeighborIdBroadcast, Problem,
 };
 use bcc_bench::{kt0_cycle, kt1_cycle};
-use bcc_model::Simulator;
+use bcc_model::SimConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("upper_bounds");
     group.sample_size(10);
-    let sim = Simulator::new(1_000_000);
+    let sim = SimConfig::bcc1(1_000_000);
     for n in [16usize, 64, 128] {
         let kt1 = kt1_cycle(n);
         let kt0 = kt0_cycle(n);

@@ -1,0 +1,151 @@
+//! Records the engine-throughput baseline as `BENCH_PR4.json`.
+//!
+//! Times the E2 computations the `bcc-engine` crate replaced, both
+//! ways:
+//!
+//! * the **workload** metric reproduces E2's expensive pieces end to
+//!   end — the round-0 indistinguishability graphs for every
+//!   full-mode size (structure rows + census) plus the t = 1, 2 error
+//!   sweeps — comparing the pre-engine scalar baseline (recompute
+//!   every graph, scalar executor with transcripts) against the
+//!   engine path (warm artifact cache, batched lockstep kernel);
+//! * the **sampling** and **cache** sub-metrics isolate the two
+//!   ingredients.
+//!
+//! Run in release mode from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bcc-bench --bin bench_pr4 [-- OUTPUT.json]
+//! ```
+
+use bcc_algorithms::{
+    HashVoteDecider, Kt0Upgrade, NeighborIdBroadcast, ParityDecider, Problem, Truncated,
+};
+use bcc_core::hard::{distributional_error, uniform_two_cycle_distribution, WeightedInstance};
+use bcc_core::indist::IndistGraph;
+use bcc_engine::artifacts::indist_round_zero;
+use bcc_engine::{distributional_error_batched, ArtifactStore};
+use bcc_model::testing::ConstantDecision;
+use bcc_model::Algorithm;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The full-mode E2 grid: structure sizes, census size, error size.
+const SIZES: [usize; 4] = [6, 7, 8, 9];
+const CENSUS_N: usize = 9;
+const ERR_N: usize = 7;
+
+/// Best-of-`reps` wall time for `f`, in nanoseconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_nanos());
+    }
+    best.max(1)
+}
+
+/// E2's error-job algorithm roster at round budget `t`.
+fn algorithms(t: usize) -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(ConstantDecision::yes()),
+        Box::new(HashVoteDecider::new(t)),
+        Box::new(ParityDecider::new(t)),
+        Box::new(Truncated::new(
+            Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
+            t,
+        )),
+    ]
+}
+
+fn errors_scalar(dist: &[WeightedInstance]) -> f64 {
+    let mut acc = 0.0;
+    for t in [1usize, 2] {
+        for algo in algorithms(t) {
+            acc += distributional_error(dist, algo.as_ref(), t, 0);
+        }
+    }
+    acc
+}
+
+fn errors_batched(dist: &[WeightedInstance]) -> f64 {
+    let mut acc = 0.0;
+    for t in [1usize, 2] {
+        for algo in algorithms(t) {
+            acc += distributional_error_batched(dist, algo.as_ref(), t, 0);
+        }
+    }
+    acc
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+
+    let dist = uniform_two_cycle_distribution(ERR_N);
+
+    // Headline: the replaced E2 workload, scalar baseline vs engine
+    // path with a warm cache (the suite's steady state under --cache).
+    let scalar_workload_ns = best_of(2, || {
+        let mut v2 = 0usize;
+        for n in SIZES {
+            v2 += IndistGraph::round_zero(n).v2_len();
+        }
+        v2 += IndistGraph::round_zero(CENSUS_N).v2_len();
+        (v2, errors_scalar(&dist))
+    });
+    let store = ArtifactStore::in_memory();
+    for n in SIZES {
+        indist_round_zero(&store, n);
+    }
+    let engine_workload_ns = best_of(2, || {
+        let mut v2 = 0usize;
+        for n in SIZES {
+            v2 += indist_round_zero(&store, n).v2_len();
+        }
+        v2 += indist_round_zero(&store, CENSUS_N).v2_len();
+        (v2, errors_batched(&dist))
+    });
+    let workload_speedup = scalar_workload_ns as f64 / engine_workload_ns as f64;
+
+    // Sub-metric: the sampling loop alone (hash-vote, t = 2).
+    let algo = HashVoteDecider::new(2);
+    let scalar_ns = best_of(5, || distributional_error(&dist, &algo, 2, 0));
+    let batched_ns = best_of(5, || distributional_error_batched(&dist, &algo, 2, 0));
+    let sampling_speedup = scalar_ns as f64 / batched_ns as f64;
+
+    // Sub-metric: the cache alone (round-0 graph at n = 8).
+    let cold_ns = best_of(3, || {
+        let fresh = ArtifactStore::in_memory();
+        indist_round_zero(&fresh, 8)
+    });
+    let warm_ns = best_of(3, || indist_round_zero(&store, 8));
+    let cache_speedup = cold_ns as f64 / warm_ns as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine throughput baseline (PR4)\",\n  \
+         \"e2_workload\": {{\n    \"sizes\": [6, 7, 8, 9],\n    \"census_n\": {CENSUS_N},\n    \
+         \"err_n\": {ERR_N},\n    \"scalar_baseline_ns\": {scalar_workload_ns},\n    \
+         \"batched_warm_cache_ns\": {engine_workload_ns},\n    \
+         \"speedup\": {workload_speedup:.2}\n  }},\n  \
+         \"e2_error_sampling\": {{\n    \"n\": {ERR_N},\n    \"t\": 2,\n    \
+         \"instances\": {len},\n    \"scalar_ns\": {scalar_ns},\n    \
+         \"batched_ns\": {batched_ns},\n    \"speedup\": {sampling_speedup:.2}\n  }},\n  \
+         \"indist_round_zero_cache\": {{\n    \"n\": 8,\n    \
+         \"cold_ns\": {cold_ns},\n    \"warm_ns\": {warm_ns},\n    \
+         \"speedup\": {cache_speedup:.2}\n  }}\n}}\n",
+        len = dist.len(),
+    );
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("error: writing {out_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    eprintln!(
+        "bench_pr4: e2 workload {workload_speedup:.2}x (sampling {sampling_speedup:.2}x, warm cache {cache_speedup:.2}x) -> {out_path}"
+    );
+    ExitCode::SUCCESS
+}

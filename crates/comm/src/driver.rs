@@ -1,7 +1,7 @@
 //! A deterministic two-party protocol driver with exact bit
 //! accounting.
 
-use bcc_trace::{field, TraceBuf};
+use bcc_trace::{field, TraceBuf, TraceLevel, TraceScope};
 
 /// Which party acts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,23 +70,94 @@ impl<Out> ProtocolRun<Out> {
     }
 }
 
-/// Runs a protocol to completion (both parties output) or until
-/// `max_messages` messages have been exchanged.
+/// Options for one protocol run — the single configuration surface
+/// that folds what used to be a quartet of entry points
+/// (`run_protocol` / `run_protocol_traced` / `run_with_bit_budget` /
+/// `run_with_bit_budget_traced`) into [`run_protocol`].
+#[derive(Debug, Clone)]
+pub struct DriverOpts {
+    max_messages: usize,
+    budget: Option<usize>,
+    trace: TraceScope,
+}
+
+impl DriverOpts {
+    /// Unbounded-bits options with the given message limit, tracing
+    /// off.
+    pub fn new(max_messages: usize) -> Self {
+        DriverOpts {
+            max_messages,
+            budget: None,
+            trace: TraceScope::disabled(),
+        }
+    }
+
+    /// Caps the run at `budget` exchanged bits: once the budget is
+    /// reached, messages are truncated to fit and the run stops;
+    /// parties must then answer from whatever they have (their
+    /// `output` may be `None`, which callers score as an error).
+    /// Models the ε-error bounded-communication protocols of
+    /// Theorem 4.5.
+    #[must_use]
+    pub fn bit_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a trace destination. Each run records a `protocol`
+    /// span wrapping one `message` event per message with the
+    /// speaker, its index, bit length, and the bit offset where it
+    /// starts in the transcript (truncated messages carry
+    /// `truncated = true`). Everything recorded is logical — message
+    /// indices and bit positions, never timing — so equal inputs
+    /// yield byte-identical traces, and the returned run is identical
+    /// whether the scope records or not.
+    #[must_use]
+    pub fn trace(mut self, scope: TraceScope) -> Self {
+        self.trace = scope;
+        self
+    }
+
+    /// The message limit.
+    pub fn max_messages(&self) -> usize {
+        self.max_messages
+    }
+
+    /// The bit budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// The attached trace scope (disabled by default).
+    pub fn trace_scope(&self) -> &TraceScope {
+        &self.trace
+    }
+}
+
+/// Runs a protocol to completion (both parties output) or until the
+/// limits in `opts` — message count, optional bit budget — are
+/// reached.
 pub fn run_protocol<Out: Clone>(
     alice: &mut dyn Party<Out>,
     bob: &mut dyn Party<Out>,
-    max_messages: usize,
+    opts: &DriverOpts,
 ) -> ProtocolRun<Out> {
-    run_protocol_traced(alice, bob, max_messages, &mut TraceBuf::disabled())
+    if opts.trace.level() > TraceLevel::Off {
+        opts.trace
+            .with(|buf| run_core(alice, bob, opts.budget, opts.max_messages, buf))
+    } else {
+        run_core(
+            alice,
+            bob,
+            opts.budget,
+            opts.max_messages,
+            &mut TraceBuf::disabled(),
+        )
+    }
 }
 
-/// Like [`run_protocol`], recording each exchanged message into
-/// `trace`: a `protocol` span wrapping one `message` event per message
-/// with the speaker, its index, bit length, and the bit offset where
-/// it starts in the transcript. Everything recorded is logical —
-/// message indices and bit positions, never timing — so equal inputs
-/// yield byte-identical traces, and the returned run is identical
-/// whether `trace` records or not.
+/// Legacy traced entry point.
+#[deprecated(note = "use `run_protocol` with `DriverOpts::trace`")]
 pub fn run_protocol_traced<Out: Clone>(
     alice: &mut dyn Party<Out>,
     bob: &mut dyn Party<Out>,
@@ -96,22 +167,25 @@ pub fn run_protocol_traced<Out: Clone>(
     run_core(alice, bob, None, max_messages, trace)
 }
 
-/// Runs a protocol under a *bit budget*: once `budget` bits have been
-/// exchanged, messages are truncated to fit and the run stops; parties
-/// must then answer from whatever they have (their `output` may be
-/// `None`, which callers score as an error). Models the ε-error
-/// bounded-communication protocols of Theorem 4.5.
+/// Legacy bit-budget entry point.
+#[deprecated(note = "use `run_protocol` with `DriverOpts::bit_budget`")]
 pub fn run_with_bit_budget<Out: Clone>(
     alice: &mut dyn Party<Out>,
     bob: &mut dyn Party<Out>,
     budget: usize,
     max_messages: usize,
 ) -> ProtocolRun<Out> {
-    run_with_bit_budget_traced(alice, bob, budget, max_messages, &mut TraceBuf::disabled())
+    run_core(
+        alice,
+        bob,
+        Some(budget),
+        max_messages,
+        &mut TraceBuf::disabled(),
+    )
 }
 
-/// [`run_with_bit_budget`] with tracing; see [`run_protocol_traced`]
-/// for the event shape. Truncated messages carry `truncated = true`.
+/// Legacy traced bit-budget entry point.
+#[deprecated(note = "use `run_protocol` with `DriverOpts::bit_budget` and `DriverOpts::trace`")]
 pub fn run_with_bit_budget_traced<Out: Clone>(
     alice: &mut dyn Party<Out>,
     bob: &mut dyn Party<Out>,
@@ -273,7 +347,7 @@ mod tests {
             received: Vec::new(),
             expected: 3,
         };
-        let run = run_protocol(&mut alice, &mut bob, 10);
+        let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(10));
         assert_eq!(run.alice_output, Some(15));
         assert_eq!(run.bob_output, Some(15));
         assert_eq!(run.bits_exchanged, 3 + 8);
@@ -294,7 +368,7 @@ mod tests {
             received: Vec::new(),
             expected: 10,
         };
-        let run = run_with_bit_budget(&mut alice, &mut bob, 4, 10);
+        let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(10).bit_budget(4));
         assert_eq!(run.bits_exchanged, 4);
         assert_eq!(run.bob_output, None, "Bob cannot decode a truncated input");
     }
@@ -317,12 +391,16 @@ mod tests {
             )
         };
         let (mut alice, mut bob) = build();
-        let plain = run_protocol(&mut alice, &mut bob, 10);
+        let plain = run_protocol(&mut alice, &mut bob, &DriverOpts::new(10));
         let (mut alice, mut bob) = build();
-        let mut buf = TraceBuf::new(TraceLevel::Events, "u");
-        let traced = run_protocol_traced(&mut alice, &mut bob, 10, &mut buf);
+        let scope = TraceScope::new(TraceBuf::new(TraceLevel::Events, "u"));
+        let traced = run_protocol(
+            &mut alice,
+            &mut bob,
+            &DriverOpts::new(10).trace(scope.clone()),
+        );
         assert_eq!(plain, traced);
-        let events = buf.into_events();
+        let events = scope.take().into_events();
         assert_eq!(events[0].kind, EventKind::SpanStart);
         assert_eq!(events[0].name, "protocol");
         let msgs: Vec<_> = events.iter().filter(|e| e.name == "message").collect();
@@ -357,13 +435,39 @@ mod tests {
             received: Vec::new(),
             expected: 10,
         };
-        let mut buf = TraceBuf::new(TraceLevel::Events, "u");
-        let run = run_with_bit_budget_traced(&mut alice, &mut bob, 4, 10, &mut buf);
+        let scope = TraceScope::new(TraceBuf::new(TraceLevel::Events, "u"));
+        let opts = DriverOpts::new(10).bit_budget(4).trace(scope.clone());
+        let run = run_protocol(&mut alice, &mut bob, &opts);
         assert_eq!(run.bits_exchanged, 4);
-        let events = buf.into_events();
+        let events = scope.take().into_events();
         let msg = events.iter().find(|e| e.name == "message").unwrap();
         assert_eq!(msg.field("truncated"), Some(&FieldValue::Bool(true)));
         assert_eq!(msg.field("bits"), Some(&FieldValue::UInt(4)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_opts_path() {
+        let build = || SumAlice {
+            bits: vec![true; 10],
+            sent: 0,
+            result: None,
+        };
+        let bob = || SumBob {
+            own: 0,
+            received: Vec::new(),
+            expected: 10,
+        };
+        let legacy = run_with_bit_budget(&mut build(), &mut bob(), 4, 10);
+        let modern = run_protocol(&mut build(), &mut bob(), &DriverOpts::new(10).bit_budget(4));
+        assert_eq!(legacy, modern);
+        let mut buf = TraceBuf::new(bcc_trace::TraceLevel::Events, "u");
+        let traced = run_protocol_traced(&mut build(), &mut bob(), 10, &mut buf);
+        assert_eq!(
+            traced,
+            run_protocol(&mut build(), &mut bob(), &DriverOpts::new(10))
+        );
+        assert!(!buf.into_events().is_empty());
     }
 
     #[test]

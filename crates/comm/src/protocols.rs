@@ -201,7 +201,7 @@ impl Party<SetPartition> for JoinCompBob {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run_protocol, run_with_bit_budget};
+    use crate::driver::{run_protocol, DriverOpts};
     use bcc_partitions::enumerate::all_partitions;
 
     #[test]
@@ -221,7 +221,7 @@ mod tests {
                 let expect = pa.join(&pb).is_trivial();
                 let mut alice = TrivialJoinAlice::new(pa.clone());
                 let mut bob = TrivialJoinBob::new(pb.clone());
-                let run = run_protocol(&mut alice, &mut bob, 10);
+                let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(10));
                 assert_eq!(run.alice_output, Some(expect), "PA={pa} PB={pb}");
                 assert_eq!(run.bob_output, Some(expect));
                 assert_eq!(run.bits_exchanged, trivial_message_bits(n) + 1);
@@ -247,7 +247,7 @@ mod tests {
             let pb = SetPartition::from_blocks(n, &bb).unwrap();
             let mut alice = JoinCompAlice::new(pa.clone());
             let mut bob = JoinCompBob::new(pb.clone());
-            let run = run_protocol(&mut alice, &mut bob, 10);
+            let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(10));
             let expect = pa.join(&pb);
             assert_eq!(run.alice_output, Some(expect.clone()));
             assert_eq!(run.bob_output, Some(expect));
@@ -261,7 +261,7 @@ mod tests {
         let pb = SetPartition::trivial(6);
         let mut alice = JoinCompAlice::new(pa);
         let mut bob = JoinCompBob::new(pb);
-        let run = run_with_bit_budget(&mut alice, &mut bob, 5, 10);
+        let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(10).bit_budget(5));
         assert!(run.bob_output.is_none());
         assert!(run.bits_exchanged <= 5);
     }

@@ -159,7 +159,7 @@ pub fn run_sampled(
 ) -> Result<(bool, usize), CommError> {
     let mut alice = SampledConstraintAlice::new(pa.clone(), k, seed);
     let mut bob = SampledConstraintBob::new(pb.clone(), k, seed);
-    let run = crate::driver::run_protocol(&mut alice, &mut bob, 4);
+    let run = crate::driver::run_protocol(&mut alice, &mut bob, &crate::driver::DriverOpts::new(4));
     match run.bob_output {
         Some(answer) => Ok((answer, run.bits_exchanged)),
         None => Err(CommError::ProtocolIncomplete),

@@ -166,7 +166,7 @@ mod tests {
     use super::*;
     use crate::reduction::gadget_graph;
     use bcc_algorithms::{NeighborIdBroadcast, Problem};
-    use bcc_model::{Instance, Simulator};
+    use bcc_model::{Instance, SimConfig};
     use bcc_partitions::enumerate::matching_partitions;
 
     #[test]
@@ -180,7 +180,7 @@ mod tests {
                 // Direct run on the full gadget instance.
                 let g = gadget_graph(Gadget::TwoRegular, pa, pb).unwrap();
                 let inst = Instance::new_kt1(g).unwrap();
-                let direct = Simulator::new(10_000).run(&inst, &algo, 0);
+                let direct = SimConfig::bcc1(10_000).run(&inst, &algo, 0);
                 assert_eq!(
                     report.system_decision(),
                     direct.system_decision(),
@@ -240,7 +240,7 @@ mod tests {
         assert!(pa.join(&pb).is_trivial());
         assert_eq!(report.system_decision(), Decision::Yes);
         let g = gadget_graph(Gadget::General, &pa, &pb).unwrap();
-        let direct = Simulator::new(10_000).run(&Instance::new_kt1(g).unwrap(), &algo, 0);
+        let direct = SimConfig::bcc1(10_000).run(&Instance::new_kt1(g).unwrap(), &algo, 0);
         assert_eq!(report.decisions, direct.decisions());
     }
 }

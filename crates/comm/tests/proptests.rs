@@ -1,7 +1,7 @@
 //! Property-based tests for the 2-party layer: protocols, gadgets,
 //! simulation.
 
-use bcc_comm::driver::{run_protocol, run_with_bit_budget};
+use bcc_comm::driver::{run_protocol, DriverOpts};
 use bcc_comm::protocols::{
     decode_partition, encode_partition, trivial_message_bits, JoinCompAlice, JoinCompBob,
     TrivialJoinAlice, TrivialJoinBob,
@@ -64,7 +64,7 @@ proptest! {
         let expect = pa.join(&pb).is_trivial();
         let mut alice = TrivialJoinAlice::new(pa.clone());
         let mut bob = TrivialJoinBob::new(pb.clone());
-        let run = run_protocol(&mut alice, &mut bob, 8);
+        let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(8));
         prop_assert_eq!(run.alice_output, Some(expect));
         prop_assert_eq!(run.bob_output, Some(expect));
         prop_assert_eq!(run.bits_exchanged, trivial_message_bits(pa.ground_size()) + 1);
@@ -77,7 +77,7 @@ proptest! {
         let expect = pa.join(&pb);
         let mut alice = JoinCompAlice::new(pa.clone());
         let mut bob = JoinCompBob::new(pb.clone());
-        let run = run_protocol(&mut alice, &mut bob, 8);
+        let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(8));
         prop_assert_eq!(run.alice_output.as_ref(), Some(&expect));
         prop_assert_eq!(run.bob_output.as_ref(), Some(&expect));
 
@@ -85,7 +85,7 @@ proptest! {
         prop_assume!(full > 1);
         let mut alice2 = JoinCompAlice::new(pa.clone());
         let mut bob2 = JoinCompBob::new(pb.clone());
-        let starved = run_with_bit_budget(&mut alice2, &mut bob2, full - 1, 8);
+        let starved = run_protocol(&mut alice2, &mut bob2, &DriverOpts::new(8).bit_budget(full - 1));
         prop_assert_eq!(starved.bob_output, None);
     }
 

@@ -3,7 +3,7 @@
 
 use crate::error::CoreError;
 use bcc_graphs::Graph;
-use bcc_model::{runs_indistinguishable, Algorithm, Instance, KnowledgeMode, Simulator, Symbol};
+use bcc_model::{runs_indistinguishable, Algorithm, Instance, KnowledgeMode, SimConfig, Symbol};
 
 /// A directed input-graph edge `tail → head`. The direction
 /// disambiguates the port notation `e(p, q)` (p at the tail, q at the
@@ -146,7 +146,7 @@ pub fn indistinguishable_after(
     t: usize,
     coin_seed: u64,
 ) -> bool {
-    let sim = Simulator::new(t);
+    let sim = SimConfig::bcc1(t);
     let ra = sim.run(a, algorithm, coin_seed);
     let rb = sim.run(b, algorithm, coin_seed);
     runs_indistinguishable(&ra, &rb)
@@ -163,7 +163,7 @@ pub fn lemma_3_4_hypothesis_holds(
     t: usize,
     coin_seed: u64,
 ) -> bool {
-    let run = Simulator::new(t).run(instance, algorithm, coin_seed);
+    let run = SimConfig::bcc1(t).run(instance, algorithm, coin_seed);
     let seq =
         |v: usize| -> Vec<Symbol> { run.transcript(v).sent.iter().map(|m| m.symbol()).collect() };
     seq(e1.tail) == seq(e2.tail) && seq(e1.head) == seq(e2.head)

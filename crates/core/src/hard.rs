@@ -5,7 +5,7 @@ use crate::crossing::{are_independent, cross_instance, DirectedEdge};
 use bcc_graphs::cycles::{classify_two_cycle, TwoCycleClass};
 use bcc_graphs::enumerate::{multi_cycle_covers, one_cycles, two_cycle_graphs};
 use bcc_graphs::generators;
-use bcc_model::{Algorithm, Decision, Instance, Simulator};
+use bcc_model::{Algorithm, Decision, Instance, SimConfig};
 
 /// A weighted instance of the `TwoCycle` problem: the instance, its
 /// ground truth, and its probability mass.
@@ -135,7 +135,7 @@ pub fn distributional_error(
     t: usize,
     coin_seed: u64,
 ) -> f64 {
-    let sim = Simulator::new(t);
+    let sim = SimConfig::bcc1(t);
     dist.iter()
         .map(|wi| {
             let out = sim.run(&wi.instance, algorithm, coin_seed);

@@ -15,7 +15,7 @@
 //! concrete protocols (exact and bit-budget-truncated) by full
 //! enumeration — no sampling anywhere.
 
-use bcc_comm::driver::{run_protocol, run_with_bit_budget};
+use bcc_comm::driver::{run_protocol, DriverOpts};
 use bcc_comm::protocols::{JoinCompAlice, JoinCompBob};
 use bcc_info::{Dist, Joint};
 use bcc_partitions::enumerate::all_partitions;
@@ -76,8 +76,8 @@ pub fn partition_comp_information(n: usize, budget: Option<usize>) -> InfoBoundR
         let mut alice = JoinCompAlice::new(pa.clone());
         let mut bob = JoinCompBob::new(pb.clone());
         let run = match budget {
-            Some(b) => run_with_bit_budget(&mut alice, &mut bob, b, 16),
-            None => run_protocol(&mut alice, &mut bob, 16),
+            Some(b) => run_protocol(&mut alice, &mut bob, &DriverOpts::new(16).bit_budget(b)),
+            None => run_protocol(&mut alice, &mut bob, &DriverOpts::new(16)),
         };
         max_bits = max_bits.max(run.bits_exchanged);
         let correct = run.bob_output.as_ref() == Some(&pa.join(&pb));

@@ -10,7 +10,7 @@
 use crate::crossing::DirectedEdge;
 use bcc_graphs::cycles::cycle_structure;
 use bcc_graphs::Graph;
-use bcc_model::{Algorithm, Instance, Simulator, Symbol};
+use bcc_model::{Algorithm, Instance, SimConfig, Symbol};
 
 /// The per-vertex broadcast strings of the first `t` rounds of
 /// `algorithm` on `instance` (index = vertex). Strings may be shorter
@@ -22,7 +22,7 @@ pub fn broadcast_strings(
     t: usize,
     coin_seed: u64,
 ) -> Vec<Vec<Symbol>> {
-    let run = Simulator::new(t).run(instance, algorithm, coin_seed);
+    let run = SimConfig::bcc1(t).run(instance, algorithm, coin_seed);
     (0..instance.num_vertices())
         .map(|v| {
             let mut s: Vec<Symbol> = run.transcript(v).sent.iter().map(|m| m.symbol()).collect();

@@ -26,7 +26,7 @@
 //!   YES instances are accepted, labels forged from a crossed instance
 //!   are rejected once the algorithm actually distinguishes them.
 
-use bcc_model::{Algorithm, Decision, Instance, Message, Simulator};
+use bcc_model::{Algorithm, Decision, Instance, Message, SimConfig};
 
 /// The honest prover's label for each vertex: the sequence of messages
 /// the vertex broadcasts during `t` rounds of `algorithm`. The label
@@ -38,7 +38,7 @@ pub fn prover_labels(
     t: usize,
     coin_seed: u64,
 ) -> Vec<Vec<Message>> {
-    let run = Simulator::new(t).run(instance, algorithm, coin_seed);
+    let run = SimConfig::bcc1(t).run(instance, algorithm, coin_seed);
     (0..instance.num_vertices())
         .map(|v| run.transcript(v).sent.clone())
         .collect()

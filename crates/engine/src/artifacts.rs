@@ -1,0 +1,261 @@
+//! Typed cache fronts for the expensive derived tables the experiment
+//! suite rebuilds most often: GF(2) ranks of the partition matrices
+//! (`bcc-linalg` via `bcc-partitions`), Bell-number tables, and the
+//! round-0 indistinguishability graph (`bcc-core`).
+//!
+//! Every front follows the same discipline:
+//!
+//! * the [`ArtifactKey`] names the artifact kind, its full parameter
+//!   tuple, and a codec version that is bumped whenever the line
+//!   encoding changes;
+//! * decode failure of a cached payload (however it got corrupted)
+//!   **invalidates the entry and recomputes** — a wrong cache line can
+//!   cost time, never correctness;
+//! * decoded structural artifacts are cross-checked against closed
+//!   forms where one exists (`closed_form_counts` for the
+//!   indistinguishability graph) before being trusted.
+
+use crate::store::{ArtifactKey, ArtifactStore};
+use bcc_core::indist::{closed_form_counts, IndistGraph};
+use bcc_graphs::matching::BipartiteGraph;
+use bcc_graphs::Graph;
+use bcc_partitions::matrices::{partition_join_matrix, two_partition_matrix};
+use bcc_partitions::numbers::bell_numbers_upto;
+
+/// Gets-or-computes a single-`usize` artifact, recomputing on any
+/// decode failure.
+fn cached_usize(store: &ArtifactStore, key: &ArtifactKey, compute: impl Fn() -> usize) -> usize {
+    let lines = store.get_or_compute(key, || vec![compute().to_string()]);
+    match lines.first().and_then(|l| l.trim().parse::<usize>().ok()) {
+        Some(v) => v,
+        None => {
+            store.invalidate(key);
+            let v = compute();
+            store.get_or_compute(key, || vec![v.to_string()]);
+            v
+        }
+    }
+}
+
+/// The GF(2) rank of the matching-partition join matrix `M_n`
+/// (Theorem 2.3's communication bound matrix), cached under
+/// `("join-matrix-rank", n)`.
+pub fn join_matrix_rank(store: &ArtifactStore, n: usize) -> usize {
+    let key = ArtifactKey::new("join-matrix-rank", &format!("n={n}"), 1);
+    cached_usize(store, &key, || partition_join_matrix(n).to_gf2().rank())
+}
+
+/// The GF(2) rank of the `TwoPartition` matrix `E_n` (Lemma 4.1),
+/// cached under `("two-partition-rank", n)`.
+pub fn two_partition_rank(store: &ArtifactStore, n: usize) -> usize {
+    let key = ArtifactKey::new("two-partition-rank", &format!("n={n}"), 1);
+    cached_usize(store, &key, || two_partition_matrix(n).to_gf2().rank())
+}
+
+/// The Bell numbers `B_0 … B_n`, cached under `("bell-table", n)` one
+/// number per line.
+pub fn bell_table(store: &ArtifactStore, n: usize) -> Vec<u128> {
+    let key = ArtifactKey::new("bell-table", &format!("n={n}"), 1);
+    let decode = |lines: &[String]| -> Option<Vec<u128>> {
+        let values: Vec<u128> = lines
+            .iter()
+            .map(|l| l.trim().parse::<u128>())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        (values.len() == n + 1).then_some(values)
+    };
+    let lines = store.get_or_compute(&key, || {
+        bell_numbers_upto(n).iter().map(u128::to_string).collect()
+    });
+    match decode(&lines) {
+        Some(v) => v,
+        None => {
+            store.invalidate(&key);
+            let v = bell_numbers_upto(n);
+            store.get_or_compute(&key, || v.iter().map(u128::to_string).collect());
+            v
+        }
+    }
+}
+
+/// The round-0 indistinguishability graph `G⁰` on `n` vertices,
+/// cached under `("indist-round-zero", n)` — the single most
+/// expensive structure E2 builds (it enumerates all one- and
+/// two-cycle instances and tries every crossing).
+///
+/// A decoded graph must additionally match the Lemma 3.9 closed-form
+/// part counts before it is trusted.
+///
+/// # Panics
+///
+/// Panics if `n < 6` (inherited from [`IndistGraph::round_zero`]).
+pub fn indist_round_zero(store: &ArtifactStore, n: usize) -> IndistGraph {
+    let key = ArtifactKey::new("indist-round-zero", &format!("n={n}"), 1);
+    let lines = store.get_or_compute(&key, || encode_indist(&IndistGraph::round_zero(n)));
+    match decode_indist(n, &lines) {
+        Some(g) => g,
+        None => {
+            store.invalidate(&key);
+            let g = IndistGraph::round_zero(n);
+            store.get_or_compute(&key, || encode_indist(&g));
+            g
+        }
+    }
+}
+
+/// Line encoding of an [`IndistGraph`]:
+/// `S <n> <v1> <v2>`, then one `G1 u-v …` line per one-cycle graph,
+/// one `G2 u-v …` per two-cycle graph, and one
+/// `L <active_count> <r> <r> …` line per `V₁` vertex listing its
+/// bipartite neighbors.
+fn encode_indist(g: &IndistGraph) -> Vec<String> {
+    let edge_line = |tag: &str, graph: &Graph| {
+        let edges: Vec<String> = graph
+            .edges()
+            .iter()
+            .map(|e| format!("{}-{}", e.u, e.v))
+            .collect();
+        format!("{tag} {}", edges.join(" "))
+    };
+    let mut lines = vec![format!("S {} {} {}", g.n, g.v1_len(), g.v2_len())];
+    lines.extend(g.one_cycles.iter().map(|c| edge_line("G1", c)));
+    lines.extend(g.two_cycles.iter().map(|c| edge_line("G2", c)));
+    for (li, &count) in g.active_counts.iter().enumerate() {
+        let mut line = format!("L {count}");
+        for &r in g.bip.neighbors(li) {
+            line.push(' ');
+            line.push_str(&r.to_string());
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+fn decode_indist(n: usize, lines: &[String]) -> Option<IndistGraph> {
+    let mut it = lines.iter();
+    let header = it.next()?;
+    let mut parts = header.split_whitespace();
+    if parts.next()? != "S" {
+        return None;
+    }
+    let (hn, v1, v2) = (
+        parts.next()?.parse::<usize>().ok()?,
+        parts.next()?.parse::<usize>().ok()?,
+        parts.next()?.parse::<usize>().ok()?,
+    );
+    if hn != n {
+        return None;
+    }
+    // Cross-check the claimed part sizes against the closed form
+    // before doing any work proportional to them.
+    let (cf1, cf2) = closed_form_counts(n);
+    if (v1 as u64, v2 as u64) != (cf1, cf2) {
+        return None;
+    }
+    let parse_graph = |line: &String, tag: &str| -> Option<Graph> {
+        let rest = line.strip_prefix(tag)?;
+        let edges: Vec<(usize, usize)> = rest
+            .split_whitespace()
+            .map(|e| {
+                let (u, v) = e.split_once('-')?;
+                Some((u.parse().ok()?, v.parse().ok()?))
+            })
+            .collect::<Option<_>>()?;
+        Graph::from_edges(n, edges).ok()
+    };
+    let one_cycles: Vec<Graph> = (0..v1)
+        .map(|_| parse_graph(it.next()?, "G1 "))
+        .collect::<Option<_>>()?;
+    let two_cycles: Vec<Graph> = (0..v2)
+        .map(|_| parse_graph(it.next()?, "G2 "))
+        .collect::<Option<_>>()?;
+    let mut bip = BipartiteGraph::new(v1, v2);
+    let mut active_counts = Vec::with_capacity(v1);
+    for li in 0..v1 {
+        let line = it.next()?;
+        let mut parts = line.strip_prefix("L ")?.split_whitespace();
+        active_counts.push(parts.next()?.parse::<usize>().ok()?);
+        for r in parts {
+            let ri = r.parse::<usize>().ok()?;
+            if ri >= v2 {
+                return None;
+            }
+            bip.add_edge(li, ri);
+        }
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some(IndistGraph {
+        n,
+        one_cycles,
+        two_cycles,
+        bip,
+        active_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_core::indist::lemma_3_9_degree_check;
+
+    #[test]
+    fn rank_fronts_match_direct_computation() {
+        let store = ArtifactStore::in_memory();
+        assert_eq!(
+            join_matrix_rank(&store, 4),
+            partition_join_matrix(4).to_gf2().rank()
+        );
+        assert_eq!(
+            two_partition_rank(&store, 4),
+            two_partition_matrix(4).to_gf2().rank()
+        );
+        // Second calls hit the memo.
+        let misses = store.misses();
+        join_matrix_rank(&store, 4);
+        two_partition_rank(&store, 4);
+        assert_eq!(store.misses(), misses);
+    }
+
+    #[test]
+    fn bell_table_front_roundtrips() {
+        let store = ArtifactStore::in_memory();
+        assert_eq!(bell_table(&store, 6), bell_numbers_upto(6));
+        assert_eq!(bell_table(&store, 6), bell_numbers_upto(6));
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+    }
+
+    #[test]
+    fn indist_graph_roundtrips_through_codec() {
+        let store = ArtifactStore::in_memory();
+        let direct = IndistGraph::round_zero(6);
+        let cached = indist_round_zero(&store, 6);
+        assert_eq!(cached.v1_len(), direct.v1_len());
+        assert_eq!(cached.v2_len(), direct.v2_len());
+        assert_eq!(cached.active_counts, direct.active_counts);
+        assert_eq!(cached.bip.num_edges(), direct.bip.num_edges());
+        for li in 0..direct.v1_len() {
+            assert_eq!(cached.bip.neighbors(li), direct.bip.neighbors(li));
+        }
+        for (a, b) in cached.one_cycles.iter().zip(&direct.one_cycles) {
+            assert_eq!(a.canonical_key(), b.canonical_key());
+        }
+        // A decoded graph still satisfies the Lemma 3.9 degree census.
+        let warm = indist_round_zero(&store, 6);
+        assert!(lemma_3_9_degree_check(&warm));
+        assert!(store.hits() >= 1);
+    }
+
+    #[test]
+    fn corrupt_indist_payload_recomputes() {
+        let store = ArtifactStore::in_memory();
+        let key = ArtifactKey::new("indist-round-zero", "n=6", 1);
+        // Seed the cache with garbage under the exact key the front
+        // uses; the decode rejects it and the front must recover.
+        store.get_or_compute(&key, || vec!["S 6 1 1".into(), "nope".into()]);
+        let g = indist_round_zero(&store, 6);
+        assert_eq!(g.v1_len(), IndistGraph::round_zero(6).v1_len());
+        assert!(lemma_3_9_degree_check(&g));
+    }
+}

@@ -1,0 +1,430 @@
+//! The batched lockstep kernel: up to 64 same-shape instances advance
+//! through one shared round loop, with every broadcast character
+//! bit-packed across lanes.
+//!
+//! A [`BatchRun`] executes one [`Algorithm`] under one [`SimConfig`]
+//! on `L ≤ 64` *lanes* — `(instance, coin_seed)` pairs over graphs
+//! with the same vertex count. Each round, the kernel packs the
+//! `{0, 1, ⊥}` broadcast of every lane into two `u64` words per
+//! `(node, symbol position)` — a `ones` word and a `silent` word, one
+//! bit per lane — and then *reconstructs* every delivered message from
+//! those words. The packed words are the real data path, not a side
+//! channel, so the per-lane [`RunOutcome`]s are byte-identical to `L`
+//! scalar [`SimConfig::run`] calls (pinned by the equivalence
+//! proptests in `tests/`): same decisions, transcripts, views, stats,
+//! in the same per-lane round counts.
+//!
+//! Lanes retire independently: a lane whose programs all report done
+//! drops out of the active mask and stops paying for rounds, exactly
+//! as its scalar run would have stopped — the remaining lanes keep
+//! going until the mask is empty or the round limit hits. What the
+//! batch saves is the per-round control overhead and the cache
+//! locality of touching each round's machinery once for 64 runs
+//! instead of 64 times.
+
+use bcc_model::{Algorithm, Inbox, Instance, Message, NodeProgram, RunOutcome, RunStats, Symbol};
+use bcc_model::{NodeView, SimConfig, Transcript};
+use bcc_trace::{field, TraceBuf, TraceLevel};
+
+/// The lane-width ceiling: one bit per lane in a `u64` word.
+pub const MAX_LANES: usize = 64;
+
+/// One batch member: the instance to run and its public-coin seed.
+pub type Lane<'a> = (&'a Instance, u64);
+
+/// The broadcast characters of one round, bit-packed across lanes:
+/// `words[v * bandwidth + k]` holds the `(ones, silent)` pair for
+/// symbol position `k` of node `v`, bit `i` describing lane `i`.
+/// A lane's symbol is `⊥` if its `silent` bit is set, else the bit in
+/// `ones`. Inactive lanes keep both bits clear; their slots are never
+/// read back.
+#[derive(Debug, Clone)]
+struct PackedRound {
+    words: Vec<(u64, u64)>,
+    bandwidth: usize,
+}
+
+impl PackedRound {
+    fn new(n: usize, bandwidth: usize) -> Self {
+        PackedRound {
+            words: vec![(0, 0); n * bandwidth],
+            bandwidth,
+        }
+    }
+
+    fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = (0, 0);
+        }
+    }
+
+    fn pack(&mut self, lane: usize, v: usize, message: &Message) {
+        for (k, s) in message.symbols().iter().enumerate() {
+            let (ones, silent) = &mut self.words[v * self.bandwidth + k];
+            match s {
+                Symbol::One => *ones |= 1 << lane,
+                Symbol::Silent => *silent |= 1 << lane,
+                Symbol::Zero => {}
+            }
+        }
+    }
+
+    fn unpack(&self, lane: usize, v: usize) -> Message {
+        let symbols = (0..self.bandwidth)
+            .map(|k| {
+                let (ones, silent) = self.words[v * self.bandwidth + k];
+                if silent >> lane & 1 == 1 {
+                    Symbol::Silent
+                } else if ones >> lane & 1 == 1 {
+                    Symbol::One
+                } else {
+                    Symbol::Zero
+                }
+            })
+            .collect();
+        Message::from_symbols(symbols)
+    }
+}
+
+/// The batched executor. Construction is cheap; one value can run any
+/// number of batches.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    cfg: SimConfig,
+}
+
+impl BatchRun {
+    /// A batched executor with the given scalar-equivalent
+    /// configuration (round limit, bandwidth, transcript recording,
+    /// trace scope).
+    pub fn new(cfg: SimConfig) -> Self {
+        BatchRun { cfg }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `algorithm` on every lane in lockstep and returns one
+    /// outcome per lane, in lane order. Each outcome is byte-identical
+    /// to `self.config().run(instance, algorithm, seed)` for that
+    /// lane.
+    ///
+    /// When the configuration carries a trace scope, the batch records
+    /// a `batch` span wrapping one `round=r` span per executed round
+    /// with `active_lanes` / `bits_broadcast` counters — an aggregate
+    /// view, not the per-node scalar trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty, has more than [`MAX_LANES`]
+    /// entries, or mixes instances with different vertex counts.
+    pub fn run(&self, lanes: &[Lane<'_>], algorithm: &dyn Algorithm) -> Vec<RunOutcome> {
+        let scope = self.cfg.trace_scope();
+        if scope.level() > TraceLevel::Off {
+            scope.with(|buf| run_batch_impl(&self.cfg, lanes, algorithm, buf))
+        } else {
+            run_batch_impl(&self.cfg, lanes, algorithm, &mut TraceBuf::disabled())
+        }
+    }
+
+    /// Runs an arbitrarily long lane list by splitting it into
+    /// [`MAX_LANES`]-wide batches, preserving lane order.
+    pub fn run_chunked(&self, lanes: &[Lane<'_>], algorithm: &dyn Algorithm) -> Vec<RunOutcome> {
+        lanes
+            .chunks(MAX_LANES)
+            .flat_map(|chunk| self.run(chunk, algorithm))
+            .collect()
+    }
+}
+
+fn run_batch_impl(
+    cfg: &SimConfig,
+    lanes: &[Lane<'_>],
+    algorithm: &dyn Algorithm,
+    trace: &mut TraceBuf,
+) -> Vec<RunOutcome> {
+    let l = lanes.len();
+    assert!(l >= 1, "a batch needs at least one lane");
+    assert!(l <= MAX_LANES, "at most {MAX_LANES} lanes per batch");
+    let n = lanes[0].0.num_vertices();
+    assert!(
+        lanes.iter().all(|(inst, _)| inst.num_vertices() == n),
+        "all lanes must share one vertex count"
+    );
+    let b = cfg.bandwidth_per_round();
+    let record = cfg.records_transcripts();
+
+    let mut programs: Vec<Vec<Box<dyn NodeProgram>>> = lanes
+        .iter()
+        .map(|(inst, seed)| {
+            (0..n)
+                .map(|v| algorithm.spawn(inst.initial_knowledge(v, b, *seed)))
+                .collect()
+        })
+        .collect();
+    let empty = Transcript {
+        sent: Vec::new(),
+        received: Vec::new(),
+    };
+    let mut transcripts: Vec<Vec<Transcript>> = vec![vec![empty; n]; l];
+    let mut stats: Vec<RunStats> = vec![RunStats::default(); l];
+    // `all_done` mirrors the scalar loop-top check: a lane whose
+    // programs are done before round 0 executes zero rounds.
+    let mut all_done: Vec<bool> = programs
+        .iter()
+        .map(|ps| ps.iter().all(|p| p.is_done()))
+        .collect();
+    let mut active: u64 = (0..l).filter(|&i| !all_done[i]).fold(0, |m, i| m | 1 << i);
+
+    if trace.spans_enabled() {
+        trace.span_start(
+            "batch",
+            vec![
+                field("lanes", l),
+                field("n", n),
+                field("bandwidth", b),
+                field("max_rounds", cfg.max_rounds()),
+            ],
+        );
+    }
+
+    let mut packed = PackedRound::new(n, b);
+    for round in 0..cfg.max_rounds() {
+        if active == 0 {
+            break;
+        }
+        if trace.spans_enabled() {
+            trace.span_start(&format!("round={round}"), vec![]);
+        }
+        // Phase 1: every active lane broadcasts; the characters exist
+        // only inside the packed words from here on.
+        packed.clear();
+        for (lane, progs) in programs.iter_mut().enumerate() {
+            if active >> lane & 1 == 0 {
+                continue;
+            }
+            for (v, prog) in progs.iter_mut().enumerate() {
+                let m = prog.broadcast(round).normalized(b);
+                packed.pack(lane, v, &m);
+            }
+        }
+        // Phase 2: reconstruct each lane's broadcast vector from the
+        // words and deliver on every port of that lane's own network.
+        let mut round_bits = 0usize;
+        for lane in 0..l {
+            if active >> lane & 1 == 0 {
+                continue;
+            }
+            let network = lanes[lane].0.network();
+            let broadcasts: Vec<Message> = (0..n).map(|v| packed.unpack(lane, v)).collect();
+            for (v, m) in broadcasts.iter().enumerate() {
+                let bits = m.bits_used();
+                stats[lane].bits_broadcast += bits;
+                round_bits += bits;
+                if record {
+                    transcripts[lane][v].sent.push(m.clone());
+                }
+            }
+            for v in 0..n {
+                let entries: Vec<(u64, Message)> = (0..n - 1)
+                    .map(|p| {
+                        (
+                            network.port_label(v, p),
+                            broadcasts[network.peer_of(v, p)].clone(),
+                        )
+                    })
+                    .collect();
+                if record {
+                    transcripts[lane][v].received.push(entries.clone());
+                }
+                let inbox = Inbox::new(entries);
+                programs[lane][v].receive(round, &inbox);
+                stats[lane].messages_delivered += n - 1;
+            }
+            stats[lane].rounds = round + 1;
+        }
+        if trace.events_enabled() {
+            trace.counter("active_lanes", u64::from(active.count_ones()));
+            trace.counter("bits_broadcast", round_bits as u64);
+        }
+        if trace.spans_enabled() {
+            trace.span_end(&format!("round={round}"), vec![]);
+        }
+        // Retire lanes whose programs all finished this round.
+        for lane in 0..l {
+            if active >> lane & 1 == 1 && programs[lane].iter().all(|p| p.is_done()) {
+                all_done[lane] = true;
+                active &= !(1 << lane);
+            }
+        }
+    }
+
+    let outcomes: Vec<RunOutcome> = (0..l)
+        .map(|lane| {
+            let (inst, seed) = lanes[lane];
+            let views: Vec<NodeView> = (0..if record { n } else { 0 })
+                .map(|v| {
+                    let ik = inst.initial_knowledge(v, b, seed);
+                    let mut port_labels = ik.port_labels.clone();
+                    port_labels.sort_unstable();
+                    NodeView {
+                        id: ik.id,
+                        port_labels,
+                        input_port_labels: ik.input_port_labels.clone(),
+                        sent: transcripts[lane][v].sent.clone(),
+                        received: transcripts[lane][v]
+                            .received
+                            .iter()
+                            .map(|round| {
+                                let mut r = round.clone();
+                                r.sort_by_key(|(label, _)| *label);
+                                r
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            let ps = &programs[lane];
+            RunOutcome::from_parts(
+                ps.iter().map(|p| p.decide()).collect(),
+                ps.iter().map(|p| p.component_label()).collect(),
+                ps.iter().map(|p| p.spanning_edges()).collect(),
+                std::mem::take(&mut transcripts[lane]),
+                views,
+                stats[lane],
+                all_done[lane],
+                record,
+            )
+        })
+        .collect();
+
+    if trace.spans_enabled() {
+        let max_rounds_run = stats.iter().map(|s| s.rounds).max().unwrap_or(0);
+        trace.span_end(
+            "batch",
+            vec![
+                field("rounds", max_rounds_run),
+                field("completed_lanes", all_done.iter().filter(|&&d| d).count()),
+            ],
+        );
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_graphs::generators;
+    use bcc_model::testing::{ConstantDecision, EchoBit, IdBroadcast};
+    use bcc_model::{runs_indistinguishable, Decision};
+
+    fn assert_outcomes_equal(batched: &RunOutcome, scalar: &RunOutcome) {
+        assert_eq!(batched.decisions(), scalar.decisions());
+        assert_eq!(batched.component_labels(), scalar.component_labels());
+        assert_eq!(batched.spanning_edges(), scalar.spanning_edges());
+        assert_eq!(batched.stats(), scalar.stats());
+        assert_eq!(batched.completed(), scalar.completed());
+        assert_eq!(batched.recorded(), scalar.recorded());
+        if scalar.recorded() {
+            assert!(runs_indistinguishable(batched, scalar));
+            for v in 0..batched.decisions().len() {
+                assert_eq!(batched.transcript(v), scalar.transcript(v));
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_matches_scalar() {
+        let i = Instance::new_kt0(generators::cycle(6), 11).unwrap();
+        let cfg = SimConfig::bcc1(10);
+        let batched = BatchRun::new(cfg.clone()).run(&[(&i, 0)], &IdBroadcast::new());
+        let scalar = cfg.run(&i, &IdBroadcast::new(), 0);
+        assert_outcomes_equal(&batched[0], &scalar);
+    }
+
+    #[test]
+    fn mixed_instances_retire_independently() {
+        // Lanes finish at different rounds (different n would be
+        // rejected; different inputs and seeds are the point).
+        let a = Instance::new_kt0(generators::cycle(6), 3).unwrap();
+        let b = Instance::new_kt0(generators::two_cycles(3, 3), 40).unwrap();
+        let cfg = SimConfig::bcc1(12);
+        let lanes: Vec<Lane<'_>> = vec![(&a, 0), (&b, 0), (&a, 9), (&b, 7)];
+        let batched = BatchRun::new(cfg.clone()).run(&lanes, &IdBroadcast::new());
+        for (lane, out) in lanes.iter().zip(&batched) {
+            let scalar = cfg.run(lane.0, &IdBroadcast::new(), lane.1);
+            assert_outcomes_equal(out, &scalar);
+        }
+    }
+
+    #[test]
+    fn instantly_done_lane_runs_zero_rounds() {
+        let i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let cfg = SimConfig::bcc1(5);
+        let out = BatchRun::new(cfg.clone()).run(&[(&i, 0)], &ConstantDecision::yes());
+        assert_eq!(out[0].stats().rounds, 0);
+        assert_eq!(out[0].system_decision(), Decision::Yes);
+        assert!(out[0].completed());
+    }
+
+    #[test]
+    fn wide_bandwidth_roundtrips_through_packing() {
+        let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
+        let cfg = SimConfig::bcc1(4).bandwidth(3);
+        let batched = BatchRun::new(cfg.clone()).run(&[(&i, 1), (&i, 2)], &EchoBit);
+        for (lane, seed) in [(0usize, 1u64), (1, 2)] {
+            assert_outcomes_equal(&batched[lane], &cfg.run(&i, &EchoBit, seed));
+        }
+    }
+
+    #[test]
+    fn transcripts_off_produces_unrecorded_outcomes() {
+        let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
+        let cfg = SimConfig::bcc1(4).transcripts(false);
+        let out = BatchRun::new(cfg.clone()).run(&[(&i, 7)], &EchoBit);
+        assert!(!out[0].recorded());
+        assert!(out[0].views().is_empty());
+        assert_eq!(out[0].stats(), cfg.run(&i, &EchoBit, 7).stats());
+    }
+
+    #[test]
+    fn chunked_run_covers_more_than_max_lanes() {
+        let i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let lanes: Vec<Lane<'_>> = (0..70).map(|s| (&i, s as u64)).collect();
+        let out = BatchRun::new(SimConfig::bcc1(3)).run_chunked(&lanes, &EchoBit);
+        assert_eq!(out.len(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one vertex count")]
+    fn mismatched_shapes_rejected() {
+        let a = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let b = Instance::new_kt1(generators::cycle(5)).unwrap();
+        let _ = BatchRun::new(SimConfig::bcc1(2)).run(&[(&a, 0), (&b, 0)], &EchoBit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_batch_rejected() {
+        let _ = BatchRun::new(SimConfig::bcc1(2)).run(&[], &EchoBit);
+    }
+
+    #[test]
+    fn batch_trace_records_round_spans() {
+        use bcc_trace::{TraceLevel, TraceScope};
+        let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
+        let scope = TraceScope::new(bcc_trace::TraceBuf::new(TraceLevel::Events, "batch-test"));
+        let cfg = SimConfig::bcc1(3).trace(scope.clone());
+        let out = BatchRun::new(cfg.clone()).run(&[(&i, 0), (&i, 1)], &EchoBit);
+        let events = scope.take().into_events();
+        assert_eq!(events[0].name, "batch");
+        assert!(events.iter().any(|e| e.name == "round=2"));
+        assert!(events.iter().any(|e| e.name == "active_lanes"));
+        // Tracing is an observer: outcome identical to untraced batch.
+        let plain = BatchRun::new(SimConfig::bcc1(3)).run(&[(&i, 0), (&i, 1)], &EchoBit);
+        assert_eq!(out[0].decisions(), plain[0].decisions());
+        assert_eq!(out[1].stats(), plain[1].stats());
+    }
+}

@@ -1,0 +1,82 @@
+//! A vendored FNV-1a 64-bit hasher for content-addressed cache keys.
+//!
+//! The artifact store needs a digest that is stable across runs,
+//! platforms, and processes — `std::collections::hash_map::DefaultHasher`
+//! is explicitly *not* that (its keys are randomized per process), so
+//! the store would never get a disk hit across invocations. FNV-1a is
+//! tiny, dependency-free, and deterministic; collision resistance is
+//! not a goal because every on-disk entry echoes its full key in a
+//! header line that is checked on read (see `store`).
+
+/// Incremental FNV-1a over byte slices.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher at the standard offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a string plus a `0xFF` terminator, so `("ab", "c")` and
+    /// `("a", "bc")` digest differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xFF]);
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn terminator_separates_fields() {
+        let digest = |parts: &[&str]| {
+            let mut h = Fnv64::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+        assert_eq!(digest(&["ab", "c"]), digest(&["ab", "c"]));
+    }
+}

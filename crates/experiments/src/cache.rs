@@ -1,0 +1,47 @@
+//! The process-wide [`ArtifactStore`] the experiment jobs share.
+//!
+//! Jobs run on pool worker threads, so the store is a `OnceLock`
+//! global: in-memory by default, routed to a directory when the suite
+//! is started with `--cache PATH` (first configuration wins — the
+//! store's location cannot change mid-run, which keeps every job of a
+//! suite reading the same cache).
+//!
+//! The store is purely an accelerator. Every consumer goes through
+//! the typed fronts in [`bcc_engine::artifacts`], which recompute on
+//! any decode failure, so a cold, warm, or corrupted cache all
+//! produce byte-identical reports.
+
+use bcc_engine::ArtifactStore;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+static STORE: OnceLock<ArtifactStore> = OnceLock::new();
+
+/// Routes the shared store to an on-disk directory. Returns `false`
+/// if the store was already initialized (by an earlier call or an
+/// earlier [`store`] access), in which case the existing store keeps
+/// being used.
+pub fn configure_disk(dir: PathBuf) -> bool {
+    STORE.set(ArtifactStore::at_dir(dir)).is_ok()
+}
+
+/// The shared artifact store — in-memory unless [`configure_disk`]
+/// ran before the first access.
+pub fn store() -> &'static ArtifactStore {
+    STORE.get_or_init(ArtifactStore::in_memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_is_stable_across_calls() {
+        let a = store() as *const ArtifactStore;
+        let b = store() as *const ArtifactStore;
+        assert_eq!(a, b);
+        // Once the in-memory store exists, late disk configuration is
+        // refused rather than silently splitting the cache.
+        assert!(!configure_disk(std::env::temp_dir().join("bcc-cache-late")));
+    }
+}

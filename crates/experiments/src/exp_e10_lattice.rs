@@ -56,11 +56,14 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
         move |_ctx| {
             let lat = PartitionLattice::new(4);
             let mu = lat.mobius_matrix();
+            // The trivial partition is always an element of the
+            // lattice; if it ever went missing, index 0 makes the
+            // closed-form check below fail instead of panicking.
             let top = lat
                 .elements
                 .iter()
                 .position(SetPartition::is_trivial)
-                .unwrap();
+                .unwrap_or_default();
             let agree = lat
                 .elements
                 .iter()
@@ -124,6 +127,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E10 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E10;
+
+impl crate::Experiment for E10 {
+    fn id(&self) -> &'static str {
+        "e10"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::job::{
 use bcc_algorithms::BoruvkaMst;
 use bcc_graphs::weighted::WeightedGraph;
 use bcc_graphs::{generators, Graph};
-use bcc_model::{Instance, Simulator};
+use bcc_model::{Instance, SimConfig};
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
@@ -32,8 +32,8 @@ pub fn run_one(g: Graph, weight_seed: u64) -> MstRow {
     let m = g.num_edges();
     let algo = BoruvkaMst::new(weight_seed);
     let inst = Instance::new_kt1(g.clone()).expect("instance");
-    let out = Simulator::new(10_000_000)
-        .without_transcripts()
+    let out = SimConfig::bcc1(10_000_000)
+        .transcripts(false)
         .run(&inst, &algo, 0);
     let wg = WeightedGraph::from_graph_hashed(&g, weight_seed);
     let oracle = wg.minimum_spanning_forest();
@@ -151,6 +151,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E11 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E11;
+
+impl crate::Experiment for E11 {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

@@ -174,6 +174,23 @@ pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E12;
+
+impl crate::Experiment for E12 {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -7,7 +7,8 @@ use crate::job::{
 use bcc_algorithms::{
     HashVoteDecider, Kt0Upgrade, NeighborIdBroadcast, ParityDecider, Problem, Truncated,
 };
-use bcc_core::hard::{distributional_error, randomized_error, star_distribution, star_error_floor};
+use bcc_core::hard::{star_distribution, star_error_floor};
+use bcc_engine::{distributional_error_batched, randomized_error_batched};
 use bcc_model::testing::ConstantDecision;
 use bcc_trace::field;
 use std::fmt::Write as _;
@@ -31,15 +32,15 @@ pub fn star_row(n: usize, t: usize) -> StarRow {
     let mut errors = Vec::new();
     errors.push((
         "constant-yes".into(),
-        distributional_error(&dist, &ConstantDecision::yes(), t, 0),
+        distributional_error_batched(&dist, &ConstantDecision::yes(), t, 0),
     ));
     errors.push((
         "hash-vote(rand)".into(),
-        randomized_error(&dist, &HashVoteDecider::new(t.max(1)), t, &[0, 1, 2, 3, 4]),
+        randomized_error_batched(&dist, &HashVoteDecider::new(t.max(1)), t, &[0, 1, 2, 3, 4]),
     ));
     errors.push((
         "parity-vote".into(),
-        distributional_error(&dist, &ParityDecider::new(t.max(1)), t, 0),
+        distributional_error_batched(&dist, &ParityDecider::new(t.max(1)), t, 0),
     ));
     let truncated = Truncated::new(
         Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
@@ -47,7 +48,7 @@ pub fn star_row(n: usize, t: usize) -> StarRow {
     );
     errors.push((
         "truncated-real".into(),
-        distributional_error(&dist, &truncated, t, 0),
+        distributional_error_batched(&dist, &truncated, t, 0),
     ));
     StarRow {
         n,
@@ -89,17 +90,19 @@ const HASH_VOTE_COINS: [u64; 5] = [0, 1, 2, 3, 4];
 fn piece_output(shard: u32, n: usize, t: usize, algo: &str, coin: Option<u64>) -> JobOutput {
     let dist = star_distribution(n);
     let error = match (algo, coin) {
-        ("constant-yes", _) => distributional_error(&dist, &ConstantDecision::yes(), t, 0),
+        ("constant-yes", _) => distributional_error_batched(&dist, &ConstantDecision::yes(), t, 0),
         ("hash-vote(rand)", Some(c)) => {
-            distributional_error(&dist, &HashVoteDecider::new(t.max(1)), t, c)
+            distributional_error_batched(&dist, &HashVoteDecider::new(t.max(1)), t, c)
         }
-        ("parity-vote", _) => distributional_error(&dist, &ParityDecider::new(t.max(1)), t, 0),
+        ("parity-vote", _) => {
+            distributional_error_batched(&dist, &ParityDecider::new(t.max(1)), t, 0)
+        }
         ("truncated-real", _) => {
             let truncated = Truncated::new(
                 Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
                 t,
             );
-            distributional_error(&dist, &truncated, t, 0)
+            distributional_error_batched(&dist, &truncated, t, 0)
         }
         _ => unreachable!("unknown e1 piece {algo:?}"),
     };
@@ -184,7 +187,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 Kt0Upgrade::new(NeighborIdBroadcast::new(Problem::TwoCycle)),
                 t_full,
             );
-            let e_full = distributional_error(&dist, &full, t_full, 0);
+            let e_full = distributional_error_batched(&dist, &full, t_full, 0);
             ctx.trace().event(
                 "e1.transition",
                 vec![field("n", n), field("t_full", t_full), field("error", e_full)],
@@ -280,6 +283,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E1 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E1;
+
+impl crate::Experiment for E1 {
+    fn id(&self) -> &'static str {
+        "e1"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,10 @@ use crate::job::{
 use bcc_algorithms::{
     HashVoteDecider, Kt0Upgrade, NeighborIdBroadcast, ParityDecider, Problem, Truncated,
 };
-use bcc_core::hard::{distributional_error, uniform_two_cycle_distribution};
-use bcc_core::indist::{harmonic_tail, lemma_3_9_degree_check, lemma_3_9_t_counts, IndistGraph};
+use bcc_core::hard::uniform_two_cycle_distribution;
+use bcc_core::indist::{harmonic_tail, lemma_3_9_degree_check, lemma_3_9_t_counts};
+use bcc_engine::artifacts::indist_round_zero;
+use bcc_engine::distributional_error_batched;
 use bcc_model::testing::ConstantDecision;
 use bcc_trace::field;
 use rand::SeedableRng;
@@ -39,7 +41,10 @@ pub struct IndistRow {
 
 /// Builds the structural row for one `n` with the given sampling RNG.
 pub fn structure_row(n: usize, rng: &mut rand::rngs::StdRng) -> IndistRow {
-    let g = IndistGraph::round_zero(n);
+    // Cache front: decoded-or-rebuilt G⁰ is structurally identical to
+    // a direct `IndistGraph::round_zero(n)`, so every number below —
+    // including the RNG-sampled expansion — is unchanged by caching.
+    let g = indist_round_zero(crate::cache::store(), n);
     let harmonic: f64 = (3..=n / 2)
         .map(|i| {
             let per = if 2 * i == n { n as f64 / 2.0 } else { n as f64 };
@@ -130,7 +135,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
         format!("census n={n_big}"),
         job_seed(suite_seed, "e2", shard),
         move |ctx| {
-            let g = IndistGraph::round_zero(n_big);
+            let g = indist_round_zero(crate::cache::store(), n_big);
             ctx.trace().event(
                 "e2.census",
                 vec![
@@ -174,19 +179,19 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 let rows = [
                     (
                         "constant-yes".to_string(),
-                        distributional_error(&dist, &ConstantDecision::yes(), t, 0),
+                        distributional_error_batched(&dist, &ConstantDecision::yes(), t, 0),
                     ),
                     (
                         "hash-vote".to_string(),
-                        distributional_error(&dist, &HashVoteDecider::new(t), t, 0),
+                        distributional_error_batched(&dist, &HashVoteDecider::new(t), t, 0),
                     ),
                     (
                         "parity-vote".to_string(),
-                        distributional_error(&dist, &ParityDecider::new(t), t, 0),
+                        distributional_error_batched(&dist, &ParityDecider::new(t), t, 0),
                     ),
                     (
                         "truncated-real".to_string(),
-                        distributional_error(&dist, &trunc, t, 0),
+                        distributional_error_batched(&dist, &trunc, t, 0),
                     ),
                 ];
                 for (name, e) in &rows {
@@ -270,6 +275,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E2 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E2;
+
+impl crate::Experiment for E2 {
+    fn id(&self) -> &'static str {
+        "e2"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

@@ -4,8 +4,9 @@ use crate::job::{
     job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
 };
 use bcc_comm::bounds::certify_rank;
+use bcc_engine::artifacts::{bell_table, join_matrix_rank, two_partition_rank};
 use bcc_partitions::matrices::{partition_join_matrix, two_partition_matrix};
-use bcc_partitions::numbers::{bell_number, log2_bell, num_matching_partitions};
+use bcc_partitions::numbers::{log2_bell, num_matching_partitions};
 use std::fmt::Write as _;
 
 /// One rank row.
@@ -35,7 +36,9 @@ fn m_row(n: usize) -> RankRow {
         n,
         dim: cert.dim,
         rank: cert.rank,
-        rank_gf2: jm.to_gf2().rank(),
+        // Cached cross-check rank: the artifact store front returns
+        // exactly `partition_join_matrix(n).to_gf2().rank()`.
+        rank_gf2: join_matrix_rank(crate::cache::store(), n),
         log2_rank: cert.comm_lower_bound_bits,
         n_log_n: n as f64 * (n.max(2) as f64).log2(),
     }
@@ -49,7 +52,7 @@ fn e_row(n: usize) -> RankRow {
         n,
         dim: cert.dim,
         rank: cert.rank,
-        rank_gf2: jm.to_gf2().rank(),
+        rank_gf2: two_partition_rank(crate::cache::store(), n),
         log2_rank: cert.comm_lower_bound_bits,
         n_log_n: n as f64 * (n.max(2) as f64).log2(),
     }
@@ -153,7 +156,9 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
     writeln!(
         text,
         "dim checks: B_n = {:?}; (n-1)!! = {:?}",
-        (1..=m_max).map(bell_number).collect::<Vec<_>>(),
+        // Cached Bell table B_0..B_max; dropping B_0 reproduces the
+        // old `(1..=m_max).map(bell_number)` list byte for byte.
+        &bell_table(crate::cache::store(), m_max)[1..],
         (1..=e_max / 2)
             .map(|k| num_matching_partitions(2 * k))
             .collect::<Vec<_>>()
@@ -177,6 +182,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E3 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E3;
+
+impl crate::Experiment for E3 {
+    fn id(&self) -> &'static str {
+        "e3"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

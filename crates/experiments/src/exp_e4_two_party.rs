@@ -5,7 +5,7 @@ use crate::job::{
     job_seed, run_jobs_serial, sort_by_shard, ExpJob, JobOutput, Report, DEFAULT_SEED,
 };
 use bcc_comm::bounds::{certify_rank, exact_deterministic_cc};
-use bcc_comm::driver::run_protocol;
+use bcc_comm::driver::{run_protocol, DriverOpts};
 use bcc_comm::protocols::{TrivialJoinAlice, TrivialJoinBob};
 use bcc_partitions::enumerate::all_partitions;
 use bcc_partitions::matrices::{partition_join_matrix, two_partition_matrix};
@@ -51,7 +51,7 @@ pub fn measure_trivial_cost(n: usize, samples: usize, seed: u64) -> usize {
         let pb = sample(&mut rng);
         let mut alice = TrivialJoinAlice::new(pa);
         let mut bob = TrivialJoinBob::new(pb);
-        let run = run_protocol(&mut alice, &mut bob, 8);
+        let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(8));
         assert!(run.alice_output.is_some() && run.bob_output.is_some());
         worst = worst.max(run.bits_exchanged);
     }
@@ -133,7 +133,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 for pb in all_partitions(4) {
                     let mut alice = TrivialJoinAlice::new(pa.clone());
                     let mut bob = TrivialJoinBob::new(pb.clone());
-                    let run = run_protocol(&mut alice, &mut bob, 8);
+                    let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(8));
                     total += 1;
                     if run.bob_output == Some(pa.join(&pb).is_trivial()) {
                         ok += 1;
@@ -247,6 +247,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E4 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E4;
+
+impl crate::Experiment for E4 {
+    fn id(&self) -> &'static str {
+        "e4"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

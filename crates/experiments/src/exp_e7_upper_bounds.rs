@@ -8,7 +8,7 @@ use bcc_algorithms::{
     BoruvkaMinLabel, FullGraphBroadcast, Kt0Upgrade, NeighborIdBroadcast, Problem,
 };
 use bcc_graphs::generators;
-use bcc_model::{Decision, Instance, Simulator};
+use bcc_model::{Decision, Instance, SimConfig};
 use std::fmt::Write as _;
 
 /// Measured rounds of each algorithm at one size.
@@ -35,7 +35,7 @@ pub fn upper_row(n: usize) -> UpperRow {
     let g = generators::cycle(n);
     let kt1 = Instance::new_kt1(g.clone()).expect("instance");
     let kt0 = Instance::new_kt0(g, 5).expect("instance");
-    let sim = Simulator::new(1_000_000).without_transcripts();
+    let sim = SimConfig::bcc1(1_000_000).transcripts(false);
 
     let run = |i: &Instance, a: &dyn bcc_model::Algorithm| {
         let out = sim.run(i, a, 0);
@@ -48,7 +48,9 @@ pub fn upper_row(n: usize) -> UpperRow {
         out.stats().rounds
     };
     let blog = bcc_model::codec::bits_needed(n);
-    let sim_blog = Simulator::with_bandwidth(1_000_000, blog).without_transcripts();
+    let sim_blog = SimConfig::bcc1(1_000_000)
+        .bandwidth(blog)
+        .transcripts(false);
     let out_blog = sim_blog.run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity), 0);
     assert_eq!(out_blog.system_decision(), Decision::Yes);
     UpperRow {
@@ -181,6 +183,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E7 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E7;
+
+impl crate::Experiment for E7 {
+    fn id(&self) -> &'static str {
+        "e7"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::job::{
 };
 use bcc_algorithms::{Problem, SketchConnectivity};
 use bcc_graphs::generators;
-use bcc_model::{Decision, Instance, Simulator};
+use bcc_model::{Decision, Instance, SimConfig};
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
@@ -47,7 +47,7 @@ pub fn instance_set(n: usize, trials: usize, seed: u64) -> Vec<(bcc_graphs::Grap
 /// Measures one bandwidth on a pre-generated instance set.
 pub fn sketch_row(n: usize, b: usize, graphs: &[(bcc_graphs::Graph, bool)]) -> SketchRow {
     let algo = SketchConnectivity::new(Problem::Connectivity);
-    let sim = Simulator::with_bandwidth(50_000_000, b).without_transcripts();
+    let sim = SimConfig::bcc1(50_000_000).bandwidth(b).transcripts(false);
     let mut rounds_total = 0usize;
     let mut correct = 0usize;
     for (i, (g, truth)) in graphs.iter().enumerate() {
@@ -174,6 +174,23 @@ pub fn reduce(mut outputs: Vec<JobOutput>) -> Report {
 /// The E8 report text (serial path).
 pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
+}
+
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E8;
+
+impl crate::Experiment for E8 {
+    fn id(&self) -> &'static str {
+        "e8"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
 }
 
 #[cfg(test)]

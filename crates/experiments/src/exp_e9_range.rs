@@ -134,6 +134,23 @@ pub fn report(quick: bool) -> String {
     reduce(run_jobs_serial(&jobs(quick, DEFAULT_SEED))).text
 }
 
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct E9;
+
+impl crate::Experiment for E9 {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

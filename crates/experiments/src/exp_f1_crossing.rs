@@ -137,6 +137,23 @@ pub fn report() -> String {
     reduce(run_jobs_serial(&jobs(false, DEFAULT_SEED))).text
 }
 
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct F1;
+
+impl crate::Experiment for F1 {
+    fn id(&self) -> &'static str {
+        "f1"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

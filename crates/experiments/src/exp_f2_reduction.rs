@@ -188,6 +188,23 @@ pub fn report() -> String {
     reduce(run_jobs_serial(&jobs(false, DEFAULT_SEED))).text
 }
 
+/// Registry handle: this module's entry in [`crate::REGISTRY`].
+pub struct F2;
+
+impl crate::Experiment for F2 {
+    fn id(&self) -> &'static str {
+        "f2"
+    }
+
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob> {
+        jobs(quick, suite_seed)
+    }
+
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report {
+        reduce(outputs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

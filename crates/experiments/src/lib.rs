@@ -4,8 +4,9 @@
 //!
 //! Each experiment module exposes `jobs(quick, seed)` (independent
 //! shards with deterministic per-job seeds) and `reduce(outputs)`
-//! (order-insensitive assembly into a typed [`job::Report`]). The
-//! `bcc-experiments` binary dispatches on an experiment id (`f1`,
+//! (order-insensitive assembly into a typed [`job::Report`]), and
+//! registers itself in [`REGISTRY`] through the [`Experiment`] trait.
+//! The `bcc-experiments` binary dispatches on an experiment id (`f1`,
 //! `f2`, `e1`…`e12`, or `all`) and can fan shards out over a
 //! `bcc_runner::Pool` — reports are byte-identical at any thread
 //! count because every shard's output is a pure function of its seed.
@@ -13,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exp_e10_lattice;
 pub mod exp_e11_mst;
 pub mod exp_e12_question2;
@@ -58,46 +60,62 @@ impl std::fmt::Display for UnknownExperiment {
 
 impl std::error::Error for UnknownExperiment {}
 
+/// One experiment series, as the dispatcher sees it: a stable id, a
+/// sharded job list, and an order-insensitive reduction.
+///
+/// Implementations are the unit structs each `exp_*` module exports
+/// (`exp_e1_star::E1`, …), collected in [`REGISTRY`]. Adding an
+/// experiment means adding a module, implementing this trait, and
+/// appending the handle to [`REGISTRY`] and its id to
+/// [`ALL_EXPERIMENTS`] — lint rule R1 checks all of that statically.
+pub trait Experiment: Sync {
+    /// The dispatch id (`"f1"`, `"e1"`, …), unique across [`REGISTRY`].
+    fn id(&self) -> &'static str;
+    /// Independent job shards; every per-job seed derives from
+    /// `suite_seed` so reports are reproducible at any thread count.
+    fn jobs(&self, quick: bool, suite_seed: u64) -> Vec<ExpJob>;
+    /// Assembles completed shard outputs (any order) into the
+    /// experiment's typed report.
+    fn reduce(&self, outputs: Vec<JobOutput>) -> Report;
+}
+
+/// Every experiment, in presentation order — the single dispatch
+/// table behind [`jobs_for`], [`reduce_for`], [`run`], and
+/// [`run_suite`].
+pub static REGISTRY: [&dyn Experiment; 14] = [
+    &exp_f1_crossing::F1,
+    &exp_f2_reduction::F2,
+    &exp_e1_star::E1,
+    &exp_e2_indist::E2,
+    &exp_e3_rank::E3,
+    &exp_e4_two_party::E4,
+    &exp_e5_simulation::E5,
+    &exp_e6_info::E6,
+    &exp_e7_upper_bounds::E7,
+    &exp_e8_sketch::E8,
+    &exp_e9_range::E9,
+    &exp_e10_lattice::E10,
+    &exp_e11_mst::E11,
+    &exp_e12_question2::E12,
+];
+
+/// Looks an experiment up in [`REGISTRY`] by id.
+pub fn experiment(id: &str) -> Result<&'static dyn Experiment, UnknownExperiment> {
+    REGISTRY
+        .iter()
+        .copied()
+        .find(|e| e.id() == id)
+        .ok_or_else(|| UnknownExperiment { id: id.into() })
+}
+
 /// The job list for one experiment.
 pub fn jobs_for(id: &str, quick: bool, suite_seed: u64) -> Result<Vec<ExpJob>, UnknownExperiment> {
-    match id {
-        "f1" => Ok(exp_f1_crossing::jobs(quick, suite_seed)),
-        "f2" => Ok(exp_f2_reduction::jobs(quick, suite_seed)),
-        "e1" => Ok(exp_e1_star::jobs(quick, suite_seed)),
-        "e2" => Ok(exp_e2_indist::jobs(quick, suite_seed)),
-        "e3" => Ok(exp_e3_rank::jobs(quick, suite_seed)),
-        "e4" => Ok(exp_e4_two_party::jobs(quick, suite_seed)),
-        "e5" => Ok(exp_e5_simulation::jobs(quick, suite_seed)),
-        "e6" => Ok(exp_e6_info::jobs(quick, suite_seed)),
-        "e7" => Ok(exp_e7_upper_bounds::jobs(quick, suite_seed)),
-        "e8" => Ok(exp_e8_sketch::jobs(quick, suite_seed)),
-        "e9" => Ok(exp_e9_range::jobs(quick, suite_seed)),
-        "e10" => Ok(exp_e10_lattice::jobs(quick, suite_seed)),
-        "e11" => Ok(exp_e11_mst::jobs(quick, suite_seed)),
-        "e12" => Ok(exp_e12_question2::jobs(quick, suite_seed)),
-        other => Err(UnknownExperiment { id: other.into() }),
-    }
+    experiment(id).map(|e| e.jobs(quick, suite_seed))
 }
 
 /// Reduces one experiment's job outputs into its typed report.
 pub fn reduce_for(id: &str, outputs: Vec<JobOutput>) -> Result<Report, UnknownExperiment> {
-    match id {
-        "f1" => Ok(exp_f1_crossing::reduce(outputs)),
-        "f2" => Ok(exp_f2_reduction::reduce(outputs)),
-        "e1" => Ok(exp_e1_star::reduce(outputs)),
-        "e2" => Ok(exp_e2_indist::reduce(outputs)),
-        "e3" => Ok(exp_e3_rank::reduce(outputs)),
-        "e4" => Ok(exp_e4_two_party::reduce(outputs)),
-        "e5" => Ok(exp_e5_simulation::reduce(outputs)),
-        "e6" => Ok(exp_e6_info::reduce(outputs)),
-        "e7" => Ok(exp_e7_upper_bounds::reduce(outputs)),
-        "e8" => Ok(exp_e8_sketch::reduce(outputs)),
-        "e9" => Ok(exp_e9_range::reduce(outputs)),
-        "e10" => Ok(exp_e10_lattice::reduce(outputs)),
-        "e11" => Ok(exp_e11_mst::reduce(outputs)),
-        "e12" => Ok(exp_e12_question2::reduce(outputs)),
-        other => Err(UnknownExperiment { id: other.into() }),
-    }
+    experiment(id).map(|e| e.reduce(outputs))
 }
 
 /// Runs one experiment by id serially, returning its report text.
@@ -124,6 +142,11 @@ pub struct SuiteOptions {
     /// Trace recording level (`--trace-level`); `Off` disables
     /// collection entirely and costs nothing per job.
     pub trace_level: TraceLevel,
+    /// Optional on-disk artifact cache directory (`--cache`); `None`
+    /// keeps the process-wide store in memory. Cached or not, reports
+    /// are byte-identical — the store only trades recomputation for
+    /// lookups (see [`cache`]).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SuiteOptions {
@@ -134,6 +157,7 @@ impl Default for SuiteOptions {
             seed: DEFAULT_SEED,
             timeout: None,
             trace_level: TraceLevel::Off,
+            cache_dir: None,
         }
     }
 }
@@ -163,6 +187,9 @@ pub struct SuiteRun {
 /// request order. Shards that failed or timed out simply contribute
 /// no output (the report's checks will reflect the gap).
 pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownExperiment> {
+    if let Some(dir) = &opts.cache_dir {
+        cache::configure_disk(dir.clone());
+    }
     let mut flat: Vec<ExpJob> = Vec::new();
     for id in ids {
         flat.extend(jobs_for(id, opts.quick, opts.seed)?);
@@ -218,6 +245,20 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn registry_ids_match_all_experiments_in_order() {
+        let ids: Vec<&str> = super::REGISTRY.iter().map(|e| e.id()).collect();
+        assert_eq!(ids, super::ALL_EXPERIMENTS);
+    }
+
+    #[test]
+    fn experiment_lookup_resolves_every_id() {
+        for id in super::ALL_EXPERIMENTS {
+            assert_eq!(super::experiment(id).map(|e| e.id()), Ok(id));
+        }
+        assert!(super::experiment("zzz").is_err());
+    }
+
     #[test]
     fn unknown_id_is_an_error() {
         let err = super::run("zzz", true).unwrap_err();

@@ -14,6 +14,10 @@
 //!                       (implies --trace-level events)
 //!   --trace-level L     off | spans | events (default: off, or
 //!                       events when --trace is given)
+//!   --cache PATH        persist the artifact cache (ranks, Bell
+//!                       tables, indistinguishability graphs) in
+//!                       PATH; reports are byte-identical with or
+//!                       without it
 //! ```
 
 use bcc_experiments::{json, SuiteOptions, ALL_EXPERIMENTS};
@@ -23,7 +27,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: bcc-experiments [--quick] [--jobs N] [--seed S] \
 [--timeout-secs T] [--json PATH] [--trace PATH] [--trace-level off|spans|events] \
-<id>...\n       id ∈ {f1, f2, e1..e12, all}";
+[--cache PATH] <id>...\n       id ∈ {f1, f2, e1..e12, all}";
 
 struct Cli {
     opts: SuiteOptions,
@@ -67,6 +71,10 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             }
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a path")?;
+                opts.cache_dir = Some(std::path::PathBuf::from(v));
             }
             "--trace-level" => {
                 let v = it.next().ok_or("--trace-level needs a value")?;

@@ -21,8 +21,10 @@
 //!   KT-0/KT-1 separation (Section 1.2) says it cannot have.
 //! * **R1** — experiment-registry completeness: every
 //!   `crates/experiments/src/exp_*.rs` module must expose
-//!   `jobs()`/`reduce()` and be dispatched by id in `lib.rs`, so no
-//!   series silently drops out of `all` runs.
+//!   `jobs()`/`reduce()`, implement the `Experiment` trait (its
+//!   registry handle), be referenced from `lib.rs` (the `REGISTRY`
+//!   entry), and have its id quoted there, so no series silently
+//!   drops out of `all` runs.
 //! * **O1** — trace emission hygiene: outside `crates/trace`, code
 //!   must reach rendered trace bytes only through the `Collector` →
 //!   `Trace` pipeline (`Trace::write_jsonl`/`summary`). Naming a sink
@@ -63,19 +65,21 @@ pub struct Workspace {
 /// Crates whose non-test code feeds experiment reports: the D1 scope.
 /// `crates/trace` is included because merged traces carry the same
 /// byte-identity guarantee as reports.
-pub const D1_PATHS: [&str; 6] = [
+pub const D1_PATHS: [&str; 7] = [
     "crates/experiments/",
     "crates/runner/",
     "crates/partitions/",
     "crates/core/",
     "crates/info/",
     "crates/trace/",
+    "crates/engine/",
 ];
 
 /// Crates allowed to read clocks: the runner owns deadlines, latency
 /// metrics, and retry timing — its *results* (timings) are labelled as
-/// measurements, never folded into report bytes.
-pub const D2_EXEMPT: [&str; 1] = ["crates/runner/"];
+/// measurements, never folded into report bytes — and the bench
+/// crate's throughput recorder exists only to time things.
+pub const D2_EXEMPT: [&str; 2] = ["crates/runner/", "crates/bench/"];
 
 /// Path prefix of the protocol crate checked by K1.
 pub const K1_PATH: &str = "crates/algorithms/";
@@ -90,8 +94,9 @@ pub const O1_FORBIDDEN: [&str; 4] = ["JsonlSink", "SummarySink", "NullSink", "wr
 
 /// `bcc_model` items a protocol module must not name: everything that
 /// exists outside a single node's KT-0/KT-1 view.
-pub const K1_FORBIDDEN: [&str; 6] = [
+pub const K1_FORBIDDEN: [&str; 7] = [
     "Simulator",
+    "SimConfig",
     "Instance",
     "RunOutcome",
     "NodeView",
@@ -328,19 +333,32 @@ fn rule_r1(ws: &Workspace, out: &mut Vec<Finding>) {
                 );
             }
         }
+        if !has_impl_experiment(file) {
+            emit(
+                file,
+                out,
+                "R1",
+                1,
+                format!(
+                    "experiment module `{name}` has no `impl Experiment for` \
+                     block — it cannot appear in the REGISTRY dispatch table"
+                ),
+            );
+        }
         let Some(lib) = lib else {
             continue;
         };
-        for f in ["jobs", "reduce"] {
-            if !calls_module_fn(lib, name, f) {
-                emit(
-                    lib,
-                    out,
-                    "R1",
-                    1,
-                    format!("`{name}::{f}` is not dispatched in lib.rs — experiment `{id}` would silently drop from suite runs"),
-                );
-            }
+        if !references_module(lib, name) {
+            emit(
+                lib,
+                out,
+                "R1",
+                1,
+                format!(
+                    "`{name}` is never referenced in lib.rs (no REGISTRY entry) \
+                     — experiment `{id}` would silently drop from suite runs"
+                ),
+            );
         }
         let quoted = format!("\"{id}\"");
         if !lib
@@ -364,9 +382,18 @@ fn has_pub_fn(file: &SourceFile, name: &str) -> bool {
         .any(|w| w[0].is_ident("pub") && w[1].is_ident("fn") && w[2].is_ident(name))
 }
 
-fn calls_module_fn(file: &SourceFile, module: &str, func: &str) -> bool {
+/// `impl Experiment for X` / `impl crate::Experiment for X` — the
+/// `Experiment for` pair occurs only in a trait-impl header.
+fn has_impl_experiment(file: &SourceFile) -> bool {
     let code: Vec<_> = file.code().collect();
-    code.windows(4).any(|w| {
-        w[0].is_ident(module) && w[1].is_punct(':') && w[2].is_punct(':') && w[3].is_ident(func)
-    })
+    code.windows(2)
+        .any(|w| w[0].is_ident("Experiment") && w[1].is_ident("for"))
+}
+
+/// A path use of the module (`exp_xx::…`) anywhere in the file — a
+/// REGISTRY entry like `&exp_xx::Xx` qualifies; `mod exp_xx;` does not.
+fn references_module(file: &SourceFile, module: &str) -> bool {
+    let code: Vec<_> = file.code().collect();
+    code.windows(3)
+        .any(|w| w[0].is_ident(module) && w[1].is_punct(':') && w[2].is_punct(':'))
 }

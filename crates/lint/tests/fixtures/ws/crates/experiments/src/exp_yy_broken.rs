@@ -1,5 +1,6 @@
-//! Seeded violations: D1, D2, P1, and (by omitting `jobs`/`reduce`
-//! plus any lib.rs dispatch) five R1 findings.
+//! Seeded violations: D1, D2, P1, and (by omitting `jobs`/`reduce`,
+//! the `impl Experiment for` handle, and any lib.rs reference or id
+//! literal) five R1 findings.
 
 use std::collections::HashMap; // seeded D1
 use std::time::Instant;

@@ -59,20 +59,21 @@ fn k1_flags_simulator_in_protocol_code_but_not_tests() {
 fn r1_flags_unregistered_experiment_module() {
     let findings = fixture_findings();
     let r1 = by_rule(&findings, "R1");
-    // exp_yy_broken: missing jobs + reduce (2 on the module), not
-    // dispatched (2 on lib.rs), id "yy" absent from lib.rs (1).
+    // exp_yy_broken: missing jobs + reduce + `impl Experiment for`
+    // (3 on the module), never referenced from lib.rs (1), id "yy"
+    // absent from lib.rs (1).
     assert_eq!(r1.len(), 5, "{r1:?}");
     assert_eq!(
         r1.iter()
             .filter(|f| f.file == "crates/experiments/src/exp_yy_broken.rs")
             .count(),
-        2
+        3
     );
     assert_eq!(
         r1.iter()
             .filter(|f| f.file == "crates/experiments/src/lib.rs")
             .count(),
-        3
+        2
     );
     // The fully-registered module is clean.
     assert!(!r1.iter().any(|f| f.file.contains("exp_zz_good")));

@@ -32,9 +32,10 @@
 //! - [`Network`], [`Instance`]: wiring + IDs + input graph;
 //! - [`NodeProgram`], [`Algorithm`]: the object-safe interface node
 //!   programs implement;
-//! - [`Simulator`]: synchronous executor producing [`RunOutcome`]s
-//!   with full per-node [`Transcript`]s and [`NodeView`]s — the exact
-//!   "state of a vertex" whose equality defines *indistinguishability*
+//! - [`SimConfig`]: the synchronous executor's configuration and
+//!   single run entry point, producing [`RunOutcome`]s with full
+//!   per-node [`Transcript`]s and [`NodeView`]s — the exact "state of
+//!   a vertex" whose equality defines *indistinguishability*
 //!   (Lemma 3.4);
 //! - [`codec`]: bit-encoding helpers shared by the upper-bound
 //!   algorithms.
@@ -42,13 +43,13 @@
 //! # Example
 //!
 //! ```
-//! use bcc_model::{Instance, Simulator, Decision};
+//! use bcc_model::{Instance, SimConfig, Decision};
 //! use bcc_graphs::generators;
 //!
 //! // A 6-cycle as a KT-1 instance; run the always-YES strawman.
 //! let instance = Instance::new_kt1(generators::cycle(6)).unwrap();
 //! let algo = bcc_model::testing::ConstantDecision::yes();
-//! let outcome = Simulator::new(10).run(&instance, &algo, 0);
+//! let outcome = SimConfig::bcc1(10).run(&instance, &algo, 0);
 //! assert_eq!(outcome.system_decision(), Decision::Yes);
 //! ```
 
@@ -68,8 +69,10 @@ pub use error::ModelError;
 pub use instance::Instance;
 pub use network::{KnowledgeMode, Network};
 pub use program::{Algorithm, Decision, Inbox, InitialKnowledge, NodeProgram};
+#[allow(deprecated)]
+pub use simulator::Simulator;
 pub use simulator::{
-    runs_indistinguishable, try_runs_indistinguishable, NodeView, RunOutcome, RunStats, Simulator,
+    runs_indistinguishable, try_runs_indistinguishable, NodeView, RunOutcome, RunStats, SimConfig,
     Transcript,
 };
 pub use symbol::{Message, Symbol};

@@ -4,7 +4,7 @@ use crate::error::ModelError;
 use crate::instance::Instance;
 use crate::program::{Algorithm, Decision, Inbox};
 use crate::symbol::Message;
-use bcc_trace::{field, TraceBuf};
+use bcc_trace::{field, TraceBuf, TraceLevel, TraceScope};
 
 /// The full communication record of one vertex: what it broadcast and
 /// what it received on each port, round by round.
@@ -250,27 +250,275 @@ impl RunOutcome {
     }
 
     /// Whether transcripts and views were recorded for this run.
-    /// `false` after [`Simulator::without_transcripts`], in which case
-    /// [`views`](Self::views) is empty and the outcome cannot take
-    /// part in indistinguishability comparisons.
+    /// `false` after [`SimConfig::transcripts`]`(false)`, in which
+    /// case [`views`](Self::views) is empty and the outcome cannot
+    /// take part in indistinguishability comparisons.
     pub fn recorded(&self) -> bool {
         self.recorded
     }
+
+    /// Assembles an outcome from raw parts.
+    ///
+    /// This is the constructor used by batched executors
+    /// (`bcc-engine`) that advance many instances in lockstep and
+    /// materialize one outcome per lane outside this module. The
+    /// caller owns the invariants the scalar path maintains: all
+    /// per-vertex vectors have equal length, and `views` is empty
+    /// unless `recorded` is true.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        decisions: Vec<Decision>,
+        component_labels: Vec<Option<u64>>,
+        spanning_edges: Vec<Option<Vec<(u64, u64)>>>,
+        transcripts: Vec<Transcript>,
+        views: Vec<NodeView>,
+        stats: RunStats,
+        all_done: bool,
+        recorded: bool,
+    ) -> Self {
+        RunOutcome {
+            decisions,
+            component_labels,
+            spanning_edges,
+            transcripts,
+            views,
+            stats,
+            all_done,
+            recorded,
+        }
+    }
 }
 
-/// The synchronous `BCC(b)` executor.
+/// Configuration of one synchronous `BCC(b)` execution — the single
+/// entry point for running an [`Algorithm`] on an [`Instance`].
 ///
-/// # Example
+/// Built fluently from a model constructor, then reused for any
+/// number of runs:
 ///
 /// ```
-/// use bcc_model::{Instance, Simulator, Decision, testing};
+/// use bcc_model::{Instance, SimConfig, Decision, testing};
 /// use bcc_graphs::generators;
 ///
 /// let instance = Instance::new_kt1(generators::two_cycles(3, 3)).unwrap();
-/// let outcome = Simulator::new(4).run(&instance, &testing::ConstantDecision::no(), 0);
+/// let outcome = SimConfig::bcc1(4).run(&instance, &testing::ConstantDecision::no(), 0);
 /// assert_eq!(outcome.system_decision(), Decision::No);
 /// assert_eq!(outcome.stats().rounds, 0); // decides instantly
 /// ```
+///
+/// The builder folds what used to be four entry points into one:
+/// bandwidth via [`bandwidth`](Self::bandwidth), transcript recording
+/// via [`transcripts`](Self::transcripts), and trace capture via
+/// [`trace`](Self::trace) — no `run`/`run_traced` split. Tracing is
+/// an observer: the returned outcome is identical whether the scope
+/// records or is disabled, and everything recorded is a pure function
+/// of `(instance, algorithm, coin_seed)`, never of wall-clock time.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    max_rounds: usize,
+    bandwidth: usize,
+    record: bool,
+    trace: TraceScope,
+}
+
+impl SimConfig {
+    /// A `BCC(1)` configuration with the given round limit,
+    /// transcripts on, tracing off.
+    pub fn bcc1(max_rounds: usize) -> Self {
+        SimConfig {
+            max_rounds,
+            bandwidth: 1,
+            record: true,
+            trace: TraceScope::disabled(),
+        }
+    }
+
+    /// Sets the per-round broadcast bandwidth `b` (`BCC(b)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero.
+    #[must_use]
+    pub fn bandwidth(mut self, bandwidth: usize) -> Self {
+        assert!(bandwidth >= 1, "bandwidth must be at least 1");
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Enables or disables transcript/view recording. Recording costs
+    /// `Θ(rounds·n²)` heap messages — prohibitive for large
+    /// performance sweeps — and is only needed by the
+    /// indistinguishability machinery. With recording off,
+    /// [`RunOutcome::transcript`] and [`RunOutcome::view`] return
+    /// empty records.
+    #[must_use]
+    pub fn transcripts(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Attaches a trace destination. Each run records a `sim` span
+    /// wrapping one `round=r` span per executed round, with per-node
+    /// `broadcast` events, a per-round `bits_broadcast` counter, and
+    /// one final `decision` event per vertex (events at
+    /// [`Events`](TraceLevel::Events) level; spans alone at `Spans`).
+    #[must_use]
+    pub fn trace(mut self, scope: TraceScope) -> Self {
+        self.trace = scope;
+        self
+    }
+
+    /// The round limit.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// The bandwidth `b`.
+    pub fn bandwidth_per_round(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Whether transcripts/views are recorded.
+    pub fn records_transcripts(&self) -> bool {
+        self.record
+    }
+
+    /// The attached trace scope (disabled by default).
+    pub fn trace_scope(&self) -> &TraceScope {
+        &self.trace
+    }
+
+    /// Runs `algorithm` on `instance` with the given public-coin
+    /// seed, for at most [`max_rounds`](Self::max_rounds) rounds
+    /// (stopping early once every vertex reports done).
+    pub fn run(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn Algorithm,
+        coin_seed: u64,
+    ) -> RunOutcome {
+        if self.trace.level() > TraceLevel::Off {
+            self.trace
+                .with(|buf| run_impl(self, instance, algorithm, coin_seed, buf))
+        } else {
+            run_impl(
+                self,
+                instance,
+                algorithm,
+                coin_seed,
+                &mut TraceBuf::disabled(),
+            )
+        }
+    }
+}
+
+/// The one scalar execution path every entry point funnels into —
+/// [`SimConfig::run`], the deprecated [`Simulator`] wrappers, and the
+/// lockstep kernel in `bcc-engine` pin themselves against it.
+fn run_impl(
+    cfg: &SimConfig,
+    instance: &Instance,
+    algorithm: &dyn Algorithm,
+    coin_seed: u64,
+    trace: &mut TraceBuf,
+) -> RunOutcome {
+    let n = instance.num_vertices();
+    let mut programs: Vec<_> = (0..n)
+        .map(|v| algorithm.spawn(instance.initial_knowledge(v, cfg.bandwidth, coin_seed)))
+        .collect();
+    let mut transcripts = vec![
+        Transcript {
+            sent: Vec::new(),
+            received: Vec::new(),
+        };
+        n
+    ];
+    let mut recorder = SimRecorder::new(trace);
+    recorder.run_start(n, cfg.bandwidth, cfg.max_rounds, coin_seed);
+    let mut all_done = programs.iter().all(|p| p.is_done());
+
+    for round in 0..cfg.max_rounds {
+        if all_done {
+            break;
+        }
+        recorder.round_start(round);
+        // Phase 1: everyone broadcasts.
+        let broadcasts: Vec<Message> = programs
+            .iter_mut()
+            .map(|p| p.broadcast(round).normalized(cfg.bandwidth))
+            .collect();
+        for (v, m) in broadcasts.iter().enumerate() {
+            recorder.broadcast(v, m);
+            if cfg.record {
+                transcripts[v].sent.push(m.clone());
+            }
+        }
+        // Phase 2: everyone receives on every port.
+        for v in 0..n {
+            let entries: Vec<(u64, Message)> = (0..n - 1)
+                .map(|p| {
+                    let peer = instance.network().peer_of(v, p);
+                    (
+                        instance.network().port_label(v, p),
+                        broadcasts[peer].clone(),
+                    )
+                })
+                .collect();
+            if cfg.record {
+                transcripts[v].received.push(entries.clone());
+            }
+            let inbox = Inbox::new(entries);
+            programs[v].receive(round, &inbox);
+            recorder.delivered(n - 1);
+        }
+        recorder.round_end(round);
+        all_done = programs.iter().all(|p| p.is_done());
+    }
+
+    let views = (0..if cfg.record { n } else { 0 })
+        .map(|v| {
+            let ik = instance.initial_knowledge(v, cfg.bandwidth, coin_seed);
+            let mut port_labels = ik.port_labels.clone();
+            port_labels.sort_unstable();
+            NodeView {
+                id: ik.id,
+                port_labels,
+                input_port_labels: ik.input_port_labels.clone(),
+                sent: transcripts[v].sent.clone(),
+                received: transcripts[v]
+                    .received
+                    .iter()
+                    .map(|round| {
+                        let mut r = round.clone();
+                        r.sort_by_key(|(l, _)| *l);
+                        r
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    let decisions: Vec<Decision> = programs.iter().map(|p| p.decide()).collect();
+    for (v, &d) in decisions.iter().enumerate() {
+        recorder.decision(v, d);
+    }
+    let stats = recorder.run_end(all_done);
+
+    RunOutcome {
+        decisions,
+        component_labels: programs.iter().map(|p| p.component_label()).collect(),
+        spanning_edges: programs.iter().map(|p| p.spanning_edges()).collect(),
+        transcripts,
+        views,
+        stats,
+        all_done,
+        recorded: cfg.record,
+    }
+}
+
+/// The legacy constructor-sprawl face of the executor, kept so
+/// downstream code migrates on its own schedule. Every method is a
+/// thin wrapper over [`SimConfig`]; new code should build a
+/// `SimConfig` directly.
 #[derive(Debug, Clone, Copy)]
 pub struct Simulator {
     max_rounds: usize,
@@ -280,6 +528,7 @@ pub struct Simulator {
 
 impl Simulator {
     /// A `BCC(1)` simulator with the given round limit.
+    #[deprecated(note = "use `SimConfig::bcc1(max_rounds)`")]
     pub fn new(max_rounds: usize) -> Self {
         Simulator {
             max_rounds,
@@ -293,6 +542,7 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `bandwidth` is zero.
+    #[deprecated(note = "use `SimConfig::bcc1(max_rounds).bandwidth(b)`")]
     pub fn with_bandwidth(max_rounds: usize, bandwidth: usize) -> Self {
         assert!(bandwidth >= 1, "bandwidth must be at least 1");
         Simulator {
@@ -302,12 +552,8 @@ impl Simulator {
         }
     }
 
-    /// Disables transcript/view recording. Recording costs
-    /// `Θ(rounds·n²)` heap messages — prohibitive for large
-    /// performance sweeps — and is only needed by the
-    /// indistinguishability machinery. With recording off,
-    /// [`RunOutcome::transcript`] and [`RunOutcome::view`] return
-    /// empty records.
+    /// Disables transcript/view recording.
+    #[deprecated(note = "use `SimConfig::transcripts(false)`")]
     pub fn without_transcripts(mut self) -> Self {
         self.record = false;
         self
@@ -323,29 +569,25 @@ impl Simulator {
         self.max_rounds
     }
 
-    /// Runs `algorithm` on `instance` with the given public-coin seed,
-    /// for at most `max_rounds` rounds (stopping early once every
-    /// vertex reports done).
+    fn config(&self) -> SimConfig {
+        SimConfig::bcc1(self.max_rounds)
+            .bandwidth(self.bandwidth)
+            .transcripts(self.record)
+    }
+
+    /// Runs `algorithm` on `instance` with the given public-coin seed.
+    #[deprecated(note = "use `SimConfig::run`")]
     pub fn run(
         &self,
         instance: &Instance,
         algorithm: &dyn Algorithm,
         coin_seed: u64,
     ) -> RunOutcome {
-        self.run_traced(instance, algorithm, coin_seed, &mut TraceBuf::disabled())
+        self.config().run(instance, algorithm, coin_seed)
     }
 
-    /// Like [`run`](Self::run), recording the execution into `trace`:
-    /// a `sim` span wrapping one `round=r` span per executed round,
-    /// with per-node `broadcast` events, a per-round `bits_broadcast`
-    /// counter, and one final `decision` event per vertex (events at
-    /// [`Events`](bcc_trace::TraceLevel::Events) level; spans alone at
-    /// `Spans`).
-    ///
-    /// Tracing is an observer: the returned outcome — and every report
-    /// derived from it — is identical whether `trace` is recording or
-    /// disabled, and everything recorded is a pure function of
-    /// `(instance, algorithm, coin_seed)`, never of wall-clock time.
+    /// Runs `algorithm` on `instance`, recording into `trace`.
+    #[deprecated(note = "use `SimConfig::trace(scope).run(...)`")]
     pub fn run_traced(
         &self,
         instance: &Instance,
@@ -353,98 +595,7 @@ impl Simulator {
         coin_seed: u64,
         trace: &mut TraceBuf,
     ) -> RunOutcome {
-        let n = instance.num_vertices();
-        let mut programs: Vec<_> = (0..n)
-            .map(|v| algorithm.spawn(instance.initial_knowledge(v, self.bandwidth, coin_seed)))
-            .collect();
-        let mut transcripts = vec![
-            Transcript {
-                sent: Vec::new(),
-                received: Vec::new(),
-            };
-            n
-        ];
-        let mut recorder = SimRecorder::new(trace);
-        recorder.run_start(n, self.bandwidth, self.max_rounds, coin_seed);
-        let mut all_done = programs.iter().all(|p| p.is_done());
-
-        for round in 0..self.max_rounds {
-            if all_done {
-                break;
-            }
-            recorder.round_start(round);
-            // Phase 1: everyone broadcasts.
-            let broadcasts: Vec<Message> = programs
-                .iter_mut()
-                .map(|p| p.broadcast(round).normalized(self.bandwidth))
-                .collect();
-            for (v, m) in broadcasts.iter().enumerate() {
-                recorder.broadcast(v, m);
-                if self.record {
-                    transcripts[v].sent.push(m.clone());
-                }
-            }
-            // Phase 2: everyone receives on every port.
-            for v in 0..n {
-                let entries: Vec<(u64, Message)> = (0..n - 1)
-                    .map(|p| {
-                        let peer = instance.network().peer_of(v, p);
-                        (
-                            instance.network().port_label(v, p),
-                            broadcasts[peer].clone(),
-                        )
-                    })
-                    .collect();
-                if self.record {
-                    transcripts[v].received.push(entries.clone());
-                }
-                let inbox = Inbox::new(entries);
-                programs[v].receive(round, &inbox);
-                recorder.delivered(n - 1);
-            }
-            recorder.round_end(round);
-            all_done = programs.iter().all(|p| p.is_done());
-        }
-
-        let views = (0..if self.record { n } else { 0 })
-            .map(|v| {
-                let ik = instance.initial_knowledge(v, self.bandwidth, coin_seed);
-                let mut port_labels = ik.port_labels.clone();
-                port_labels.sort_unstable();
-                NodeView {
-                    id: ik.id,
-                    port_labels,
-                    input_port_labels: ik.input_port_labels.clone(),
-                    sent: transcripts[v].sent.clone(),
-                    received: transcripts[v]
-                        .received
-                        .iter()
-                        .map(|round| {
-                            let mut r = round.clone();
-                            r.sort_by_key(|(l, _)| *l);
-                            r
-                        })
-                        .collect(),
-                }
-            })
-            .collect();
-
-        let decisions: Vec<Decision> = programs.iter().map(|p| p.decide()).collect();
-        for (v, &d) in decisions.iter().enumerate() {
-            recorder.decision(v, d);
-        }
-        let stats = recorder.run_end(all_done);
-
-        RunOutcome {
-            decisions,
-            component_labels: programs.iter().map(|p| p.component_label()).collect(),
-            spanning_edges: programs.iter().map(|p| p.spanning_edges()).collect(),
-            transcripts,
-            views,
-            stats,
-            all_done,
-            recorded: self.record,
-        }
+        run_impl(&self.config(), instance, algorithm, coin_seed, trace)
     }
 }
 
@@ -454,8 +605,8 @@ impl Simulator {
 /// "same" vertex appears in both instances.
 ///
 /// Returns `false` — never a vacuous `true` — when either run was
-/// produced by a [`Simulator::without_transcripts`] simulator: an
-/// unrecorded run has no views, so nothing can be attested about it.
+/// produced with [`SimConfig::transcripts`]`(false)`: an unrecorded
+/// run has no views, so nothing can be attested about it.
 /// Use [`try_runs_indistinguishable`] to distinguish "distinguishable"
 /// from "unanswerable" as a typed error.
 pub fn runs_indistinguishable(a: &RunOutcome, b: &RunOutcome) -> bool {
@@ -492,18 +643,18 @@ mod tests {
     #[test]
     fn constant_algorithms_decide_immediately() {
         let i = Instance::new_kt1(generators::cycle(4)).unwrap();
-        let yes = Simulator::new(5).run(&i, &ConstantDecision::yes(), 0);
+        let yes = SimConfig::bcc1(5).run(&i, &ConstantDecision::yes(), 0);
         assert_eq!(yes.system_decision(), Decision::Yes);
         assert!(yes.completed());
         assert_eq!(yes.stats().rounds, 0);
-        let no = Simulator::new(5).run(&i, &ConstantDecision::no(), 0);
+        let no = SimConfig::bcc1(5).run(&i, &ConstantDecision::no(), 0);
         assert_eq!(no.system_decision(), Decision::No);
     }
 
     #[test]
     fn echo_transcripts_recorded() {
         let i = Instance::new_kt1(generators::cycle(4)).unwrap();
-        let out = Simulator::new(3).run(&i, &EchoBit, 0);
+        let out = SimConfig::bcc1(3).run(&i, &EchoBit, 0);
         assert_eq!(out.stats().rounds, 3);
         for v in 0..4 {
             let t = out.transcript(v);
@@ -520,7 +671,7 @@ mod tests {
         // Each vertex broadcasts its id bit-serially; after ceil(log2 n)
         // rounds every vertex knows the id behind every port.
         let i = Instance::new_kt0(generators::cycle(6), 11).unwrap();
-        let out = Simulator::new(10).run(&i, &IdBroadcast::new(), 0);
+        let out = SimConfig::bcc1(10).run(&i, &IdBroadcast::new(), 0);
         assert!(out.completed());
         // 6 ids in 0..6 need 3 bits.
         assert_eq!(out.stats().rounds, 3);
@@ -529,8 +680,8 @@ mod tests {
     #[test]
     fn identical_runs_indistinguishable() {
         let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
-        let a = Simulator::new(4).run(&i, &EchoBit, 7);
-        let b = Simulator::new(4).run(&i, &EchoBit, 7);
+        let a = SimConfig::bcc1(4).run(&i, &EchoBit, 7);
+        let b = SimConfig::bcc1(4).run(&i, &EchoBit, 7);
         assert!(runs_indistinguishable(&a, &b));
     }
 
@@ -538,8 +689,8 @@ mod tests {
     fn different_inputs_distinguishable_by_views() {
         let a = Instance::new_kt0_canonical(generators::cycle(6)).unwrap();
         let b = Instance::new_kt0_canonical(generators::two_cycles(3, 3)).unwrap();
-        let ra = Simulator::new(1).run(&a, &EchoBit, 0);
-        let rb = Simulator::new(1).run(&b, &EchoBit, 0);
+        let ra = SimConfig::bcc1(1).run(&a, &EchoBit, 0);
+        let rb = SimConfig::bcc1(1).run(&b, &EchoBit, 0);
         // Input-edge port sets differ at some vertex.
         assert!(!runs_indistinguishable(&ra, &rb));
     }
@@ -547,15 +698,16 @@ mod tests {
     #[test]
     fn unrecorded_runs_never_vacuously_indistinguishable() {
         let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
-        let a = Simulator::new(4).without_transcripts().run(&i, &EchoBit, 7);
-        let b = Simulator::new(4).without_transcripts().run(&i, &EchoBit, 7);
+        let cfg = SimConfig::bcc1(4).transcripts(false);
+        let a = cfg.run(&i, &EchoBit, 7);
+        let b = cfg.run(&i, &EchoBit, 7);
         assert!(!a.recorded());
         assert!(!runs_indistinguishable(&a, &b));
         assert_eq!(
             try_runs_indistinguishable(&a, &b),
             Err(crate::error::ModelError::UnrecordedRun)
         );
-        let recorded = Simulator::new(4).run(&i, &EchoBit, 7);
+        let recorded = SimConfig::bcc1(4).run(&i, &EchoBit, 7);
         assert!(recorded.recorded());
         assert_eq!(
             try_runs_indistinguishable(&recorded, &recorded.clone()),
@@ -565,12 +717,11 @@ mod tests {
 
     #[test]
     fn traced_run_matches_untraced_outcome() {
-        use bcc_trace::TraceLevel;
         let i = Instance::new_kt0(generators::cycle(5), 3).unwrap();
-        let sim = Simulator::new(4);
-        let plain = sim.run(&i, &EchoBit, 1);
-        let mut buf = TraceBuf::new(TraceLevel::Events, "test");
-        let traced = sim.run_traced(&i, &EchoBit, 1, &mut buf);
+        let plain = SimConfig::bcc1(4).run(&i, &EchoBit, 1);
+        let scope = TraceScope::new(TraceBuf::new(TraceLevel::Events, "test"));
+        let traced = SimConfig::bcc1(4).trace(scope.clone()).run(&i, &EchoBit, 1);
+        let buf = scope.take();
         // Tracing is an observer: identical outcome.
         assert_eq!(plain.decisions(), traced.decisions());
         assert_eq!(plain.stats(), traced.stats());
@@ -602,23 +753,23 @@ mod tests {
 
     #[test]
     fn same_seed_traces_are_identical() {
-        use bcc_trace::TraceLevel;
         let i = Instance::new_kt0(generators::two_cycles(3, 4), 9).unwrap();
         let run = || {
-            let mut buf = TraceBuf::new(TraceLevel::Events, "u");
-            Simulator::new(6).run_traced(&i, &EchoBit, 42, &mut buf);
-            buf.into_events()
+            let scope = TraceScope::new(TraceBuf::new(TraceLevel::Events, "u"));
+            SimConfig::bcc1(6)
+                .trace(scope.clone())
+                .run(&i, &EchoBit, 42);
+            scope.take().into_events()
         };
         assert_eq!(run(), run());
     }
 
     #[test]
     fn spans_level_records_rounds_without_broadcasts() {
-        use bcc_trace::TraceLevel;
         let i = Instance::new_kt1(generators::cycle(4)).unwrap();
-        let mut buf = TraceBuf::new(TraceLevel::Spans, "u");
-        Simulator::new(2).run_traced(&i, &EchoBit, 0, &mut buf);
-        let events = buf.into_events();
+        let scope = TraceScope::new(TraceBuf::new(TraceLevel::Spans, "u"));
+        SimConfig::bcc1(2).trace(scope.clone()).run(&i, &EchoBit, 0);
+        let events = scope.take().into_events();
         assert!(events.iter().all(|e| {
             matches!(
                 e.kind,
@@ -630,14 +781,32 @@ mod tests {
 
     #[test]
     fn bandwidth_enforced() {
-        let sim = Simulator::with_bandwidth(2, 4);
-        assert_eq!(sim.bandwidth(), 4);
-        assert_eq!(sim.max_rounds(), 2);
+        let cfg = SimConfig::bcc1(2).bandwidth(4);
+        assert_eq!(cfg.bandwidth_per_round(), 4);
+        assert_eq!(cfg.max_rounds(), 2);
+        assert!(cfg.records_transcripts());
     }
 
     #[test]
     #[should_panic(expected = "bandwidth must be at least 1")]
     fn zero_bandwidth_rejected() {
-        Simulator::with_bandwidth(1, 0);
+        let _ = SimConfig::bcc1(1).bandwidth(0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_simulator_wrappers_match_sim_config() {
+        let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
+        let legacy = Simulator::new(4).run(&i, &EchoBit, 7);
+        let modern = SimConfig::bcc1(4).run(&i, &EchoBit, 7);
+        assert_eq!(legacy.decisions(), modern.decisions());
+        assert_eq!(legacy.stats(), modern.stats());
+        assert!(runs_indistinguishable(&legacy, &modern));
+        let legacy_bare = Simulator::new(4).without_transcripts().run(&i, &EchoBit, 7);
+        assert!(!legacy_bare.recorded());
+        let mut buf = TraceBuf::new(TraceLevel::Events, "u");
+        let traced = Simulator::with_bandwidth(4, 1).run_traced(&i, &EchoBit, 7, &mut buf);
+        assert_eq!(traced.stats(), modern.stats());
+        assert!(!buf.into_events().is_empty());
     }
 }

@@ -185,7 +185,7 @@ impl NodeProgram for IdBroadcastNode {
 mod tests {
     use super::*;
     use crate::instance::Instance;
-    use crate::simulator::Simulator;
+    use crate::simulator::SimConfig;
     use bcc_graphs::generators;
 
     #[test]
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn echo_runs_to_limit() {
         let i = Instance::new_kt1(generators::cycle(3)).unwrap();
-        let out = Simulator::new(7).run(&i, &EchoBit, 0);
+        let out = SimConfig::bcc1(7).run(&i, &EchoBit, 0);
         assert!(!out.completed());
         assert_eq!(out.stats().rounds, 7);
         assert!(out.any_undecided());

@@ -2,7 +2,7 @@
 
 use bcc_graphs::{generators, Graph};
 use bcc_model::testing::{ConstantDecision, EchoBit, IdBroadcast};
-use bcc_model::{runs_indistinguishable, Instance, Message, Network, Simulator, Symbol};
+use bcc_model::{runs_indistinguishable, Instance, Message, Network, SimConfig, Symbol};
 use proptest::prelude::*;
 
 fn arb_cycle_graph() -> impl Strategy<Value = Graph> {
@@ -47,8 +47,8 @@ proptest! {
     #[test]
     fn simulation_deterministic(g in arb_cycle_graph(), seed in any::<u64>(), coin in any::<u64>()) {
         let inst = Instance::new_kt0(g, seed).unwrap();
-        let a = Simulator::new(5).run(&inst, &EchoBit, coin);
-        let b = Simulator::new(5).run(&inst, &EchoBit, coin);
+        let a = SimConfig::bcc1(5).run(&inst, &EchoBit, coin);
+        let b = SimConfig::bcc1(5).run(&inst, &EchoBit, coin);
         prop_assert!(runs_indistinguishable(&a, &b));
         prop_assert_eq!(a.stats(), b.stats());
     }
@@ -75,7 +75,7 @@ proptest! {
     fn stats_accounting(g in arb_cycle_graph(), t in 1usize..6) {
         let n = g.num_vertices();
         let inst = Instance::new_kt1(g).unwrap();
-        let out = Simulator::new(t).run(&inst, &EchoBit, 0);
+        let out = SimConfig::bcc1(t).run(&inst, &EchoBit, 0);
         prop_assert_eq!(out.stats().rounds, t);
         prop_assert_eq!(out.stats().bits_broadcast, t * n);
         prop_assert_eq!(out.stats().messages_delivered, t * n * (n - 1));
@@ -85,9 +85,9 @@ proptest! {
     #[test]
     fn system_decision_rule(g in arb_cycle_graph()) {
         let inst = Instance::new_kt1(g).unwrap();
-        let yes = Simulator::new(1).run(&inst, &ConstantDecision::yes(), 0);
+        let yes = SimConfig::bcc1(1).run(&inst, &ConstantDecision::yes(), 0);
         prop_assert_eq!(yes.system_decision(), bcc_model::Decision::Yes);
-        let no = Simulator::new(1).run(&inst, &ConstantDecision::no(), 0);
+        let no = SimConfig::bcc1(1).run(&inst, &ConstantDecision::no(), 0);
         prop_assert_eq!(no.system_decision(), bcc_model::Decision::No);
     }
 
@@ -96,7 +96,7 @@ proptest! {
     #[test]
     fn id_broadcast_rounds(n in 3usize..20, seed in any::<u64>()) {
         let inst = Instance::new_kt0(generators::cycle(n), seed).unwrap();
-        let out = Simulator::new(100).run(&inst, &IdBroadcast::new(), 0);
+        let out = SimConfig::bcc1(100).run(&inst, &IdBroadcast::new(), 0);
         prop_assert!(out.completed());
         prop_assert_eq!(out.stats().rounds, bcc_model::codec::bits_needed(n));
     }

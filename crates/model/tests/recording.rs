@@ -1,16 +1,16 @@
-//! Behavioural contract of `Simulator::without_transcripts`: identical
+//! Behavioural contract of `SimConfig::transcripts(false)`: identical
 //! decisions and stats, no recorded state.
 
 use bcc_graphs::generators;
 use bcc_model::testing::{EchoBit, IdBroadcast};
-use bcc_model::{Instance, Simulator};
+use bcc_model::{Instance, SimConfig};
 
 #[test]
 fn recording_off_preserves_semantics() {
     let inst = Instance::new_kt0(generators::cycle(10), 3).unwrap();
-    let on = Simulator::new(6).run(&inst, &EchoBit, 1);
-    let off = Simulator::new(6)
-        .without_transcripts()
+    let on = SimConfig::bcc1(6).run(&inst, &EchoBit, 1);
+    let off = SimConfig::bcc1(6)
+        .transcripts(false)
         .run(&inst, &EchoBit, 1);
     assert_eq!(on.decisions(), off.decisions());
     assert_eq!(on.stats(), off.stats());
@@ -20,8 +20,8 @@ fn recording_off_preserves_semantics() {
 #[test]
 fn recording_off_yields_empty_records() {
     let inst = Instance::new_kt1(generators::cycle(6)).unwrap();
-    let off = Simulator::new(3)
-        .without_transcripts()
+    let off = SimConfig::bcc1(3)
+        .transcripts(false)
         .run(&inst, &IdBroadcast::new(), 0);
     assert!(off.views().is_empty());
     for v in 0..6 {
@@ -32,7 +32,7 @@ fn recording_off_yields_empty_records() {
 #[test]
 fn recording_on_by_default() {
     let inst = Instance::new_kt1(generators::cycle(6)).unwrap();
-    let on = Simulator::new(3).run(&inst, &IdBroadcast::new(), 0);
+    let on = SimConfig::bcc1(3).run(&inst, &IdBroadcast::new(), 0);
     assert_eq!(on.views().len(), 6);
     assert_eq!(on.transcript(0).rounds(), 3);
     assert_eq!(on.transcript(0).received.len(), 3);

@@ -1,85 +1,14 @@
 //! The typed job model: specs, execution context, errors, results.
 
-use bcc_trace::{FieldValue, TraceBuf, TraceLevel};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A job's handle to its own trace buffer.
-///
-/// The pool gives every job one buffer (unit = the job id) and hands
-/// the work closure this shared wrapper through [`JobCtx::trace`].
-/// The wrapper exists because `JobCtx` is `Clone` while `TraceBuf` is
-/// single-owner: the mutex serializes the (rare) case of a closure
-/// cloning its context. Recording stays deterministic — everything
-/// lands in the one per-job buffer, in call order, keyed by the
-/// buffer's own sequence counter, never by wall-clock.
-///
-/// When tracing is off every method is a branch on a cached flag —
-/// no lock, no allocation — so instrumented code needs no `if`s.
-#[derive(Debug, Clone)]
-pub struct TraceScope {
-    level: TraceLevel,
-    buf: Arc<Mutex<TraceBuf>>,
-}
-
-impl TraceScope {
-    /// Wraps a buffer for sharing with work closures.
-    pub fn new(buf: TraceBuf) -> Self {
-        TraceScope {
-            level: buf.level(),
-            buf: Arc::new(Mutex::new(buf)),
-        }
-    }
-
-    /// A scope that records nothing (detached contexts, untraced runs).
-    pub fn disabled() -> Self {
-        TraceScope::new(TraceBuf::disabled())
-    }
-
-    /// True when point events / counters / gauges are kept.
-    pub fn enabled(&self) -> bool {
-        self.level >= TraceLevel::Events
-    }
-
-    /// Runs `f` with exclusive access to the underlying buffer — the
-    /// bridge into traced library APIs that take `&mut TraceBuf`
-    /// (e.g. a simulator or protocol driver recording its own spans).
-    pub fn with<R>(&self, f: impl FnOnce(&mut TraceBuf) -> R) -> R {
-        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
-        f(&mut buf)
-    }
-
-    /// Records a domain point event (no-op when tracing is off).
-    pub fn event(&self, name: &str, fields: Vec<(String, FieldValue)>) {
-        if self.enabled() {
-            self.with(|b| b.event(name, fields));
-        }
-    }
-
-    /// Records a counter increment (no-op when tracing is off).
-    pub fn counter(&self, name: &str, delta: u64) {
-        if self.enabled() {
-            self.with(|b| b.counter(name, delta));
-        }
-    }
-
-    /// Records an instantaneous level (no-op when tracing is off).
-    pub fn gauge(&self, name: &str, value: impl Into<FieldValue>) {
-        if self.enabled() {
-            self.with(|b| b.gauge(name, value));
-        }
-    }
-
-    /// Takes the buffer back out, leaving a disabled one behind. The
-    /// pool calls this once per job to absorb the records; a closure
-    /// that (incorrectly) kept a clone alive past its job records
-    /// into the discarded replacement, never corrupting the trace.
-    pub fn take(&self) -> TraceBuf {
-        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
-        std::mem::replace(&mut *buf, TraceBuf::disabled())
-    }
-}
+// `TraceScope` started life here as the pool's per-job trace handle;
+// it now lives in `bcc-trace` so configuration objects in lower-level
+// crates (simulator configs, protocol-driver options) can carry one
+// without depending on the runner. Re-exported for compatibility.
+pub use bcc_trace::TraceScope;
 
 /// A shared flag that flips exactly once, from "running" to
 /// "cancelled". Cheap to clone; all clones observe the flip.
@@ -219,6 +148,26 @@ impl JobCtx {
         self.deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
+
+    /// Derives `lanes` independent per-lane seeds from the job seed —
+    /// the batch API used by lockstep kernels (`bcc-engine`) that
+    /// advance many instances per shard. Lane `i` always gets the
+    /// same seed for the same job seed, regardless of how many lanes
+    /// the kernel packs, so reports stay byte-identical whether a
+    /// shard samples one instance at a time or sixty-four.
+    pub fn lane_seeds(&self, lanes: usize) -> Vec<u64> {
+        (0..lanes as u64)
+            .map(|i| splitmix64(self.seed ^ splitmix64(i.wrapping_add(0x9e37_79b9_7f4a_7c15))))
+            .collect()
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality bijective mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// The boxed work closure of a [`Job`].
@@ -345,6 +294,20 @@ mod tests {
         assert_eq!(ctx.seed, 5);
         assert!(!ctx.is_cancelled());
         assert!(ctx.remaining().is_none());
+    }
+
+    #[test]
+    fn lane_seeds_are_distinct_and_prefix_stable() {
+        let ctx = JobCtx::detached(2024);
+        let four = ctx.lane_seeds(4);
+        let sixty_four = ctx.lane_seeds(64);
+        assert_eq!(four, sixty_four[..4]);
+        let mut uniq = four.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+        // Different job seeds give different lanes.
+        assert_ne!(four, JobCtx::detached(2025).lane_seeds(4));
     }
 
     #[test]

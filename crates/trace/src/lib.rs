@@ -61,8 +61,10 @@ mod buf;
 mod collector;
 mod event;
 pub mod json;
+mod scope;
 pub mod sink;
 
 pub use buf::{TraceBuf, TraceLevel};
 pub use collector::{Collector, Trace};
 pub use event::{field, Event, EventKind, FieldValue};
+pub use scope::TraceScope;

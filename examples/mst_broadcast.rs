@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The distributed computation: Borůvka phases over BCC(1), every
     // vertex broadcasting its cheapest outgoing edge bit by bit.
     let inst = Instance::new_kt1(g)?;
-    let out = Simulator::new(1_000_000).run(&inst, &BoruvkaMst::new(weight_seed), 0);
+    let out = SimConfig::bcc1(1_000_000).run(&inst, &BoruvkaMst::new(weight_seed), 0);
     println!(
         "BCC(1) Borůvka: {:?} after {} rounds ({} bits broadcast)",
         out.system_decision(),

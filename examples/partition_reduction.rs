@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(report.system_decision(), Decision::No); // join has 2 blocks
 
     // Cross-check against the direct execution on the full instance.
-    let direct = Simulator::new(100_000).run(&Instance::new_kt1(g)?, &algo, 0);
+    let direct = SimConfig::bcc1(100_000).run(&Instance::new_kt1(g)?, &algo, 0);
     assert_eq!(report.decisions, direct.decisions());
     println!("matches the direct BCC(1) execution exactly.");
 

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The O(log n) algorithm that makes the paper's lower bound tight
     // on sparse graphs: broadcast degrees, then neighbor IDs.
     let algo = NeighborIdBroadcast::new(Problem::TwoCycle);
-    let sim = Simulator::new(10_000);
+    let sim = SimConfig::bcc1(10_000);
 
     let out_yes = sim.run(&yes, &algo, 0);
     let out_no = sim.run(&no, &algo, 0);

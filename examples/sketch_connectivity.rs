@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "bandwidth", "connected: rounds", "disconnected: rounds"
     );
     for b in [1usize, 16, 256, 4096] {
-        let sim = Simulator::with_bandwidth(10_000_000, b);
+        let sim = SimConfig::bcc1(10_000_000).bandwidth(b);
         let oc = sim.run(&Instance::new_kt1(connected.clone())?, &algo, 1);
         let od = sim.run(&Instance::new_kt1(disconnected.clone())?, &algo, 1);
         println!(

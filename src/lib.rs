@@ -27,7 +27,7 @@
 //! // and solve it with the O(log n) tight algorithm.
 //! let instance = Instance::new_kt1(generators::cycle(8))?;
 //! let algo = NeighborIdBroadcast::new(Problem::TwoCycle);
-//! let outcome = Simulator::new(100).run(&instance, &algo, 0);
+//! let outcome = SimConfig::bcc1(100).run(&instance, &algo, 0);
 //! assert_eq!(outcome.system_decision(), Decision::Yes);
 //! # Ok::<(), bcclique::model::ModelError>(())
 //! ```
@@ -66,7 +66,7 @@ pub mod prelude {
     pub use bcc_core::crossing::{cross_instance, indistinguishable_after, DirectedEdge};
     pub use bcc_core::indist::IndistGraph;
     pub use bcc_graphs::{generators, Graph, UnionFind};
-    pub use bcc_model::{Algorithm, Decision, Instance, KnowledgeMode, Simulator};
+    pub use bcc_model::{Algorithm, Decision, Instance, KnowledgeMode, SimConfig, Simulator};
     pub use bcc_partitions::SetPartition;
 }
 
@@ -78,7 +78,7 @@ mod tests {
     fn facade_reexports_work() {
         let g = generators::two_cycles(3, 3);
         let i = Instance::new_kt1(g).unwrap();
-        let out = Simulator::new(1000).run(&i, &NeighborIdBroadcast::new(Problem::TwoCycle), 0);
+        let out = SimConfig::bcc1(1000).run(&i, &NeighborIdBroadcast::new(Problem::TwoCycle), 0);
         assert_eq!(out.system_decision(), Decision::No);
     }
 }

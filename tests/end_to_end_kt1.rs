@@ -44,7 +44,7 @@ fn simulation_equivalence_multiple_algorithms() {
                     simulate_two_party(Gadget::TwoRegular, algo.as_ref(), pa, pb, 0, 100_000);
                 let g = gadget_graph(Gadget::TwoRegular, pa, pb).unwrap();
                 let direct =
-                    Simulator::new(100_000).run(&Instance::new_kt1(g).unwrap(), algo.as_ref(), 0);
+                    SimConfig::bcc1(100_000).run(&Instance::new_kt1(g).unwrap(), algo.as_ref(), 0);
                 assert_eq!(report.decisions, direct.decisions(), "{}", algo.name());
                 assert_eq!(report.rounds, direct.stats().rounds, "{}", algo.name());
             }

@@ -41,7 +41,7 @@ fn mst_with_noncontiguous_ids() {
     // vertex indices, so the oracle weight function lines up.
     let ids: Vec<u64> = (0..10u64).map(|v| 3 * v).collect();
     let inst = Instance::new_kt1_with_ids(g.clone(), ids.clone()).unwrap();
-    let out = Simulator::new(1_000_000).run(&inst, &BoruvkaMst::new(9), 0);
+    let out = SimConfig::bcc1(1_000_000).run(&inst, &BoruvkaMst::new(9), 0);
     let wg = WeightedGraph::from_graph_hashed(&g, 9);
     let oracle: Vec<(u64, u64)> = wg
         .minimum_spanning_forest()

@@ -115,7 +115,7 @@ fn bandwidth_violation_caught() {
         }
     }
     let inst = Instance::new_kt1(generators::cycle(4)).unwrap();
-    Simulator::new(2).run(&inst, &Chatty, 0);
+    SimConfig::bcc1(2).run(&inst, &Chatty, 0);
 }
 
 #[test]
@@ -138,7 +138,7 @@ fn partition_errors() {
 fn undecided_counts_as_no() {
     let inst = Instance::new_kt1(generators::cycle(8)).unwrap();
     // 1 round is far too few for NeighborIdBroadcast to decide.
-    let out = Simulator::new(1).run(&inst, &NeighborIdBroadcast::new(Problem::TwoCycle), 0);
+    let out = SimConfig::bcc1(1).run(&inst, &NeighborIdBroadcast::new(Problem::TwoCycle), 0);
     assert!(out.any_undecided());
     assert_eq!(out.system_decision(), Decision::No);
 }

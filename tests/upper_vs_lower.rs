@@ -14,7 +14,7 @@ fn neighbor_broadcast_sandwiched_by_bounds() {
     for n in [8usize, 16, 32, 64] {
         let inst = Instance::new_kt1(generators::cycle(n)).unwrap();
         let out =
-            Simulator::new(100_000).run(&inst, &NeighborIdBroadcast::new(Problem::TwoCycle), 0);
+            SimConfig::bcc1(100_000).run(&inst, &NeighborIdBroadcast::new(Problem::TwoCycle), 0);
         assert_eq!(out.system_decision(), Decision::Yes);
         let upper = out.stats().rounds;
         assert_eq!(upper, 3 * bits_needed(n));
@@ -34,7 +34,7 @@ fn neighbor_broadcast_sandwiched_by_bounds() {
 #[test]
 fn algorithms_agree_on_random_graphs() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(31);
-    let sim = Simulator::new(10_000_000);
+    let sim = SimConfig::bcc1(10_000_000);
     let mut sketch_errors = 0;
     let trials = 12;
     for t in 0..trials {
@@ -71,7 +71,8 @@ fn algorithms_agree_on_random_graphs() {
             .system_decision(),
             truth
         );
-        let sk = Simulator::with_bandwidth(10_000_000, 64)
+        let sk = SimConfig::bcc1(10_000_000)
+            .bandwidth(64)
             .run(&kt1, &SketchConnectivity::new(Problem::Connectivity), t)
             .system_decision();
         if sk != truth {
@@ -85,7 +86,7 @@ fn algorithms_agree_on_random_graphs() {
 /// disjoint-cycle inputs.
 #[test]
 fn component_labels_consistent() {
-    let sim = Simulator::new(1_000_000);
+    let sim = SimConfig::bcc1(1_000_000);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for _ in 0..6 {
         let g = bcclique::graphs::generators::random_disjoint_cycles(15, &mut rng);
@@ -134,7 +135,7 @@ fn bandwidth_scaling_monotone() {
     let algo = SketchConnectivity::new(Problem::Connectivity);
     let mut last = usize::MAX;
     for b in [4usize, 32, 256] {
-        let out = Simulator::with_bandwidth(50_000_000, b).run(
+        let out = SimConfig::bcc1(50_000_000).bandwidth(b).run(
             &Instance::new_kt1(g.clone()).unwrap(),
             &algo,
             2,
