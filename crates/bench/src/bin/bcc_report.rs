@@ -1,0 +1,173 @@
+//! `bcc-report`: merge a deterministic metrics dump, an optional
+//! trace, and committed `BENCH_*.json` recordings into one offline
+//! Markdown/JSON report, optionally failing on regressions.
+//!
+//! ```text
+//! bcc-report [--metrics PATH] [--baseline PATH] [--trace PATH]
+//!            [--bench PATH]... [--format md|json] [--out PATH]
+//!            [--check] [--tolerance PCT] [--max-overhead PCT]
+//! ```
+//!
+//! Exit status: 0 on success, 1 if `--check` found a regression (or
+//! on I/O failure), 2 on a usage error.
+//!
+//! Check semantics (see `bcc_bench::report`):
+//!
+//! * with both `--metrics` and `--baseline`, the two dumps' counters
+//!   must match **exactly** — workload dumps are deterministic, so any
+//!   drift is a real workload change;
+//! * every `"speedup"` field in a `--bench` file must be at least
+//!   `1.0 − tolerance/100`;
+//! * every `"overhead_pct"` field must be at most `--max-overhead`.
+
+use bcc_bench::report::{
+    load_bench, render_json, render_markdown, run_checks, trace_stats, CheckOptions, Inputs,
+};
+use bcc_metrics::MetricsDump;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bcc-report [--metrics PATH] [--baseline PATH] [--trace PATH]
+                  [--bench PATH]... [--format md|json] [--out PATH]
+                  [--check] [--tolerance PCT] [--max-overhead PCT]
+
+  --metrics PATH       workload metrics dump (JSONL) to report on
+  --baseline PATH      committed baseline dump; counters must match exactly
+  --trace PATH         trace JSONL; reported as event counts by kind
+  --bench PATH         committed BENCH_*.json recording (repeatable)
+  --format md|json     output format (default md)
+  --out PATH           write the report here instead of stdout
+  --check              exit 1 if any regression check fails
+  --tolerance PCT      how far below 1.0 a speedup may sit (default 5)
+  --max-overhead PCT   ceiling for overhead_pct fields (default 2)";
+
+struct Cli {
+    metrics: Option<String>,
+    baseline: Option<String>,
+    trace: Option<String>,
+    benches: Vec<String>,
+    format: String,
+    out: Option<String>,
+    check: bool,
+    opts: CheckOptions,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        metrics: None,
+        baseline: None,
+        trace: None,
+        benches: Vec::new(),
+        format: "md".to_string(),
+        out: None,
+        check: false,
+        opts: CheckOptions::default(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--metrics" => cli.metrics = Some(value("--metrics")?),
+            "--baseline" => cli.baseline = Some(value("--baseline")?),
+            "--trace" => cli.trace = Some(value("--trace")?),
+            "--bench" => cli.benches.push(value("--bench")?),
+            "--format" => {
+                let f = value("--format")?;
+                if f != "md" && f != "json" {
+                    return Err(format!("unknown format `{f}` (md|json)"));
+                }
+                cli.format = f;
+            }
+            "--out" => cli.out = Some(value("--out")?),
+            "--check" => cli.check = true,
+            "--tolerance" => {
+                cli.opts.tolerance_pct = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| "--tolerance needs a number".to_string())?;
+            }
+            "--max-overhead" => {
+                cli.opts.max_overhead_pct = value("--max-overhead")?
+                    .parse()
+                    .map_err(|_| "--max-overhead needs a number".to_string())?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if cli.metrics.is_none() && cli.trace.is_none() && cli.benches.is_empty() {
+        return Err("nothing to report: pass --metrics, --trace or --bench".to_string());
+    }
+    Ok(cli)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_inputs(cli: &Cli) -> Result<Inputs, String> {
+    let mut inputs = Inputs::default();
+    if let Some(path) = &cli.metrics {
+        inputs.metrics =
+            Some(MetricsDump::parse_jsonl(&read(path)?).map_err(|e| format!("{path}: {e}"))?);
+    }
+    if let Some(path) = &cli.baseline {
+        inputs.baseline =
+            Some(MetricsDump::parse_jsonl(&read(path)?).map_err(|e| format!("{path}: {e}"))?);
+    }
+    if let Some(path) = &cli.trace {
+        inputs.trace = Some(trace_stats(&read(path)?).map_err(|e| format!("{path}: {e}"))?);
+    }
+    for path in &cli.benches {
+        let name = path.rsplit('/').next().unwrap_or(path).to_string();
+        inputs.benches.push(load_bench(name, &read(path)?)?);
+    }
+    Ok(inputs)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("bcc-report: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let inputs = match load_inputs(&cli) {
+        Ok(inputs) => inputs,
+        Err(msg) => {
+            eprintln!("bcc-report: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = run_checks(&inputs, cli.opts);
+    let rendered = if cli.format == "json" {
+        render_json(&inputs, &failures)
+    } else {
+        render_markdown(&inputs, &failures)
+    };
+    if let Some(path) = &cli.out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("bcc-report: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bcc-report: wrote {path}");
+    } else {
+        print!("{rendered}");
+    }
+    for f in &failures {
+        eprintln!("bcc-report: FAIL {f}");
+    }
+    if cli.check && !failures.is_empty() {
+        eprintln!("bcc-report: {} check(s) failed", failures.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use bcc_graphs::generators;
 use bcc_model::Instance;
 

@@ -1,6 +1,7 @@
 //! A deterministic two-party protocol driver with exact bit
 //! accounting.
 
+use bcc_metrics::MetricScope;
 use bcc_trace::{field, TraceBuf, TraceLevel, TraceScope};
 
 /// Which party acts.
@@ -79,16 +80,18 @@ pub struct DriverOpts {
     max_messages: usize,
     budget: Option<usize>,
     trace: TraceScope,
+    metrics: MetricScope,
 }
 
 impl DriverOpts {
     /// Unbounded-bits options with the given message limit, tracing
-    /// off.
+    /// and metrics off.
     pub fn new(max_messages: usize) -> Self {
         DriverOpts {
             max_messages,
             budget: None,
             trace: TraceScope::disabled(),
+            metrics: MetricScope::disabled(),
         }
     }
 
@@ -118,6 +121,19 @@ impl DriverOpts {
         self
     }
 
+    /// Attaches a metrics destination. Each run adds to the
+    /// `comm.protocol_runs`, `comm.bits_exchanged`, and
+    /// `comm.messages` counters at core level; at full level it also
+    /// records a `comm.message_bits` histogram sample per message.
+    /// Like tracing, only logical quantities are recorded — never
+    /// timing — and the returned run is identical whether the scope
+    /// records or not.
+    #[must_use]
+    pub fn metrics(mut self, scope: MetricScope) -> Self {
+        self.metrics = scope;
+        self
+    }
+
     /// The message limit.
     pub fn max_messages(&self) -> usize {
         self.max_messages
@@ -132,6 +148,11 @@ impl DriverOpts {
     pub fn trace_scope(&self) -> &TraceScope {
         &self.trace
     }
+
+    /// The attached metrics scope (disabled by default).
+    pub fn metrics_scope(&self) -> &MetricScope {
+        &self.metrics
+    }
 }
 
 /// Runs a protocol to completion (both parties output) or until the
@@ -142,7 +163,7 @@ pub fn run_protocol<Out: Clone>(
     bob: &mut dyn Party<Out>,
     opts: &DriverOpts,
 ) -> ProtocolRun<Out> {
-    if opts.trace.level() > TraceLevel::Off {
+    let run = if opts.trace.level() > TraceLevel::Off {
         opts.trace
             .with(|buf| run_core(alice, bob, opts.budget, opts.max_messages, buf))
     } else {
@@ -153,7 +174,19 @@ pub fn run_protocol<Out: Clone>(
             opts.max_messages,
             &mut TraceBuf::disabled(),
         )
+    };
+    if opts.metrics.core_enabled() {
+        // One lock for the whole run's worth of counters.
+        opts.metrics.with(|b| {
+            b.counter("comm.protocol_runs", 1);
+            b.counter("comm.bits_exchanged", run.bits_exchanged as u64);
+            b.counter("comm.messages", run.transcript.len() as u64);
+            for (_, msg) in &run.transcript {
+                b.full_observe("comm.message_bits", msg.len() as u64);
+            }
+        });
     }
+    run
 }
 
 /// Legacy traced entry point.
@@ -420,6 +453,59 @@ mod tests {
         let end = events.last().unwrap();
         assert_eq!(end.kind, EventKind::SpanEnd);
         assert_eq!(end.field("bits_exchanged"), Some(&FieldValue::UInt(11)));
+    }
+
+    #[test]
+    fn metered_run_matches_unmetered_and_counts_bits() {
+        use bcc_metrics::{MetricsBuf, MetricsLevel};
+        let build = || {
+            (
+                SumAlice {
+                    bits: vec![true, false, true],
+                    sent: 0,
+                    result: None,
+                },
+                SumBob {
+                    own: 10,
+                    received: Vec::new(),
+                    expected: 3,
+                },
+            )
+        };
+        let (mut alice, mut bob) = build();
+        let plain = run_protocol(&mut alice, &mut bob, &DriverOpts::new(10));
+        let (mut alice, mut bob) = build();
+        let scope = MetricScope::new(MetricsBuf::new(MetricsLevel::Full, "u"));
+        let metered = run_protocol(
+            &mut alice,
+            &mut bob,
+            &DriverOpts::new(10).metrics(scope.clone()),
+        );
+        assert_eq!(plain, metered);
+        let (counters, _, hists) = scope.take().into_parts();
+        assert_eq!(counters.get("comm.protocol_runs"), Some(&1));
+        assert_eq!(
+            counters.get("comm.bits_exchanged"),
+            Some(&(plain.bits_exchanged as u64))
+        );
+        assert_eq!(
+            counters.get("comm.messages"),
+            Some(&(plain.num_messages() as u64))
+        );
+        let mb = hists.get("comm.message_bits").expect("message_bits hist");
+        assert_eq!(mb.count, plain.num_messages() as u64);
+        assert_eq!(mb.sum, plain.bits_exchanged as u64);
+        // Core level keeps counters, drops the histogram.
+        let (mut alice, mut bob) = build();
+        let core = MetricScope::new(MetricsBuf::new(MetricsLevel::Core, "u"));
+        run_protocol(
+            &mut alice,
+            &mut bob,
+            &DriverOpts::new(10).metrics(core.clone()),
+        );
+        let (c, _, h) = core.take().into_parts();
+        assert_eq!(c.get("comm.protocol_runs"), Some(&1));
+        assert!(h.is_empty());
     }
 
     #[test]

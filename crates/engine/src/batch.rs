@@ -155,6 +155,11 @@ fn run_batch_impl(
     );
     let b = cfg.bandwidth_per_round();
     let record = cfg.records_transcripts();
+    let metrics = cfg.metrics_scope();
+    let metered = metrics.core_enabled();
+    // Per-round (active_lanes, bits) samples, folded into the metrics
+    // buffer in one locked batch after the loop.
+    let mut round_samples: Vec<(u64, u64)> = Vec::new();
 
     let mut programs: Vec<Vec<Box<dyn NodeProgram>>> = lanes
         .iter()
@@ -249,6 +254,9 @@ fn run_batch_impl(
             trace.counter("active_lanes", u64::from(active.count_ones()));
             trace.counter("bits_broadcast", round_bits as u64);
         }
+        if metered {
+            round_samples.push((u64::from(active.count_ones()), round_bits as u64));
+        }
         if trace.spans_enabled() {
             trace.span_end(&format!("round={round}"), vec![]);
         }
@@ -309,6 +317,20 @@ fn run_batch_impl(
                 field("completed_lanes", all_done.iter().filter(|&&d| d).count()),
             ],
         );
+    }
+    if metered {
+        // One lock for the whole batch: counters for the batch shape,
+        // a lane-occupancy gauge sample per executed round, and (at
+        // full level) a per-round broadcast-bits histogram.
+        metrics.with(|buf| {
+            buf.counter("engine.batches", 1);
+            buf.counter("engine.lanes", l as u64);
+            buf.counter("engine.rounds", round_samples.len() as u64);
+            for &(active_lanes, bits) in &round_samples {
+                buf.gauge("engine.active_lanes", active_lanes);
+                buf.full_observe("engine.round_bits", bits);
+            }
+        });
     }
     outcomes
 }
@@ -409,6 +431,39 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn empty_batch_rejected() {
         let _ = BatchRun::new(SimConfig::bcc1(2)).run(&[], &EchoBit);
+    }
+
+    #[test]
+    fn batch_metrics_record_shape_and_occupancy() {
+        use bcc_metrics::{MetricScope, MetricsBuf, MetricsLevel};
+        let i = Instance::new_kt0(generators::cycle(5), 2).unwrap();
+        let scope = MetricScope::new(MetricsBuf::new(MetricsLevel::Full, "batch-test"));
+        let cfg = SimConfig::bcc1(3).metrics(scope.clone());
+        let out = BatchRun::new(cfg.clone()).run(&[(&i, 0), (&i, 1)], &EchoBit);
+        // Metrics are an observer: outcome identical to unmetered.
+        let plain = BatchRun::new(SimConfig::bcc1(3)).run(&[(&i, 0), (&i, 1)], &EchoBit);
+        assert_eq!(out[0].decisions(), plain[0].decisions());
+        assert_eq!(out[1].stats(), plain[1].stats());
+        let (counters, gauges, hists) = scope.take().into_parts();
+        assert_eq!(counters.get("engine.batches"), Some(&1));
+        assert_eq!(counters.get("engine.lanes"), Some(&2));
+        let rounds = *counters.get("engine.rounds").unwrap();
+        assert_eq!(
+            rounds,
+            plain.iter().map(|o| o.stats().rounds).max().unwrap() as u64
+        );
+        let occ = gauges.get("engine.active_lanes").expect("occupancy gauge");
+        assert_eq!(occ.count, rounds);
+        assert_eq!(occ.max, 2);
+        let rb = hists.get("engine.round_bits").expect("round_bits hist");
+        assert_eq!(rb.count, rounds);
+        assert_eq!(
+            rb.sum,
+            plain
+                .iter()
+                .map(|o| o.stats().bits_broadcast as u64)
+                .sum::<u64>()
+        );
     }
 
     #[test]

@@ -155,6 +155,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                         field("floor", out.float("floor").unwrap_or(f64::NAN)),
                     ],
                 );
+                ctx.metrics().counter("e1.pieces", 1);
                 out
             },
         ));
@@ -192,6 +193,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 "e1.transition",
                 vec![field("n", n), field("t_full", t_full), field("error", e_full)],
             );
+            ctx.metrics().counter("e1.transition_rounds", t_full as u64);
             JobOutput::new("e1", shard, "transition")
                 .value("n", n)
                 .value("t_full", t_full)

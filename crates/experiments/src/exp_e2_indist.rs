@@ -103,6 +103,12 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                         field("expansion", r.expansion),
                     ],
                 );
+                if ctx.metrics().core_enabled() {
+                    ctx.metrics().with(|b| {
+                        b.counter("e2.structure_rows", 1);
+                        b.gauge("e2.lower_graph_vertices", (r.v1 + r.v2) as u64);
+                    });
+                }
                 let text = format!(
                     "{:>3} {:>8} {:>8} {:>8.4} {:>9.4} {:>8} {:>5} {:>9.3}\n",
                     r.n, r.v1, r.v2, r.ratio, r.harmonic, r.degrees_exact, r.k_v2, r.expansion
@@ -144,6 +150,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                     field("v2", g.v2_len()),
                 ],
             );
+            ctx.metrics().counter("e2.census_rows", 1);
             let mut text = String::new();
             writeln!(
                 text,
@@ -204,6 +211,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                         ],
                     );
                 }
+                ctx.metrics().counter("e2.error_rows", rows.len() as u64);
                 let s: Vec<String> = rows.iter().map(|(n, e)| format!("{n}={e:.4}")).collect();
                 let mut out = JobOutput::new("e2", shard, format!("error t={t}"))
                     .value("n", n_err)

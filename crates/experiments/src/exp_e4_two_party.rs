@@ -103,6 +103,12 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
             job_seed(suite_seed, "e4", shard),
             move |ctx| {
                 let r = cost_row(n, rank_max, ctx.seed);
+                if ctx.metrics().core_enabled() {
+                    ctx.metrics().with(|b| {
+                        b.counter("e4.cost_rows", 1);
+                        b.counter("e4.upper_bits", r.upper_bits as u64);
+                    });
+                }
                 let text = format!(
                     "{:>5} {:>11} {:>11.2} {:>7.2}\n",
                     r.n, r.upper_bits, r.lower_bits, r.gap
@@ -126,14 +132,17 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
         shard,
         "exhaustive n=4",
         job_seed(suite_seed, "e4", shard),
-        move |_ctx| {
+        move |ctx| {
             let mut ok = 0usize;
             let mut total = 0usize;
+            // Route the driver's comm.* counters into the job's
+            // metrics scope (no-op when metrics are off).
+            let opts = DriverOpts::new(8).metrics(ctx.metrics().clone());
             for pa in all_partitions(4) {
                 for pb in all_partitions(4) {
                     let mut alice = TrivialJoinAlice::new(pa.clone());
                     let mut bob = TrivialJoinBob::new(pb.clone());
-                    let run = run_protocol(&mut alice, &mut bob, &DriverOpts::new(8));
+                    let run = run_protocol(&mut alice, &mut bob, &opts);
                     total += 1;
                     if run.bob_output == Some(pa.join(&pb).is_trivial()) {
                         ok += 1;

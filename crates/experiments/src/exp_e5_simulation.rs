@@ -124,6 +124,13 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                     ],
                 );
                 ctx.trace().counter("e5.bits_exchanged", r.bits as u64);
+                if ctx.metrics().core_enabled() {
+                    ctx.metrics().with(|b| {
+                        b.counter("e5.sim_rows", 1);
+                        b.counter("e5.bits_exchanged", r.bits as u64);
+                        b.counter("e5.rounds", r.rounds as u64);
+                    });
+                }
                 let text = format!(
                     "{:>4} {:>7} {:>9} {:>9} {:>10.1} {:>13.2} {:>8}\n",
                     r.n,

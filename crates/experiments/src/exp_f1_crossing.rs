@@ -58,6 +58,7 @@ pub fn jobs(_quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 "f1.crossing",
                 vec![field("n", 8usize), field("crossed_edges", 2usize)],
             );
+            ctx.metrics().counter("f1.crossings", 1);
             let mut out = String::new();
             writeln!(
                 out,

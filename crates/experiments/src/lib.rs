@@ -32,6 +32,7 @@ pub mod exp_f2_reduction;
 pub mod job;
 pub mod json;
 
+use bcc_metrics::{MetricsDump, MetricsHub, MetricsLevel};
 use bcc_trace::{Collector, Trace, TraceLevel};
 use job::{ExpJob, JobOutput, Report, DEFAULT_SEED};
 use std::time::Duration;
@@ -142,6 +143,12 @@ pub struct SuiteOptions {
     /// Trace recording level (`--trace-level`); `Off` disables
     /// collection entirely and costs nothing per job.
     pub trace_level: TraceLevel,
+    /// Workload-metrics recording level (`--metrics-level`); `Off`
+    /// disables collection entirely and costs nothing per job. Only
+    /// logical quantities are counted (bits, rounds, lookups — never
+    /// clock readings), so the merged dump is byte-identical at any
+    /// thread count.
+    pub metrics_level: MetricsLevel,
     /// Optional on-disk artifact cache directory (`--cache`); `None`
     /// keeps the process-wide store in memory. Cached or not, reports
     /// are byte-identical — the store only trades recomputation for
@@ -157,6 +164,7 @@ impl Default for SuiteOptions {
             seed: DEFAULT_SEED,
             timeout: None,
             trace_level: TraceLevel::Off,
+            metrics_level: MetricsLevel::Off,
             cache_dir: None,
         }
     }
@@ -177,6 +185,12 @@ pub struct SuiteRun {
     /// `(unit, seq)`, so it is byte-identical at any thread count, and
     /// collecting it never changes a report byte.
     pub trace: Trace,
+    /// The merged deterministic workload-metrics dump — empty unless
+    /// `metrics_level > Off`. Counters and histograms merge
+    /// commutatively across per-job buffers, so the dump is
+    /// byte-identical at any thread count, and collecting it never
+    /// changes a report byte.
+    pub workload: MetricsDump,
 }
 
 /// Runs a set of experiments through one shared pool.
@@ -200,11 +214,30 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         .collect();
     let pool = bcc_runner::Pool::new(opts.threads);
     let collector = Collector::new(opts.trace_level);
-    let job_results = pool.execute_traced(
+    let hub = MetricsHub::new(opts.metrics_level);
+    let store = cache::store();
+    let lookups_before = store.hits() + store.misses();
+    let job_results = pool.execute_observed(
         runner_jobs,
         &bcc_runner::CancellationToken::new(),
         &collector,
+        &hub,
     );
+    if hub.enabled() {
+        // Suite-level unit: workload shape plus the cache *lookup*
+        // count. Lookups (hits + misses) are a pure function of the
+        // job list, unlike the hit/miss split, which depends on
+        // interleaving and on what earlier runs left in the shared
+        // store — so only the deterministic quantity goes in the dump.
+        let mut buf = hub.buf("suite");
+        buf.counter("suite.experiments", ids.len() as u64);
+        buf.counter("suite.jobs", job_results.len() as u64);
+        buf.counter(
+            "cache.lookups",
+            store.hits() + store.misses() - lookups_before,
+        );
+        hub.absorb(buf);
+    }
 
     let mut reports = Vec::with_capacity(ids.len());
     for id in ids {
@@ -240,6 +273,7 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         job_results,
         metrics: pool.metrics().snapshot(),
         trace: collector.finish(),
+        workload: hub.finish(),
     })
 }
 

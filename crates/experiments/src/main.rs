@@ -14,6 +14,11 @@
 //!                       (implies --trace-level events)
 //!   --trace-level L     off | spans | events (default: off, or
 //!                       events when --trace is given)
+//!   --metrics PATH      write the merged deterministic workload
+//!                       metrics as JSONL (implies --metrics-level
+//!                       core)
+//!   --metrics-level L   off | core | full (default: off, or core
+//!                       when --metrics is given)
 //!   --cache PATH        persist the artifact cache (ranks, Bell
 //!                       tables, indistinguishability graphs) in
 //!                       PATH; reports are byte-identical with or
@@ -21,18 +26,21 @@
 //! ```
 
 use bcc_experiments::{json, SuiteOptions, ALL_EXPERIMENTS};
+use bcc_metrics::MetricsLevel;
 use bcc_trace::TraceLevel;
 use std::io::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bcc-experiments [--quick] [--jobs N] [--seed S] \
 [--timeout-secs T] [--json PATH] [--trace PATH] [--trace-level off|spans|events] \
-[--cache PATH] <id>...\n       id ∈ {f1, f2, e1..e12, all}";
+[--metrics PATH] [--metrics-level off|core|full] [--cache PATH] <id>...\n       \
+id ∈ {f1, f2, e1..e12, all}";
 
 struct Cli {
     opts: SuiteOptions,
     json_path: Option<String>,
     trace_path: Option<String>,
+    metrics_path: Option<String>,
     ids: Vec<String>,
 }
 
@@ -41,6 +49,8 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     let mut json_path = None;
     let mut trace_path: Option<String> = None;
     let mut trace_level: Option<TraceLevel> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_level: Option<MetricsLevel> = None;
     let mut ids = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -89,6 +99,15 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                     }
                 });
             }
+            "--metrics" => {
+                metrics_path = Some(it.next().ok_or("--metrics needs a path")?);
+            }
+            "--metrics-level" => {
+                let v = it.next().ok_or("--metrics-level needs a value")?;
+                metrics_level = Some(MetricsLevel::from_name(&v).ok_or_else(|| {
+                    format!("--metrics-level: expected off, core, or full, got {v:?}")
+                })?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -105,10 +124,18 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         (None, Some(_)) => TraceLevel::Events,
         (None, None) => TraceLevel::Off,
     };
+    // Same rule for metrics: --metrics alone records core counters; an
+    // explicit --metrics-level (even off) always wins.
+    opts.metrics_level = match (metrics_level, &metrics_path) {
+        (Some(level), _) => level,
+        (None, Some(_)) => MetricsLevel::Core,
+        (None, None) => MetricsLevel::Off,
+    };
     Ok(Cli {
         opts,
         json_path,
         trace_path,
+        metrics_path,
         ids,
     })
 }
@@ -175,6 +202,24 @@ fn main() -> ExitCode {
         eprint!("{}", suite.trace.summary());
     }
 
+    if let Some(path) = &cli.metrics_path {
+        match write_metrics(path, &suite.workload) {
+            Ok(()) => eprintln!(
+                "wrote {} metric series to {path}",
+                suite.workload.counters().len()
+                    + suite.workload.gauges().len()
+                    + suite.workload.hists().len()
+            ),
+            Err(err) => {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !suite.workload.is_empty() {
+        eprint!("{}", suite.workload.summary());
+    }
+
     eprintln!(
         "suite: {} experiments, {} jobs, {} threads, {:.1?}",
         suite.reports.len(),
@@ -213,5 +258,12 @@ fn write_trace(path: &str, trace: &bcc_trace::Trace) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     trace.write_jsonl(&mut w)?;
+    w.flush()
+}
+
+fn write_metrics(path: &str, dump: &bcc_metrics::MetricsDump) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    dump.write_jsonl(&mut w)?;
     w.flush()
 }

@@ -1,0 +1,112 @@
+//! The workload-metrics contract: metering is a pure observer over
+//! deterministic quantities.
+//!
+//! Four invariants, all load-bearing for the regression story behind
+//! `bcc-report --check`:
+//!
+//! 1. turning metrics on does not change a single report byte;
+//! 2. the merged dump is byte-identical across thread counts — every
+//!    recorded quantity is logical (bits, rounds, lookups), never a
+//!    clock reading or a schedule artefact;
+//! 3. re-running the same seed reproduces the dump exactly;
+//! 4. every dump round-trips through the JSONL codec, and the level
+//!    ladder behaves (`off` ⊂ `core` ⊂ `full`).
+
+use bcc_experiments::{run_suite, SuiteOptions};
+use bcc_metrics::{MetricsDump, MetricsLevel};
+
+fn opts(threads: usize, level: MetricsLevel) -> SuiteOptions {
+    SuiteOptions {
+        quick: true,
+        threads,
+        metrics_level: level,
+        ..Default::default()
+    }
+}
+
+const IDS: [&str; 5] = ["f1", "e1", "e2", "e4", "e5"];
+
+#[test]
+fn metering_never_changes_report_bytes() {
+    let off = run_suite(&IDS, &opts(2, MetricsLevel::Off)).expect("known ids");
+    let on = run_suite(&IDS, &opts(2, MetricsLevel::Core)).expect("known ids");
+    assert!(off.workload.is_empty());
+    assert!(!on.workload.is_empty());
+    assert_eq!(off.reports.len(), on.reports.len());
+    for (a, b) in off.reports.iter().zip(&on.reports) {
+        assert_eq!(
+            a.text, b.text,
+            "report {} changed under metering",
+            a.experiment
+        );
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn merged_dump_is_identical_across_thread_counts() {
+    let serial = run_suite(&IDS, &opts(1, MetricsLevel::Full)).expect("known ids");
+    let parallel = run_suite(&IDS, &opts(8, MetricsLevel::Full)).expect("known ids");
+    assert_eq!(
+        serial.workload.to_jsonl_string(),
+        parallel.workload.to_jsonl_string(),
+        "dump differs between 1 and 8 threads"
+    );
+}
+
+#[test]
+fn same_seed_reruns_reproduce_the_dump() {
+    let a = run_suite(&IDS, &opts(4, MetricsLevel::Core)).expect("known ids");
+    let b = run_suite(&IDS, &opts(4, MetricsLevel::Core)).expect("known ids");
+    assert_eq!(a.workload.to_jsonl_string(), b.workload.to_jsonl_string());
+}
+
+#[test]
+fn dump_round_trips_through_jsonl() {
+    let run = run_suite(&IDS, &opts(2, MetricsLevel::Full)).expect("known ids");
+    let text = run.workload.to_jsonl_string();
+    let parsed = MetricsDump::parse_jsonl(&text).expect("own dump parses");
+    assert_eq!(parsed.to_jsonl_string(), text, "codec round trip");
+    assert_eq!(parsed.counters(), run.workload.counters());
+    assert_eq!(parsed.units(), run.workload.units());
+}
+
+#[test]
+fn level_ladder_off_core_full() {
+    let off = run_suite(&IDS, &opts(2, MetricsLevel::Off)).expect("known ids");
+    let core = run_suite(&IDS, &opts(2, MetricsLevel::Core)).expect("known ids");
+    let full = run_suite(&IDS, &opts(2, MetricsLevel::Full)).expect("known ids");
+
+    assert!(off.workload.is_empty());
+    assert_eq!(off.workload.level(), MetricsLevel::Off);
+
+    // Core records counters and gauges but no histograms.
+    assert!(!core.workload.counters().is_empty());
+    assert!(core.workload.hists().is_empty());
+
+    // Full keeps every core counter at the same value and adds
+    // histogram series on top.
+    assert!(!full.workload.hists().is_empty());
+    for (name, v) in core.workload.counters() {
+        assert_eq!(
+            full.workload.counter(name),
+            Some(*v),
+            "core counter {name} drifted at full level"
+        );
+    }
+
+    // The dump carries real experiment quantities.
+    for name in [
+        "suite.jobs",
+        "e1.pieces",
+        "e2.structure_rows",
+        "f1.crossings",
+        "comm.protocol_runs",
+        "comm.bits_exchanged",
+    ] {
+        assert!(
+            core.workload.counter(name).unwrap_or(0) > 0,
+            "expected {name} in the core dump"
+        );
+    }
+}

@@ -113,10 +113,11 @@ pub fn degeneracy(g: &Graph) -> usize {
     let mut removed = vec![false; n];
     let mut best = 0;
     for _ in 0..n {
-        let v = (0..n)
-            .filter(|&v| !removed[v])
-            .min_by_key(|&v| deg[v])
-            .expect("an unremoved vertex exists");
+        // One vertex is removed per pass, so a minimum always exists;
+        // the guard keeps this loop panic-free regardless.
+        let Some(v) = (0..n).filter(|&v| !removed[v]).min_by_key(|&v| deg[v]) else {
+            break;
+        };
         best = best.max(deg[v]);
         removed[v] = true;
         for &w in g.neighbors(v) {

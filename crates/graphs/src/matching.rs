@@ -240,8 +240,11 @@ pub fn k_matching(g: &BipartiteGraph, k: usize) -> Option<KMatching> {
         return None;
     }
     let mut assignments = vec![Vec::with_capacity(k); g.left];
+    // The size check above guarantees every clone is matched.
     for (cl, r) in m.pair_left.iter().enumerate() {
-        assignments[cl / k].push(r.expect("perfect matching"));
+        if let Some(r) = r {
+            assignments[cl / k].push(*r);
+        }
     }
     Some(KMatching { k, assignments })
 }

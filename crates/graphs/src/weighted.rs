@@ -58,8 +58,8 @@ impl WeightedGraph {
         let mut out = WeightedGraph::new(g.num_vertices());
         for e in g.edges() {
             let w = hashed_weight(e.u, e.v, g.num_vertices(), seed);
-            out.add_edge(e.u, e.v, w)
-                .expect("edges valid in source graph");
+            let inserted = out.add_edge(e.u, e.v, w);
+            debug_assert!(inserted.is_ok(), "edges valid in source graph");
         }
         out
     }

@@ -31,6 +31,13 @@
 //!   type or calling `write_event` directly would bypass the
 //!   `(unit, seq)` merge that makes traces byte-identical across
 //!   thread counts.
+//! * **O2** — metric emission hygiene, O1's twin for `bcc-metrics`:
+//!   outside `crates/metrics`, rendered metric bytes exist only
+//!   through the `MetricsHub` → `MetricsDump` facade
+//!   (`MetricsDump::write_jsonl`/`summary`). Naming a metrics sink
+//!   type or calling `write_metric` directly would bypass the
+//!   commutative per-unit merge that makes dumps byte-identical
+//!   across thread counts.
 //!
 //! [`Report`]: https://docs.rs/bcc-experiments
 
@@ -63,9 +70,10 @@ pub struct Workspace {
 }
 
 /// Crates whose non-test code feeds experiment reports: the D1 scope.
-/// `crates/trace` is included because merged traces carry the same
-/// byte-identity guarantee as reports.
-pub const D1_PATHS: [&str; 7] = [
+/// `crates/trace` and `crates/metrics` are included because merged
+/// traces and metric dumps carry the same byte-identity guarantee as
+/// reports.
+pub const D1_PATHS: [&str; 8] = [
     "crates/experiments/",
     "crates/runner/",
     "crates/partitions/",
@@ -73,6 +81,7 @@ pub const D1_PATHS: [&str; 7] = [
     "crates/info/",
     "crates/trace/",
     "crates/engine/",
+    "crates/metrics/",
 ];
 
 /// Crates allowed to read clocks: the runner owns deadlines, latency
@@ -91,6 +100,15 @@ pub const O1_EXEMPT: &str = "crates/trace/";
 /// one means trace events reach bytes without the deterministic
 /// `Collector` merge.
 pub const O1_FORBIDDEN: [&str; 4] = ["JsonlSink", "SummarySink", "NullSink", "write_event"];
+
+/// The only crate allowed to touch metric sinks directly: the O2
+/// exemption.
+pub const O2_EXEMPT: &str = "crates/metrics/";
+
+/// Sink-layer names forbidden outside `crates/metrics` by O2: naming
+/// one means metric records reach bytes without the commutative
+/// `MetricsHub` merge.
+pub const O2_FORBIDDEN: [&str; 3] = ["MetricsJsonlSink", "MetricsSummarySink", "write_metric"];
 
 /// `bcc_model` items a protocol module must not name: everything that
 /// exists outside a single node's KT-0/KT-1 view.
@@ -114,6 +132,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
         rule_p1(file, &mut out);
         rule_k1(file, &mut out);
         rule_o1(file, &mut out);
+        rule_o2(file, &mut out);
     }
     rule_r1(ws, &mut out);
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
@@ -294,6 +313,32 @@ fn rule_o1(file: &SourceFile, out: &mut Vec<Finding>) {
                     "`{}` bypasses the Collector merge: emit trace bytes only \
                      through `Trace::write_jsonl`/`Trace::summary` so traces \
                      stay byte-identical across thread counts",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// O2: metric bytes only via the MetricsHub → MetricsDump facade.
+fn rule_o2(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.path.starts_with(O2_EXEMPT) {
+        return;
+    }
+    for t in file.code() {
+        if t.kind == TokKind::Ident
+            && O2_FORBIDDEN.contains(&t.text.as_str())
+            && !file.is_test_line(t.line)
+        {
+            emit(
+                file,
+                out,
+                "O2",
+                t.line,
+                format!(
+                    "`{}` bypasses the MetricsHub merge: emit metric bytes only \
+                     through `MetricsDump::write_jsonl`/`MetricsDump::summary` \
+                     so dumps stay byte-identical across thread counts",
                     t.text
                 ),
             );

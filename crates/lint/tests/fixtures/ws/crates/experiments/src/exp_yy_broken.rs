@@ -43,3 +43,15 @@ pub fn suppressed_trace() -> usize {
     let _ = NullSink::default();
     0
 }
+
+pub fn sneaky_metrics(dump: &[u8]) -> usize {
+    let mut sink = MetricsJsonlSink::new(dump); // seeded O2
+    sink.write_metric(0); // seeded O2
+    0
+}
+
+pub fn suppressed_metrics() -> usize {
+    // bcc-lint: allow(O2)
+    let _ = MetricsSummarySink::default();
+    0
+}

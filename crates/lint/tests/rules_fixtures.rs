@@ -94,6 +94,20 @@ fn o1_flags_direct_sink_use_outside_trace_crate() {
 }
 
 #[test]
+fn o2_flags_direct_metric_sink_use_outside_metrics_crate() {
+    let findings = fixture_findings();
+    let o2 = by_rule(&findings, "O2");
+    // `MetricsJsonlSink` + `write_metric` in library code; the
+    // suppressed `MetricsSummarySink` and the one inside `#[cfg(test)]`
+    // code (and the one in a string literal) must not appear.
+    assert_eq!(o2.len(), 2, "{o2:?}");
+    assert!(o2
+        .iter()
+        .all(|f| f.file == "crates/experiments/src/exp_yy_broken.rs"));
+    assert!(o2.iter().all(|f| f.message.contains("MetricsHub")));
+}
+
+#[test]
 fn clean_file_produces_no_findings() {
     let findings = fixture_findings();
     assert!(

@@ -1,0 +1,56 @@
+//! How much a run measures.
+
+/// The recording level of a metrics pipeline.
+///
+/// Mirrors `bcc_trace::TraceLevel`: `Off` turns every recording call
+/// into a cheap early return, `Core` keeps the headline logical
+/// totals (bits, rounds, jobs, cache lookups), and `Full` adds the
+/// per-observation histograms (bits per broadcast, bits per round,
+/// lane occupancy per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum MetricsLevel {
+    /// Record nothing.
+    #[default]
+    Off,
+    /// Record the headline counters and gauges only.
+    Core,
+    /// Record everything, including per-observation histograms.
+    Full,
+}
+
+impl MetricsLevel {
+    /// Parses a CLI-style level name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(MetricsLevel::Off),
+            "core" => Some(MetricsLevel::Core),
+            "full" => Some(MetricsLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricsLevel::Off => "off",
+            MetricsLevel::Core => "core",
+            MetricsLevel::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(MetricsLevel::Off < MetricsLevel::Core);
+        assert!(MetricsLevel::Core < MetricsLevel::Full);
+        for l in [MetricsLevel::Off, MetricsLevel::Core, MetricsLevel::Full] {
+            assert_eq!(MetricsLevel::from_name(l.name()), Some(l));
+        }
+        assert_eq!(MetricsLevel::from_name("verbose"), None);
+        assert_eq!(MetricsLevel::default(), MetricsLevel::Off);
+    }
+}

@@ -4,6 +4,7 @@ use crate::error::ModelError;
 use crate::instance::Instance;
 use crate::program::{Algorithm, Decision, Inbox};
 use crate::symbol::Message;
+use bcc_metrics::MetricScope;
 use bcc_trace::{field, TraceBuf, TraceLevel, TraceScope};
 
 /// The full communication record of one vertex: what it broadcast and
@@ -68,24 +69,27 @@ pub struct RunStats {
 }
 
 /// Counts rounds, bits, and deliveries, and — when the caller asked
-/// for a trace — mirrors the same quantities into round spans and
-/// broadcast/decision events. All RunStats accounting goes through
-/// here, so the statistics a report prints and the events a trace
-/// records can never drift apart.
+/// for a trace or for metrics — mirrors the same quantities into
+/// round spans and broadcast/decision events, and into the `sim.*`
+/// workload metrics. All RunStats accounting goes through here, so
+/// the statistics a report prints, the events a trace records, and
+/// the counters a metrics dump merges can never drift apart.
 ///
 /// Every recorded value is logical (round numbers, node ids, bit
 /// counts); the simulator never reads a clock, so equal-seed runs
-/// produce byte-identical traces.
+/// produce byte-identical traces and dumps.
 struct SimRecorder<'a> {
     trace: &'a mut TraceBuf,
+    metrics: &'a MetricScope,
     stats: RunStats,
     round_bits: usize,
 }
 
 impl<'a> SimRecorder<'a> {
-    fn new(trace: &'a mut TraceBuf) -> Self {
+    fn new(trace: &'a mut TraceBuf, metrics: &'a MetricScope) -> Self {
         SimRecorder {
             trace,
+            metrics,
             stats: RunStats::default(),
             round_bits: 0,
         }
@@ -116,6 +120,7 @@ impl<'a> SimRecorder<'a> {
         let bits = message.bits_used();
         self.stats.bits_broadcast += bits;
         self.round_bits += bits;
+        self.metrics.full_observe("sim.broadcast_bits", bits as u64);
         if self.trace.events_enabled() {
             self.trace.event(
                 "broadcast",
@@ -134,6 +139,8 @@ impl<'a> SimRecorder<'a> {
 
     fn round_end(&mut self, round: usize) {
         self.stats.rounds = round + 1;
+        self.metrics
+            .full_observe("sim.round_bits", self.round_bits as u64);
         if self.trace.events_enabled() {
             self.trace.counter("bits_broadcast", self.round_bits as u64);
         }
@@ -155,6 +162,16 @@ impl<'a> SimRecorder<'a> {
     }
 
     fn run_end(&mut self, completed: bool) -> RunStats {
+        if self.metrics.core_enabled() {
+            let stats = self.stats;
+            // One lock for the whole batch of end-of-run counters.
+            self.metrics.with(|b| {
+                b.counter("sim.runs", 1);
+                b.counter("sim.rounds", stats.rounds as u64);
+                b.counter("sim.bits_broadcast", stats.bits_broadcast as u64);
+                b.counter("sim.messages_delivered", stats.messages_delivered as u64);
+            });
+        }
         if self.trace.spans_enabled() {
             self.trace.span_end(
                 "sim",
@@ -318,17 +335,19 @@ pub struct SimConfig {
     bandwidth: usize,
     record: bool,
     trace: TraceScope,
+    metrics: MetricScope,
 }
 
 impl SimConfig {
     /// A `BCC(1)` configuration with the given round limit,
-    /// transcripts on, tracing off.
+    /// transcripts on, tracing and metrics off.
     pub fn bcc1(max_rounds: usize) -> Self {
         SimConfig {
             max_rounds,
             bandwidth: 1,
             record: true,
             trace: TraceScope::disabled(),
+            metrics: MetricScope::disabled(),
         }
     }
 
@@ -367,6 +386,18 @@ impl SimConfig {
         self
     }
 
+    /// Attaches a metrics destination. Each run adds its aggregate
+    /// statistics to the `sim.*` counters (`sim.runs`, `sim.rounds`,
+    /// `sim.bits_broadcast`, `sim.messages_delivered`) at core level
+    /// and observes per-broadcast and per-round bit histograms
+    /// (`sim.broadcast_bits`, `sim.round_bits`) at full level. Like
+    /// tracing, metrics are a pure observer of logical quantities.
+    #[must_use]
+    pub fn metrics(mut self, scope: MetricScope) -> Self {
+        self.metrics = scope;
+        self
+    }
+
     /// The round limit.
     pub fn max_rounds(&self) -> usize {
         self.max_rounds
@@ -385,6 +416,11 @@ impl SimConfig {
     /// The attached trace scope (disabled by default).
     pub fn trace_scope(&self) -> &TraceScope {
         &self.trace
+    }
+
+    /// The attached metrics scope (disabled by default).
+    pub fn metrics_scope(&self) -> &MetricScope {
+        &self.metrics
     }
 
     /// Runs `algorithm` on `instance` with the given public-coin
@@ -432,7 +468,7 @@ fn run_impl(
         };
         n
     ];
-    let mut recorder = SimRecorder::new(trace);
+    let mut recorder = SimRecorder::new(trace, &cfg.metrics);
     recorder.run_start(n, cfg.bandwidth, cfg.max_rounds, coin_seed);
     let mut all_done = programs.iter().all(|p| p.is_done());
 
@@ -749,6 +785,51 @@ mod tests {
             })
             .sum();
         assert_eq!(counted, plain.stats().bits_broadcast as u64);
+    }
+
+    #[test]
+    fn metered_run_matches_unmetered_outcome() {
+        use bcc_metrics::{MetricsBuf, MetricsLevel};
+        let i = Instance::new_kt0(generators::cycle(5), 3).unwrap();
+        let plain = SimConfig::bcc1(4).run(&i, &EchoBit, 1);
+        let scope = MetricScope::new(MetricsBuf::new(MetricsLevel::Full, "test"));
+        let metered = SimConfig::bcc1(4)
+            .metrics(scope.clone())
+            .run(&i, &EchoBit, 1);
+        // Metrics are an observer: identical outcome.
+        assert_eq!(plain.decisions(), metered.decisions());
+        assert_eq!(plain.stats(), metered.stats());
+        assert!(runs_indistinguishable(&plain, &metered));
+        // The counters equal the stats the report sees.
+        let (counters, _, hists) = scope.take().into_parts();
+        let stats = plain.stats();
+        assert_eq!(counters.get("sim.runs"), Some(&1));
+        assert_eq!(counters.get("sim.rounds"), Some(&(stats.rounds as u64)));
+        assert_eq!(
+            counters.get("sim.bits_broadcast"),
+            Some(&(stats.bits_broadcast as u64))
+        );
+        assert_eq!(
+            counters.get("sim.messages_delivered"),
+            Some(&(stats.messages_delivered as u64))
+        );
+        // Full level: one round_bits sample per round, summing to the
+        // total bits; one broadcast_bits sample per (node, round).
+        let rb = hists.get("sim.round_bits").expect("round_bits hist");
+        assert_eq!(rb.count, stats.rounds as u64);
+        assert_eq!(rb.sum, stats.bits_broadcast as u64);
+        let bb = hists
+            .get("sim.broadcast_bits")
+            .expect("broadcast_bits hist");
+        assert_eq!(bb.count, (5 * stats.rounds) as u64);
+        // Core level drops the histograms but keeps the counters.
+        let core = MetricScope::new(MetricsBuf::new(MetricsLevel::Core, "test"));
+        SimConfig::bcc1(4)
+            .metrics(core.clone())
+            .run(&i, &EchoBit, 1);
+        let (c, _, h) = core.take().into_parts();
+        assert_eq!(c.get("sim.runs"), Some(&1));
+        assert!(h.is_empty());
     }
 
     #[test]

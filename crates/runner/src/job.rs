@@ -8,6 +8,8 @@ use std::time::{Duration, Instant};
 // it now lives in `bcc-trace` so configuration objects in lower-level
 // crates (simulator configs, protocol-driver options) can carry one
 // without depending on the runner. Re-exported for compatibility.
+// `MetricScope` is its metrics twin from `bcc-metrics`.
+pub use bcc_metrics::MetricScope;
 pub use bcc_trace::TraceScope;
 
 /// A shared flag that flips exactly once, from "running" to
@@ -112,6 +114,7 @@ pub struct JobCtx {
     pub(crate) token: CancellationToken,
     pub(crate) deadline: Option<Instant>,
     pub(crate) trace: TraceScope,
+    pub(crate) metrics: MetricScope,
 }
 
 impl JobCtx {
@@ -124,6 +127,7 @@ impl JobCtx {
             token: CancellationToken::new(),
             deadline: None,
             trace: TraceScope::disabled(),
+            metrics: MetricScope::disabled(),
         }
     }
 
@@ -131,6 +135,14 @@ impl JobCtx {
     /// unless the run went through a traced pool entry point.
     pub fn trace(&self) -> &TraceScope {
         &self.trace
+    }
+
+    /// The job's metrics scope. Disabled (every call a cheap no-op)
+    /// unless the run went through an observed pool entry point with
+    /// a live [`MetricsHub`](bcc_metrics::MetricsHub). Only logical
+    /// quantities may be recorded here — never clock readings.
+    pub fn metrics(&self) -> &MetricScope {
+        &self.metrics
     }
 
     /// True once the job's deadline passed or the run was cancelled.
@@ -205,6 +217,7 @@ impl<T> Job<T> {
             &CancellationToken::new(),
             &crate::Metrics::new(),
             &TraceScope::disabled(),
+            &MetricScope::disabled(),
         )
     }
 }

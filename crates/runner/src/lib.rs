@@ -8,7 +8,8 @@ pub mod metrics;
 pub mod pool;
 
 pub use job::{
-    CancellationToken, Job, JobCtx, JobError, JobResult, JobSpec, JobStatus, TraceScope,
+    CancellationToken, Job, JobCtx, JobError, JobResult, JobSpec, JobStatus, MetricScope,
+    TraceScope,
 };
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use pool::Pool;

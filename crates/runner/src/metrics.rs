@@ -1,124 +1,19 @@
-//! Run observability: atomic counters and a fixed-bucket latency
-//! histogram, safe to record into from any number of workers.
+//! Run profiling: atomic scheduler counters and the wall-clock
+//! latency histogram, safe to record into from any number of workers.
+//!
+//! This is the runner's *profiling* side — scheduling outcomes and
+//! wall-clock latencies, which depend on the machine and the thread
+//! schedule. The *deterministic* workload metrics (bits, rounds,
+//! cache lookups) live in `bcc-metrics` and flow through
+//! [`MetricsHub`](bcc_metrics::MetricsHub) instead; the two must not
+//! mix, because a deterministic dump may not contain anything a clock
+//! or a scheduler decided. The histogram implementation itself is
+//! shared: [`Histogram`]/[`HistogramSnapshot`] are `bcc-metrics`
+//! types, re-exported here for compatibility.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-/// Number of power-of-two latency buckets; bucket `i` covers
-/// `[2^i, 2^{i+1})` microseconds (bucket 0 additionally includes 0),
-/// so the top bucket starts at ~9.1 hours — effectively unbounded.
-pub const NUM_BUCKETS: usize = 45;
-
-/// A concurrent fixed-bucket log₂ histogram of microsecond latencies.
-///
-/// All operations are lock-free single atomics; `record` never loses
-/// or double-counts a sample regardless of contention (each sample is
-/// exactly one `fetch_add` on exactly one bucket plus the aggregates).
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; NUM_BUCKETS],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_micros: AtomicU64::new(0),
-            max_micros: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bucket_index(micros: u64) -> usize {
-        if micros == 0 {
-            0
-        } else {
-            (micros.ilog2() as usize).min(NUM_BUCKETS - 1)
-        }
-    }
-
-    /// Records one latency sample.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy (exact once recording has quiesced).
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let mut buckets = [0u64; NUM_BUCKETS];
-        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
-            *out = b.load(Ordering::Relaxed);
-        }
-        HistogramSnapshot {
-            buckets,
-            count: self.count.load(Ordering::Relaxed),
-            sum_micros: self.sum_micros.load(Ordering::Relaxed),
-            max_micros: self.max_micros.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Immutable copy of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HistogramSnapshot {
-    /// Per-bucket sample counts.
-    pub buckets: [u64; NUM_BUCKETS],
-    /// Total samples.
-    pub count: u64,
-    /// Sum of all samples in microseconds.
-    pub sum_micros: u64,
-    /// Largest sample in microseconds.
-    pub max_micros: u64,
-}
-
-impl HistogramSnapshot {
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_micros as f64 / self.count as f64
-        }
-    }
-
-    /// Upper edge (µs) of the bucket containing the `q`-quantile
-    /// (`0.0 < q <= 1.0`); 0 when empty. Bucketed, so an upper bound
-    /// within 2× of the true quantile.
-    ///
-    /// The edge is clamped to the recorded maximum: a bucket's upper
-    /// edge can overshoot every sample in it (a lone 5µs sample lands
-    /// in `[4, 8)`, edge 8), which used to render nonsense like
-    /// `p50<= 8us  max 5us` whenever only one bucket was populated.
-    /// `max_micros` is itself an upper bound on every sample, so the
-    /// clamp only ever tightens the estimate.
-    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (1u64 << (i + 1)).min(self.max_micros);
-            }
-        }
-        self.max_micros
-    }
-}
+pub use bcc_metrics::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 
 /// Counters for everything the pool does, plus the latency histogram.
 #[derive(Debug, Default)]
@@ -200,7 +95,7 @@ pub struct MetricsSnapshot {
     pub panicked: u64,
     /// Jobs a worker stole from another worker's shard.
     pub stolen: u64,
-    /// Latency histogram snapshot.
+    /// Latency histogram snapshot (microsecond samples).
     pub latency: HistogramSnapshot,
 }
 
@@ -229,11 +124,11 @@ impl MetricsSnapshot {
         ));
         out.push_str(&format!(
             "latency   mean {}  p50<= {}  p90<= {}  p99<= {}  max {}\n",
-            fmt_us(l.mean_micros() as u64),
-            fmt_us(l.quantile_upper_micros(0.50)),
-            fmt_us(l.quantile_upper_micros(0.90)),
-            fmt_us(l.quantile_upper_micros(0.99)),
-            fmt_us(l.max_micros),
+            fmt_us(l.mean() as u64),
+            fmt_us(l.quantile_upper(0.50)),
+            fmt_us(l.quantile_upper(0.90)),
+            fmt_us(l.quantile_upper(0.99)),
+            fmt_us(l.max),
         ));
         out
     }
@@ -241,24 +136,15 @@ impl MetricsSnapshot {
     /// This snapshot as one JSONL record (`"type":"metrics"`), the
     /// final line of a `--json` run. Key order is fixed; the output
     /// contains only plain JSON numbers, so the record is stable
-    /// byte-for-byte for equal snapshots.
+    /// byte-for-byte for equal snapshots. The latency object is the
+    /// shared [`HistogramSnapshot`] schema with the `_us` unit suffix.
     pub fn to_jsonl(&self) -> String {
-        let l = &self.latency;
-        let mean = l.mean_micros();
-        // `{:?}` keeps a trailing `.0` on integral floats so the value
-        // stays a JSON number; mean of finite sums is always finite.
-        let mean_json = if mean.is_finite() {
-            format!("{mean:?}")
-        } else {
-            "null".to_string()
-        };
         format!(
             concat!(
                 "{{\"type\":\"metrics\",\"scheduled\":{},\"completed\":{},",
                 "\"failed\":{},\"retried\":{},\"timed_out\":{},",
                 "\"cancelled\":{},\"panicked\":{},\"stolen\":{},",
-                "\"latency\":{{\"count\":{},\"mean_us\":{},\"p50_le_us\":{},",
-                "\"p90_le_us\":{},\"p99_le_us\":{},\"max_us\":{}}}}}"
+                "\"latency\":{}}}"
             ),
             self.scheduled,
             self.completed,
@@ -268,12 +154,7 @@ impl MetricsSnapshot {
             self.cancelled,
             self.panicked,
             self.stolen,
-            l.count,
-            mean_json,
-            l.quantile_upper_micros(0.50),
-            l.quantile_upper_micros(0.90),
-            l.quantile_upper_micros(0.99),
-            l.max_micros,
+            self.latency.to_json("_us"),
         )
     }
 }
@@ -281,61 +162,7 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bucket_edges() {
-        assert_eq!(Histogram::bucket_index(0), 0);
-        assert_eq!(Histogram::bucket_index(1), 0);
-        assert_eq!(Histogram::bucket_index(2), 1);
-        assert_eq!(Histogram::bucket_index(3), 1);
-        assert_eq!(Histogram::bucket_index(4), 2);
-        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
-    }
-
-    #[test]
-    fn record_and_quantiles() {
-        let h = Histogram::new();
-        for us in [1u64, 2, 4, 8, 1000, 100_000] {
-            h.record(Duration::from_micros(us));
-        }
-        let s = h.snapshot();
-        assert_eq!(s.count, 6);
-        assert_eq!(s.sum_micros, 101_015);
-        assert_eq!(s.max_micros, 100_000);
-        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
-        assert!(s.quantile_upper_micros(1.0) >= 100_000);
-        assert!(s.quantile_upper_micros(0.5) <= 16);
-    }
-
-    #[test]
-    fn single_bucket_quantiles_clamp_to_max() {
-        // One populated bucket: every percentile is the one bucket,
-        // whose raw edge (8) overshoots the only samples (5µs).
-        let h = Histogram::new();
-        h.record(Duration::from_micros(5));
-        h.record(Duration::from_micros(5));
-        let s = h.snapshot();
-        for q in [0.5, 0.9, 0.99, 1.0] {
-            assert_eq!(s.quantile_upper_micros(q), 5, "q={q}");
-        }
-    }
-
-    #[test]
-    fn quantiles_stay_upper_bounds_and_monotone() {
-        let h = Histogram::new();
-        for us in [3u64, 5, 6, 120] {
-            h.record(Duration::from_micros(us));
-        }
-        let s = h.snapshot();
-        let (p50, p90, p100) = (
-            s.quantile_upper_micros(0.5),
-            s.quantile_upper_micros(0.9),
-            s.quantile_upper_micros(1.0),
-        );
-        assert!(p50 >= 5, "p50={p50}"); // true median is 5
-        assert!(p50 <= p90 && p90 <= p100);
-        assert_eq!(p100, 120); // clamped to max, not bucket edge 128
-    }
+    use std::time::Duration;
 
     #[test]
     fn jsonl_record_shape() {
@@ -350,6 +177,17 @@ mod tests {
         assert!(rec.contains("\"latency\":{\"count\":1,\"mean_us\":100.0"));
         assert!(rec.contains("\"max_us\":100"));
         assert!(!rec.contains('\n'));
+    }
+
+    #[test]
+    fn empty_latency_jsonl_is_all_zero() {
+        // Satellite pin: the empty histogram renders zeros (not NaN,
+        // not nulls) through the shared schema.
+        let rec = Metrics::new().snapshot().to_jsonl();
+        assert!(rec.contains(
+            "\"latency\":{\"count\":0,\"mean_us\":0.0,\"p50_le_us\":0,\
+             \"p90_le_us\":0,\"p99_le_us\":0,\"max_us\":0}"
+        ));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::job::{CancellationToken, Job, JobCtx, JobError, JobResult, JobStatus, TraceScope};
 use crate::metrics::Metrics;
+use bcc_metrics::{MetricScope, MetricsHub};
 use bcc_trace::{field, Collector};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -88,6 +89,28 @@ impl Pool {
         token: &CancellationToken,
         collector: &Collector,
     ) -> Vec<JobResult<T>> {
+        self.execute_observed(jobs, token, collector, &MetricsHub::disabled())
+    }
+
+    /// Like [`execute_traced`](Self::execute_traced), with per-job
+    /// workload metrics: every job gets a metrics buffer (unit = job
+    /// id) that collects whatever the work closure records through
+    /// [`JobCtx::metrics`] plus the runner's own logical outcome
+    /// counters (`runner.jobs`, `runner.completed`, `runner.retries`,
+    /// …), and finished buffers are absorbed into `hub`.
+    ///
+    /// Everything recorded into the hub is logical — outcome counts
+    /// and attempt counts, never latencies and never the (schedule-
+    /// dependent) steal count, so the merged dump is byte-identical
+    /// across `--jobs 1` and `--jobs 8`. Wall-clock profiling stays
+    /// on the pool's own [`Metrics`].
+    pub fn execute_observed<T: Send>(
+        &self,
+        jobs: Vec<Job<T>>,
+        token: &CancellationToken,
+        collector: &Collector,
+        hub: &MetricsHub,
+    ) -> Vec<JobResult<T>> {
         let num_jobs = jobs.len();
         if num_jobs == 0 {
             return Vec::new();
@@ -105,7 +128,7 @@ impl Pool {
                         self.metrics.inc_cancelled();
                         cancelled_result(job)
                     } else {
-                        run_traced_job(job, token, &self.metrics, collector)
+                        run_observed_job(job, token, &self.metrics, collector, hub)
                     }
                 })
                 .collect();
@@ -158,7 +181,7 @@ impl Pool {
                             metrics.inc_cancelled();
                             cancelled_result(&job)
                         } else {
-                            run_traced_job(&job, &token, metrics, collector)
+                            run_observed_job(&job, &token, metrics, collector, hub)
                         };
                         if tx.send((idx, result)).is_err() {
                             break; // collector went away (shouldn't happen)
@@ -213,14 +236,17 @@ fn cancelled_result<T>(job: &Job<T>) -> JobResult<T> {
     }
 }
 
-/// Runs one job inside a fresh trace buffer: opens the `job` span,
-/// executes, closes the span with the terminal status, absorbs the
-/// buffer. Everything the span records is logical — no clock values.
-fn run_traced_job<T>(
+/// Runs one job inside a fresh trace buffer and a fresh metrics
+/// buffer: opens the `job` span, executes, closes the span with the
+/// terminal status, books the runner's logical outcome counters, and
+/// absorbs both buffers. Everything recorded is logical — no clock
+/// values.
+fn run_observed_job<T>(
     job: &Job<T>,
     run_token: &CancellationToken,
     metrics: &Metrics,
     collector: &Collector,
+    hub: &MetricsHub,
 ) -> JobResult<T> {
     let mut buf = collector.buf(job.spec.id.clone());
     buf.span_start(
@@ -231,7 +257,13 @@ fn run_traced_job<T>(
         ],
     );
     let scope = TraceScope::new(buf);
-    let result = run_job(job, run_token, metrics, &scope);
+    // Off-mode pays one shared Arc clone, never a per-job allocation.
+    let mscope = if hub.enabled() {
+        MetricScope::new(hub.buf(job.spec.id.clone()))
+    } else {
+        MetricScope::disabled()
+    };
+    let result = run_job(job, run_token, metrics, &scope, &mscope);
     let mut buf = scope.take();
     buf.span_end(
         "job",
@@ -241,6 +273,15 @@ fn run_traced_job<T>(
         ],
     );
     collector.absorb(buf);
+    if hub.enabled() {
+        let mut mbuf = mscope.take();
+        mbuf.counter("runner.jobs", 1);
+        mbuf.counter(&format!("runner.{}", result.status.tag()), 1);
+        if result.attempts > 1 {
+            mbuf.counter("runner.retries", u64::from(result.attempts - 1));
+        }
+        hub.absorb(mbuf);
+    }
     result
 }
 
@@ -251,6 +292,7 @@ pub(crate) fn run_job<T>(
     run_token: &CancellationToken,
     metrics: &Metrics,
     trace: &TraceScope,
+    metric_scope: &MetricScope,
 ) -> JobResult<T> {
     let started = Instant::now();
     let deadline = job.spec.timeout.map(|t| started + t);
@@ -263,6 +305,7 @@ pub(crate) fn run_job<T>(
             token: run_token.clone(),
             deadline,
             trace: trace.clone(),
+            metrics: metric_scope.clone(),
         };
         let overdue = || deadline.is_some_and(|d| Instant::now() >= d);
         let outcome = catch_unwind(AssertUnwindSafe(|| (job.work)(&ctx)));

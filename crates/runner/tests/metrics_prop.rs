@@ -34,8 +34,8 @@ proptest! {
         // per-bucket sum, and every counter agree exactly.
         prop_assert_eq!(snap.latency.count, n);
         prop_assert_eq!(snap.latency.buckets.iter().sum::<u64>(), n);
-        prop_assert_eq!(snap.latency.sum_micros, latencies.iter().sum::<u64>());
-        prop_assert_eq!(snap.latency.max_micros, *latencies.iter().max().unwrap());
+        prop_assert_eq!(snap.latency.sum, latencies.iter().sum::<u64>());
+        prop_assert_eq!(snap.latency.max, *latencies.iter().max().unwrap());
         prop_assert_eq!(snap.completed, n);
         prop_assert_eq!(snap.scheduled, n);
         prop_assert_eq!(snap.failed, 0);
@@ -50,14 +50,14 @@ proptest! {
             metrics.latency.record(Duration::from_micros(us));
         }
         let snap = metrics.snapshot();
-        let p100 = snap.latency.quantile_upper_micros(1.0);
+        let p100 = snap.latency.quantile_upper(1.0);
         // The p100 upper bound must dominate every recorded sample.
         for &us in &latencies {
             prop_assert!(p100 >= us, "p100 bound {} below sample {}", p100, us);
         }
         // Quantile upper bounds are monotone in q.
-        let p50 = snap.latency.quantile_upper_micros(0.5);
-        let p90 = snap.latency.quantile_upper_micros(0.9);
+        let p50 = snap.latency.quantile_upper(0.5);
+        let p90 = snap.latency.quantile_upper(0.9);
         prop_assert!(p50 <= p90 && p90 <= p100);
     }
 }
