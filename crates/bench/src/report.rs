@@ -228,6 +228,7 @@ pub fn render_markdown(inputs: &Inputs, failures: &[String]) -> String {
                 );
             }
         }
+        render_serve_section(dump, &mut md);
     }
     if let Some(trace) = &inputs.trace {
         let _ = writeln!(
@@ -258,6 +259,47 @@ pub fn render_markdown(inputs: &Inputs, failures: &[String]) -> String {
         }
     }
     md
+}
+
+/// Renders the `## Service` section when the dump came from a
+/// `bcc-serve` daemon (any `serve.*` counter present): the admission
+/// headline, every service counter, and the queue-depth histogram.
+fn render_serve_section(dump: &MetricsDump, md: &mut String) {
+    let serve: Vec<(&String, &u64)> = dump
+        .counters()
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve."))
+        .collect();
+    if serve.is_empty() {
+        return;
+    }
+    let head = |name: &str| dump.counter(name).unwrap_or(0);
+    let _ = writeln!(
+        md,
+        "\n## Service\n\n{} accepted · {} rejected · {} completed · \
+         {} cancelled · {} drained\n",
+        head("serve.accepted"),
+        head("serve.rejected"),
+        head("serve.completed"),
+        head("serve.cancelled"),
+        head("serve.drained"),
+    );
+    md.push_str("| service counter | value |\n|---|---:|\n");
+    for (name, value) in serve {
+        let _ = writeln!(md, "| `{name}` | {value} |");
+    }
+    if let Some(h) = dump.hists().get("serve.queue.depth") {
+        let _ = writeln!(
+            md,
+            "\nqueue depth at admission: {} samples · mean {:.2} · \
+             p50≤{} · p90≤{} · max {}",
+            h.count,
+            h.mean(),
+            h.quantile_upper(0.50),
+            h.quantile_upper(0.90),
+            h.max
+        );
+    }
 }
 
 /// Renders the merged report as one JSON object.
@@ -433,6 +475,34 @@ mod tests {
         assert!(md.contains("all checks passed"));
         let md_fail = render_markdown(&inputs, &["boom".to_string()]);
         assert!(md_fail.contains("**FAIL** boom"));
+    }
+
+    #[test]
+    fn serve_section_renders_only_for_daemon_dumps() {
+        let hub = MetricsHub::new(MetricsLevel::Core);
+        let mut buf = hub.buf("serve/sched");
+        buf.counter("serve.accepted", 2);
+        buf.counter("serve.rejected", 1);
+        buf.counter("serve.completed", 2);
+        buf.observe("serve.queue.depth", 1);
+        buf.observe("serve.queue.depth", 2);
+        hub.absorb(buf);
+        let inputs = Inputs {
+            metrics: Some(hub.finish()),
+            ..Default::default()
+        };
+        let md = render_markdown(&inputs, &[]);
+        assert!(md.contains("## Service"));
+        assert!(md.contains("2 accepted · 1 rejected · 2 completed · 0 cancelled · 0 drained"));
+        assert!(md.contains("| `serve.accepted` | 2 |"));
+        assert!(md.contains("queue depth at admission: 2 samples"));
+
+        // A workload dump without serve.* counters gets no section.
+        let plain = Inputs {
+            metrics: Some(dump_with(&[("sim.runs", 7)])),
+            ..Default::default()
+        };
+        assert!(!render_markdown(&plain, &[]).contains("## Service"));
     }
 
     #[test]

@@ -150,6 +150,23 @@ impl ArtifactStore {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Total lookups so far (hits + misses). Unlike the hit/miss
+    /// split — which depends on what earlier runs left in a shared
+    /// store — the lookup count is a pure function of the work
+    /// performed, so it is the quantity deterministic metrics record.
+    pub fn lookups(&self) -> u64 {
+        self.hits
+            .load(Ordering::Relaxed)
+            .saturating_add(self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of artifacts currently memoized in memory. For a
+    /// long-lived owner (the `bcc-serve` daemon) this is the warm-set
+    /// size shared across all requests.
+    pub fn entries(&self) -> u64 {
+        self.lock_memo().len() as u64
+    }
+
     /// Returns the cached value for `key`, computing and storing it on
     /// a miss. The value is the payload's lines, without the header.
     pub fn get_or_compute(
@@ -253,6 +270,8 @@ mod tests {
         let v2 = store.get_or_compute(&key, || unreachable!("must hit"));
         assert_eq!(v1, v2);
         assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert_eq!(store.lookups(), 2);
+        assert_eq!(store.entries(), 1);
     }
 
     #[test]

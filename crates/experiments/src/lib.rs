@@ -193,6 +193,110 @@ pub struct SuiteRun {
     pub workload: MetricsDump,
 }
 
+/// A reduce over missing shards (timed out, failed, panicked,
+/// cancelled) can pass vacuously — an empty table satisfies every
+/// "all rows ..." check. Surface the loss as a failing check so a
+/// partial report can never read as a clean pass.
+fn degrade_partial(mut report: Report, completed: usize, scheduled: usize) -> Report {
+    if completed < scheduled {
+        report
+            .checks
+            .push((format!("all {scheduled} jobs completed"), false));
+        report.passed = false;
+        report.text.push_str(&format!(
+            "!! only {completed}/{scheduled} jobs completed — partial report\n"
+        ));
+    }
+    report
+}
+
+/// One registry-dispatched run request: what a caller that owns its
+/// own pool (the `bcc-serve` daemon, a test harness) submits instead
+/// of going through [`run_suite`]. The request is fully described by
+/// logical parameters, so the reduced report is a pure function of
+/// `(id, quick, seed)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRequest {
+    /// Experiment id (`"e2"`, …).
+    pub id: String,
+    /// Trim instance sizes.
+    pub quick: bool,
+    /// Suite seed every per-job seed derives from.
+    pub seed: u64,
+    /// Optional per-job wall-clock deadline.
+    pub timeout: Option<Duration>,
+}
+
+impl RunRequest {
+    /// A quick-profile request with the given id and seed.
+    pub fn new(id: impl Into<String>, quick: bool, seed: u64) -> Self {
+        RunRequest {
+            id: id.into(),
+            quick,
+            seed,
+            timeout: None,
+        }
+    }
+}
+
+/// The outcome of [`run_on_pool`]: the reduced (possibly degraded)
+/// report plus the shard accounting a scheduler needs for its own
+/// bookkeeping.
+#[derive(Debug)]
+pub struct PoolRun {
+    /// The reduced report (partial-shard loss already surfaced).
+    pub report: Report,
+    /// Shards scheduled for this request.
+    pub scheduled: usize,
+    /// Shards that completed with an output.
+    pub completed: usize,
+    /// Shards reported cancelled (drain, token, or deadline path).
+    pub cancelled: usize,
+}
+
+/// Runs one experiment by id on a caller-owned pool — the
+/// registry-driven submission path a long-lived service schedules
+/// through. Unlike [`run_suite`], the pool, cancellation token,
+/// trace collector, and metrics hub all belong to the caller and
+/// outlive the request, so repeat submissions share one warm
+/// process-wide [`cache`] store and one merged observability stream.
+///
+/// # Errors
+///
+/// Returns [`UnknownExperiment`] for an id outside the registry;
+/// admission layers should reject such requests without scheduling.
+pub fn run_on_pool(
+    req: &RunRequest,
+    pool: &bcc_runner::Pool,
+    token: &bcc_runner::CancellationToken,
+    collector: &Collector,
+    hub: &MetricsHub,
+) -> Result<PoolRun, UnknownExperiment> {
+    let jobs = jobs_for(&req.id, req.quick, req.seed)?;
+    let runner_jobs: Vec<bcc_runner::Job<JobOutput>> = jobs
+        .into_iter()
+        .map(|j| j.into_runner_job(req.timeout))
+        .collect();
+    let results = pool.execute_observed(runner_jobs, token, collector, hub);
+    let scheduled = results.len();
+    let cancelled = results
+        .iter()
+        .filter(|r| matches!(r.status, bcc_runner::JobStatus::Cancelled))
+        .count();
+    let outputs: Vec<JobOutput> = results
+        .into_iter()
+        .filter_map(|r| r.status.into_output())
+        .collect();
+    let completed = outputs.len();
+    let report = degrade_partial(reduce_for(&req.id, outputs)?, completed, scheduled);
+    Ok(PoolRun {
+        report,
+        scheduled,
+        completed,
+        cancelled,
+    })
+}
+
 /// Runs a set of experiments through one shared pool.
 ///
 /// All shards of all requested experiments are flattened into a
@@ -216,7 +320,7 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
     let collector = Collector::new(opts.trace_level);
     let hub = MetricsHub::new(opts.metrics_level);
     let store = cache::store();
-    let lookups_before = store.hits() + store.misses();
+    let lookups_before = store.lookups();
     let job_results = pool.execute_observed(
         runner_jobs,
         &bcc_runner::CancellationToken::new(),
@@ -232,10 +336,7 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         let mut buf = hub.buf("suite");
         buf.counter("suite.experiments", ids.len() as u64);
         buf.counter("suite.jobs", job_results.len() as u64);
-        buf.counter(
-            "cache.lookups",
-            store.hits() + store.misses() - lookups_before,
-        );
+        buf.counter("cache.lookups", store.lookups() - lookups_before);
         hub.absorb(buf);
     }
 
@@ -247,25 +348,12 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
             .filter(|o| o.experiment == *id)
             .cloned()
             .collect();
-        let completed = outputs.len();
-        let mut report = reduce_for(id, outputs)?;
-        // A reduce over missing shards (timed out, failed, panicked)
-        // can pass vacuously — an empty table satisfies every "all
-        // rows ..." check. Surface the loss as a failing check so a
-        // partial report can never read as a clean pass.
         let scheduled = job_results
             .iter()
             .filter(|r| r.id.starts_with(&format!("{id}/")))
             .count();
-        if completed < scheduled {
-            report
-                .checks
-                .push((format!("all {scheduled} jobs completed"), false));
-            report.passed = false;
-            report.text.push_str(&format!(
-                "!! only {completed}/{scheduled} jobs completed — partial report\n"
-            ));
-        }
+        let completed = outputs.len();
+        let report = degrade_partial(reduce_for(id, outputs)?, completed, scheduled);
         reports.push(report);
     }
     Ok(SuiteRun {

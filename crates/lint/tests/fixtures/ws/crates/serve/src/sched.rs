@@ -1,0 +1,12 @@
+//! A serve module *outside* the carve-out: the crate is covered by
+//! D1 and D2 like any other report-feeding crate.
+
+use std::collections::HashMap; // seeded D1: serve is in D1_PATHS
+use std::time::Instant;
+
+pub fn queue_ages() -> HashMap<u64, u64> {
+    // seeded D1 (constructor) + D2 (clock read outside net.rs)
+    let mut m = HashMap::new();
+    m.insert(1, Instant::now().elapsed().as_secs());
+    m
+}

@@ -19,10 +19,62 @@ use std::time::{Duration, Instant};
 /// One worker's deque of `(submission index, job)` pairs.
 type Shard<T> = Mutex<VecDeque<(usize, Job<T>)>>;
 
+/// Shared drain state of a pool and all its [`Pool::share`] handles:
+/// a latch that, once set, makes every later `execute*` call refuse
+/// its batch (all jobs come back [`JobStatus::Cancelled`]), plus an
+/// in-flight batch count so a drainer can wait for running work to
+/// finish. This is the hook long-lived owners (the `bcc-serve`
+/// daemon) use to shut down gracefully: finish what is running,
+/// accept nothing new.
+#[derive(Debug)]
+struct DrainGate {
+    draining: std::sync::atomic::AtomicBool,
+    in_flight: Mutex<usize>,
+    idle: std::sync::Condvar,
+}
+
+impl DrainGate {
+    fn new() -> Self {
+        DrainGate {
+            draining: std::sync::atomic::AtomicBool::new(false),
+            in_flight: Mutex::new(0),
+            idle: std::sync::Condvar::new(),
+        }
+    }
+}
+
+/// RAII in-flight marker: decrements and notifies even if the batch
+/// panics, so `wait_idle` can never hang on a lost decrement.
+struct BatchGuard<'a>(&'a DrainGate);
+
+impl<'a> BatchGuard<'a> {
+    fn enter(gate: &'a DrainGate) -> Self {
+        *gate
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) += 1;
+        BatchGuard(gate)
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut n = self
+            .0
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.0.idle.notify_all();
+    }
+}
+
 /// A fixed-width worker pool executing [`Job`]s.
 pub struct Pool {
     threads: usize,
     metrics: Arc<Metrics>,
+    gate: Arc<DrainGate>,
 }
 
 impl Pool {
@@ -31,6 +83,7 @@ impl Pool {
         Pool {
             threads: threads.max(1),
             metrics: Arc::new(Metrics::new()),
+            gate: Arc::new(DrainGate::new()),
         }
     }
 
@@ -50,6 +103,86 @@ impl Pool {
     /// The pool's metrics (shared across `execute` calls).
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// A shared handle to this pool: same width, same metrics, same
+    /// drain gate. Handles are how several owners (the connections of
+    /// a long-lived service, a scheduler thread, a shutdown path)
+    /// schedule onto one pool — a drain begun through any handle is
+    /// observed by all of them.
+    pub fn share(&self) -> Pool {
+        Pool {
+            threads: self.threads,
+            metrics: Arc::clone(&self.metrics),
+            gate: Arc::clone(&self.gate),
+        }
+    }
+
+    /// Flips the pool (and every [`share`](Self::share) handle) into
+    /// drain mode: batches already executing run to completion, but
+    /// every later `execute*` call refuses its jobs, reporting each as
+    /// [`JobStatus::Cancelled`]. Idempotent.
+    pub fn begin_drain(&self) {
+        self.gate
+            .draining
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// True once [`begin_drain`](Self::begin_drain) was called on any
+    /// handle of this pool.
+    pub fn is_draining(&self) -> bool {
+        self.gate
+            .draining
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Number of `execute*` batches currently running across all
+    /// handles.
+    pub fn in_flight(&self) -> usize {
+        *self
+            .gate
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until no batch is executing on any handle, or until
+    /// `timeout` elapses. Returns `true` when the pool went idle
+    /// within the budget. With `None` the wait is unbounded.
+    ///
+    /// Typical drain sequence: `begin_drain()` (stop admitting), let
+    /// the scheduler finish its queue, then `wait_idle(deadline)`
+    /// before flushing observability state to disk.
+    pub fn wait_idle(&self, timeout: Option<Duration>) -> bool {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut n = self
+            .gate
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *n > 0 {
+            match deadline {
+                None => {
+                    n = self
+                        .gate
+                        .idle
+                        .wait(n)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let Some(left) = d.checked_duration_since(Instant::now()) else {
+                        return false;
+                    };
+                    let (guard, _timed_out) = self
+                        .gate
+                        .idle
+                        .wait_timeout(n, left)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    n = guard;
+                }
+            }
+        }
+        true
     }
 
     /// Executes all jobs and returns their results **in submission
@@ -115,6 +248,20 @@ impl Pool {
         if num_jobs == 0 {
             return Vec::new();
         }
+        // A draining pool refuses whole batches: the caller gets a
+        // fully-populated result vector (every job Cancelled) instead
+        // of an error, so refusal composes with the reduce paths.
+        if self.is_draining() {
+            return jobs
+                .iter()
+                .map(|job| {
+                    self.metrics.inc_scheduled();
+                    self.metrics.inc_cancelled();
+                    cancelled_result(job)
+                })
+                .collect();
+        }
+        let _batch = BatchGuard::enter(&self.gate);
         for _ in 0..num_jobs {
             self.metrics.inc_scheduled();
         }

@@ -311,3 +311,62 @@ mod tracing {
             .all(|e| matches!(e.kind, EventKind::SpanStart | EventKind::SpanEnd)));
     }
 }
+
+mod drain {
+    use super::*;
+
+    #[test]
+    fn shared_handles_observe_one_gate() {
+        let pool = Pool::new(2);
+        let handle = pool.share();
+        assert!(!handle.is_draining());
+        pool.begin_drain();
+        assert!(handle.is_draining());
+        // Metrics are shared too.
+        assert_eq!(Arc::as_ptr(&pool.metrics()), Arc::as_ptr(&handle.metrics()));
+    }
+
+    #[test]
+    fn draining_pool_refuses_new_batches_as_cancelled() {
+        let pool = Pool::new(4);
+        pool.begin_drain();
+        let results = pool.execute((0..5).map(|i| ok_job(&format!("j{i}"), i)).collect());
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|r| r.status == JobStatus::Cancelled));
+        let m = pool.metrics().snapshot();
+        assert_eq!(m.scheduled, 5);
+        assert_eq!(m.cancelled, 5);
+    }
+
+    #[test]
+    fn wait_idle_returns_after_in_flight_batch_finishes() {
+        let pool = Arc::new(Pool::new(2));
+        assert_eq!(pool.in_flight(), 0);
+        assert!(pool.wait_idle(Some(Duration::from_millis(10))));
+        let worker = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let jobs: Vec<Job<u64>> = (0..4)
+                    .map(|i| {
+                        Job::new(JobSpec::new(format!("slow{i}"), i), |ctx| {
+                            std::thread::sleep(Duration::from_millis(30));
+                            Ok(ctx.seed)
+                        })
+                    })
+                    .collect();
+                pool.execute(jobs)
+            })
+        };
+        // The batch takes ≥30ms; an unbounded wait from a drain
+        // observer must return only once it is done.
+        std::thread::sleep(Duration::from_millis(5));
+        pool.begin_drain();
+        assert!(pool.wait_idle(Some(Duration::from_secs(10))));
+        assert_eq!(pool.in_flight(), 0);
+        let results = worker.join().expect("worker joins");
+        assert!(results.iter().all(|r| r.status.output().is_some()));
+        // After the drain, fresh batches are refused.
+        let refused = pool.execute(vec![ok_job("late", 1)]);
+        assert_eq!(refused[0].status, JobStatus::Cancelled);
+    }
+}

@@ -1,0 +1,312 @@
+//! Admission control: a bounded, priority-ordered queue with
+//! per-client quotas and an explicit drain state.
+//!
+//! The queue is a `BTreeMap` keyed `(u64::MAX - priority, seq)`, so
+//! iteration order — and therefore scheduling order — is a pure
+//! function of the admission sequence: higher priorities first, FIFO
+//! within a class. Backpressure is explicit: a full queue or an
+//! exhausted quota produces a typed [`Reject`] carrying a *logical*
+//! retry hint (completions to wait for), never silent buffering.
+//!
+//! Everything here is sockets-free and clock-free so the state
+//! machine is unit-testable and D2-clean.
+
+use crate::proto::{Reject, SubmitReq};
+use bcc_runner::CancellationToken;
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// One admitted request, queued until the scheduler pops it.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    /// Server-assigned request id (admission order, starting at 0).
+    pub req: u64,
+    /// Owning client name (quota key, metrics unit).
+    pub client: String,
+    /// The submitted run.
+    pub submit: SubmitReq,
+    /// Cooperative cancellation handle shared with `cancel` and the
+    /// disconnect path.
+    pub token: CancellationToken,
+}
+
+/// What [`Admission::pop`] produced.
+#[derive(Debug)]
+pub enum Popped {
+    /// The next request to run.
+    Ticket(Ticket),
+    /// Drain requested and the queue is empty: the scheduler exits.
+    Drained,
+}
+
+/// What a cancel found in the queue.
+#[derive(Debug)]
+pub enum CancelOutcome {
+    /// The request was still queued; it never reaches the scheduler.
+    Queued(Ticket),
+    /// Not queued here (running, finished, or never admitted).
+    NotQueued,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    queue: BTreeMap<(u64, u64), Ticket>,
+    next_req: u64,
+    draining: bool,
+    /// Outstanding (queued + running) requests per client.
+    outstanding: BTreeMap<String, u64>,
+}
+
+/// The admission queue. All mutation happens under one mutex; the
+/// condvar wakes the scheduler on pushes and on drain.
+#[derive(Debug)]
+pub struct Admission {
+    state: Mutex<AdmissionState>,
+    wake: Condvar,
+    queue_cap: u64,
+    quota: u64,
+}
+
+/// Outcome of one admission attempt.
+pub type AdmitResult = Result<Accepted, Reject>;
+
+/// An accepted submit: the id plus the queue depth observed right
+/// after the push (the `serve.queue.depth` histogram sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accepted {
+    /// Server-assigned request id.
+    pub req: u64,
+    /// Queue depth after the push.
+    pub depth: u64,
+}
+
+impl Admission {
+    /// A new queue with the given capacity and per-client quota
+    /// (both are clamped to at least 1).
+    pub fn new(queue_cap: u64, quota: u64) -> Self {
+        Admission {
+            state: Mutex::new(AdmissionState::default()),
+            wake: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            quota: quota.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, AdmissionState> {
+        // A poisoned admission lock means a panic elsewhere; the state
+        // itself (plain maps and counters) is still consistent.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits a batch of submits under **one** lock hold: the depth
+    /// samples form the deterministic ramp `d+1 ‥ d+k` regardless of
+    /// scheduler timing. A single `submit` is a batch of one.
+    pub fn submit_batch(&self, client: &str, submits: Vec<SubmitReq>) -> Vec<AdmitResult> {
+        let mut st = self.lock();
+        let mut out = Vec::with_capacity(submits.len());
+        for submit in submits {
+            out.push(Self::admit_locked(
+                &mut st,
+                self.queue_cap,
+                self.quota,
+                client,
+                submit,
+            ));
+        }
+        drop(st);
+        self.wake.notify_all();
+        out
+    }
+
+    fn admit_locked(
+        st: &mut AdmissionState,
+        queue_cap: u64,
+        quota: u64,
+        client: &str,
+        submit: SubmitReq,
+    ) -> AdmitResult {
+        if st.draining {
+            return Err(Reject::Draining);
+        }
+        let depth = st.queue.len() as u64;
+        if depth >= queue_cap {
+            return Err(Reject::QueueFull { depth });
+        }
+        let outstanding = st.outstanding.get(client).copied().unwrap_or(0);
+        if outstanding >= quota {
+            return Err(Reject::QuotaExceeded { outstanding });
+        }
+        let req = st.next_req;
+        st.next_req += 1;
+        let ticket = Ticket {
+            req,
+            client: client.to_string(),
+            submit,
+            token: CancellationToken::new(),
+        };
+        st.queue
+            .insert((u64::MAX - ticket.submit.priority, req), ticket);
+        *st.outstanding.entry(client.to_string()).or_insert(0) += 1;
+        Ok(Accepted {
+            req,
+            depth: depth + 1,
+        })
+    }
+
+    /// Blocks until a ticket is available (highest priority, FIFO
+    /// within a class) or drain completes with an empty queue.
+    pub fn pop(&self) -> Popped {
+        let mut st = self.lock();
+        loop {
+            if let Some(key) = st.queue.keys().next().copied() {
+                if let Some(ticket) = st.queue.remove(&key) {
+                    return Popped::Ticket(ticket);
+                }
+            }
+            if st.draining {
+                return Popped::Drained;
+            }
+            st = self.wake.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Removes a queued request, releasing its quota slot. A request
+    /// already popped (running or finished) is `NotQueued`.
+    pub fn cancel(&self, req: u64) -> CancelOutcome {
+        let mut st = self.lock();
+        let key = st.queue.iter().find(|(_, t)| t.req == req).map(|(k, _)| *k);
+        match key.and_then(|k| st.queue.remove(&k)) {
+            Some(ticket) => {
+                Self::release_locked(&mut st, &ticket.client);
+                CancelOutcome::Queued(ticket)
+            }
+            None => CancelOutcome::NotQueued,
+        }
+    }
+
+    /// Releases a client's quota slot after its request reached a
+    /// terminal state on the scheduler.
+    pub fn finish(&self, client: &str) {
+        let mut st = self.lock();
+        Self::release_locked(&mut st, client);
+    }
+
+    fn release_locked(st: &mut AdmissionState, client: &str) {
+        if let Some(n) = st.outstanding.get_mut(client) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                st.outstanding.remove(client);
+            }
+        }
+    }
+
+    /// Enters drain: new submits are rejected with code `draining`,
+    /// the scheduler finishes what is queued, then exits. Returns the
+    /// queue depth at the moment drain began (the `serve.drained`
+    /// count).
+    pub fn begin_drain(&self) -> u64 {
+        let mut st = self.lock();
+        st.draining = true;
+        let depth = st.queue.len() as u64;
+        drop(st);
+        self.wake.notify_all();
+        depth
+    }
+
+    /// Whether drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> u64 {
+        self.lock().queue.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(exp: &str, priority: u64) -> SubmitReq {
+        SubmitReq {
+            experiment: exp.to_string(),
+            quick: true,
+            seed: Some(1),
+            priority,
+            timeout_secs: None,
+        }
+    }
+
+    fn admit_one(adm: &Admission, client: &str, s: SubmitReq) -> AdmitResult {
+        adm.submit_batch(client, vec![s]).remove(0)
+    }
+
+    #[test]
+    fn priorities_run_first_fifo_within_class() {
+        let adm = Admission::new(16, 16);
+        admit_one(&adm, "a", submit("e1", 0)).unwrap();
+        admit_one(&adm, "a", submit("e2", 5)).unwrap();
+        admit_one(&adm, "a", submit("e3", 5)).unwrap();
+        let order: Vec<String> = (0..3)
+            .map(|_| match adm.pop() {
+                Popped::Ticket(t) => t.submit.experiment,
+                Popped::Drained => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, ["e2", "e3", "e1"]);
+    }
+
+    #[test]
+    fn queue_cap_and_quota_reject_with_logical_retry() {
+        let adm = Admission::new(2, 8);
+        admit_one(&adm, "a", submit("e1", 0)).unwrap();
+        admit_one(&adm, "b", submit("e1", 0)).unwrap();
+        let rej = admit_one(&adm, "c", submit("e1", 0)).unwrap_err();
+        assert_eq!(rej.code(), "queue_full");
+        assert_eq!(rej.retry_after_ticks(), 2);
+
+        let adm = Admission::new(16, 1);
+        admit_one(&adm, "a", submit("e1", 0)).unwrap();
+        let rej = admit_one(&adm, "a", submit("e1", 0)).unwrap_err();
+        assert_eq!(rej.code(), "quota_exceeded");
+        assert_eq!(rej.retry_after_ticks(), 1);
+        // Another client is unaffected.
+        admit_one(&adm, "b", submit("e1", 0)).unwrap();
+        // Finishing releases the slot.
+        adm.finish("a");
+        admit_one(&adm, "a", submit("e1", 0)).unwrap();
+    }
+
+    #[test]
+    fn batch_depth_samples_form_a_ramp() {
+        let adm = Admission::new(16, 16);
+        let depths: Vec<u64> = adm
+            .submit_batch("a", vec![submit("e1", 0), submit("e1", 0), submit("e1", 0)])
+            .into_iter()
+            .map(|r| r.unwrap().depth)
+            .collect();
+        assert_eq!(depths, [1, 2, 3]);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_but_pops_backlog() {
+        let adm = Admission::new(16, 16);
+        admit_one(&adm, "a", submit("e1", 0)).unwrap();
+        assert_eq!(adm.begin_drain(), 1);
+        let rej = admit_one(&adm, "a", submit("e2", 0)).unwrap_err();
+        assert_eq!(rej.code(), "draining");
+        assert!(matches!(adm.pop(), Popped::Ticket(_)));
+        assert!(matches!(adm.pop(), Popped::Drained));
+    }
+
+    #[test]
+    fn cancel_removes_queued_and_releases_quota() {
+        let adm = Admission::new(16, 1);
+        let acc = admit_one(&adm, "a", submit("e1", 0)).unwrap();
+        assert!(matches!(adm.cancel(acc.req), CancelOutcome::Queued(_)));
+        assert!(matches!(adm.cancel(acc.req), CancelOutcome::NotQueued));
+        // Slot released: the same client can submit again.
+        admit_one(&adm, "a", submit("e1", 0)).unwrap();
+    }
+}

@@ -1,0 +1,149 @@
+//! The `bcc-client` load generator.
+//!
+//! ```text
+//! bcc-client --script PATH [OPTIONS]
+//!
+//! OPTIONS:
+//!   --addr HOST:PORT     daemon address (default 127.0.0.1:<port-file>)
+//!   --port-file PATH     read the daemon's port from this file,
+//!                        polling briefly until it appears
+//!   --seed S             default seed for submits without one (2024)
+//!   --transcript PATH    write the replay transcript here
+//!                        (default: stdout)
+//!   --strict             exit 1 if any response was an error/reject
+//! ```
+//!
+//! The replay runs on logical ticks — the client never sleeps — and
+//! the transcript is byte-identical across same-seed runs against
+//! fresh daemons.
+
+use bcc_serve::client::{parse_script, run_script};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bcc-client --script PATH [--addr HOST:PORT] \
+[--port-file PATH] [--seed S] [--transcript PATH] [--strict]";
+
+struct Cli {
+    script: String,
+    addr: Option<String>,
+    port_file: Option<String>,
+    seed: u64,
+    transcript: Option<String>,
+    strict: bool,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut script = None;
+    let mut addr = None;
+    let mut port_file = None;
+    let mut seed = 2024u64;
+    let mut transcript = None;
+    let mut strict = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--script" => script = Some(it.next().ok_or("--script needs a path")?),
+            "--addr" => addr = Some(it.next().ok_or("--addr needs host:port")?),
+            "--port-file" => port_file = Some(it.next().ok_or("--port-file needs a path")?),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: not a u64: {v:?}"))?;
+            }
+            "--transcript" => transcript = Some(it.next().ok_or("--transcript needs a path")?),
+            "--strict" => strict = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Cli {
+        script: script.ok_or("--script is required")?,
+        addr,
+        port_file,
+        seed,
+        transcript,
+        strict,
+    })
+}
+
+/// Polls the port file until the daemon has written it (bounded
+/// number of fixed sleeps; no clock reads).
+fn resolve_addr(cli: &Cli) -> Result<String, String> {
+    if let Some(addr) = &cli.addr {
+        return Ok(addr.clone());
+    }
+    let path = cli
+        .port_file
+        .as_ref()
+        .ok_or("one of --addr or --port-file is required")?;
+    for _ in 0..400 {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let port = text.trim();
+            if !port.is_empty() {
+                return Ok(format!("127.0.0.1:{port}"));
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    Err(format!("port file {path:?} never appeared"))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&cli.script) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: reading {}: {err}", cli.script);
+            return ExitCode::from(2);
+        }
+    };
+    let script = match parse_script(&text) {
+        Ok(script) => script,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = match resolve_addr(&cli) {
+        Ok(addr) => addr,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let transcript = match run_script(&addr, &script, cli.seed) {
+        Ok(transcript) => transcript,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = transcript.to_jsonl();
+    match &cli.transcript {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, &rendered) {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "bcc-client: wrote {} transcript records to {path}",
+                transcript.lines.len()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    if cli.strict && transcript.anomalies > 0 {
+        eprintln!(
+            "error: --strict and {} error/reject responses in transcript",
+            transcript.anomalies
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! `bcc-serve`: a long-lived experiment service for the bcclique
+//! workspace, plus its deterministic load generator.
+//!
+//! Every run used to be a one-shot CLI invocation: the artifact cache
+//! was rebuilt from scratch each process start, and the runner,
+//! trace, and metrics layers never saw sustained load. This crate
+//! turns the harness into a daemon:
+//!
+//! - **`bcc-serve`** listens on loopback TCP, speaks a JSONL
+//!   request/response protocol ([`proto`]), and schedules submitted
+//!   experiments on one shared [`bcc_runner::Pool`] over one warm
+//!   process-wide artifact store — repeat queries hit the cache
+//!   instead of recomputing.
+//! - **Admission control** ([`admission`]) bounds the queue and
+//!   enforces per-client quotas with *explicit* backpressure: a
+//!   refused submit gets a typed `reject` carrying a logical
+//!   `retry_after_ticks`, never silent buffering. Priorities order
+//!   the queue; FIFO breaks ties.
+//! - **Graceful drain** ([`Server::drain`]): refuse new work, finish
+//!   everything admitted, quiesce the pool, flush byte-stable
+//!   metrics/trace dumps, then exit.
+//! - **`bcc-client`** ([`client`]) replays a scripted request
+//!   schedule on logical ticks and writes a transcript that is
+//!   byte-identical across same-seed runs against fresh daemons —
+//!   doubling as a seeded workload for the observability stack.
+//!
+//! The crate is std-only and, outside the accept loop's drain
+//! watchdog in [`net`] (the lint D2 carve-out), clock-free: every
+//! byte the daemon emits on the wire or into a dump is a pure
+//! function of the admission sequence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod conn;
+pub mod net;
+pub mod proto;
+pub mod server;
+
+pub use admission::Admission;
+pub use client::{parse_script, run_script, Script, Transcript};
+pub use net::{Listening, NetConfig};
+pub use proto::{Request, Response};
+pub use server::{Server, ServerConfig};

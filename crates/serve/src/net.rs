@@ -1,0 +1,133 @@
+//! The loopback TCP accept loop.
+//!
+//! This file is the **only** lint D2 carve-out in `crates/serve`:
+//! the post-drain watchdog below reads `Instant::now` so a client
+//! that received its `bye` but never closes cannot keep the process
+//! alive forever. Nothing read here ever reaches report, trace, or
+//! metrics bytes — those are flushed before the watchdog starts — so
+//! the determinism contract is untouched. Everything else in the
+//! crate is clock-free and lint-enforced to stay that way.
+
+use crate::conn::handle_connection;
+use crate::server::Server;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Network configuration for the daemon.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Port to bind on loopback; 0 asks the OS for a free one.
+    pub port: u16,
+    /// Where to write the bound port (readers poll this file to find
+    /// a daemon started with port 0).
+    pub port_file: Option<PathBuf>,
+    /// How long to wait, after drain completes, for lingering
+    /// connections to close before forcing exit.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            port: 0,
+            port_file: None,
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A bound, accepting daemon socket.
+#[derive(Debug)]
+pub struct Listening {
+    port: u16,
+    accept: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Listening {
+    /// The bound loopback port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Blocks until the accept loop exits (drain completed and
+    /// connections closed, or the watchdog fired).
+    pub fn join(self) -> std::io::Result<()> {
+        match self.accept.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("accept loop panicked")),
+        }
+    }
+}
+
+/// Binds the loopback listener, writes the port file, and spawns the
+/// accept loop (one handler thread per connection).
+pub fn start(server: Arc<Server>, config: NetConfig) -> std::io::Result<Listening> {
+    let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+    let port = listener.local_addr()?.port();
+    if let Some(path) = &config.port_file {
+        std::fs::write(path, format!("{port}\n"))?;
+    }
+    let accept = std::thread::Builder::new()
+        .name("bcc-serve-accept".to_string())
+        .spawn(move || accept_loop(server, listener, config.drain_timeout))?;
+    Ok(Listening { port, accept })
+}
+
+fn spawn_handler(server: &Arc<Server>, stream: TcpStream, conns: &Arc<AtomicUsize>) {
+    let server = Arc::clone(server);
+    let worker_conns = Arc::clone(conns);
+    conns.fetch_add(1, Ordering::SeqCst);
+    let spawned = std::thread::Builder::new()
+        .name("bcc-serve-conn".to_string())
+        .spawn(move || {
+            if let Ok(reader) = stream.try_clone() {
+                handle_connection(&server, BufReader::new(reader), BufWriter::new(stream));
+            }
+            worker_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    server: Arc<Server>,
+    listener: TcpListener,
+    drain_timeout: Duration,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let conns = Arc::new(AtomicUsize::new(0));
+    let mut drain_observed: Option<Instant> = None;
+    loop {
+        if server.drain_done() {
+            // Watchdog (the D2 carve-out): bounded patience for
+            // clients that got their `bye` but never hang up.
+            let since = *drain_observed.get_or_insert_with(Instant::now);
+            if conns.load(Ordering::SeqCst) == 0 || since.elapsed() >= drain_timeout {
+                return Ok(());
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if server.drain_done() {
+                    // Refuse post-drain connections outright; the
+                    // protocol-level `draining` reject covers the
+                    // window before that.
+                    drop(stream);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                spawn_handler(&server, stream, &conns);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}

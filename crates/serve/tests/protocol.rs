@@ -1,0 +1,203 @@
+//! Protocol edge cases: every malformed or hostile input must map to
+//! a typed error response — the daemon never panics, and (except for
+//! an oversized line) the connection stays usable.
+
+mod common;
+
+use bcc_serve::ServerConfig;
+use common::{json_str, json_u64, start_server, TestConn};
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    }
+}
+
+/// Drains the daemon and drops the connection: the accept loop only
+/// exits once every connection is gone, so tests must not hold one
+/// open across `listening.join()`.
+fn shutdown(mut conn: TestConn) {
+    let bye = conn.roundtrip("{\"type\":\"shutdown\"}");
+    assert_eq!(json_str(&bye, "type").as_deref(), Some("bye"));
+}
+
+#[test]
+fn oversized_line_gets_typed_error_then_close() {
+    let (_server, listening) = start_server(ServerConfig {
+        max_line_bytes: 256,
+        ..quick_config()
+    });
+    let mut conn = TestConn::connect(listening.port());
+    let huge = format!("{{\"type\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(4096));
+    let reply = conn.roundtrip(&huge);
+    assert_eq!(json_str(&reply, "type").as_deref(), Some("error"));
+    assert_eq!(json_str(&reply, "code").as_deref(), Some("line_too_long"));
+    // An oversized line is not a trustworthy framing boundary: the
+    // daemon closes this connection but keeps serving new ones.
+    assert!(conn.at_eof());
+    let mut fresh = TestConn::connect(listening.port());
+    let pong = fresh.roundtrip("{\"type\":\"ping\",\"nonce\":3}");
+    assert_eq!(json_u64(&pong, "nonce"), Some(3));
+    shutdown(fresh);
+    listening.join().expect("accept loop");
+}
+
+#[test]
+fn malformed_json_and_unknown_type_keep_connection_usable() {
+    let (_server, listening) = start_server(quick_config());
+    let mut conn = TestConn::connect(listening.port());
+
+    let reply = conn.roundtrip("{this is not json");
+    assert_eq!(json_str(&reply, "code").as_deref(), Some("bad_json"));
+
+    let reply = conn.roundtrip("[1,2,3]");
+    assert_eq!(json_str(&reply, "code").as_deref(), Some("bad_request"));
+
+    let reply = conn.roundtrip("{\"type\":\"warp\"}");
+    assert_eq!(json_str(&reply, "code").as_deref(), Some("unknown_type"));
+
+    let reply = conn.roundtrip("{\"type\":\"submit\"}");
+    assert_eq!(json_str(&reply, "code").as_deref(), Some("bad_request"));
+
+    // The connection survived four bad lines.
+    let pong = conn.roundtrip("{\"type\":\"ping\",\"nonce\":9}");
+    assert_eq!(json_u64(&pong, "nonce"), Some(9));
+    shutdown(conn);
+    listening.join().expect("accept loop");
+}
+
+#[test]
+fn unknown_experiment_is_rejected_without_consuming_a_slot() {
+    let (server, listening) = start_server(quick_config());
+    let mut conn = TestConn::connect(listening.port());
+    let reply = conn.roundtrip("{\"type\":\"submit\",\"experiment\":\"e99\",\"seed\":1}");
+    assert_eq!(json_str(&reply, "type").as_deref(), Some("reject"));
+    assert_eq!(
+        json_str(&reply, "code").as_deref(),
+        Some("unknown_experiment")
+    );
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.queue_depth, 0);
+    shutdown(conn);
+    listening.join().expect("accept loop");
+}
+
+#[test]
+fn quota_and_queue_rejections_carry_logical_retry_hints() {
+    // quota 1: a batch of two identical submits trips the quota on
+    // the second slot, deterministically (both admitted under one
+    // admission-lock hold).
+    let (_server, listening) = start_server(ServerConfig {
+        quota: 1,
+        ..quick_config()
+    });
+    let mut conn = TestConn::connect(listening.port());
+    conn.send("{\"type\":\"batch\",\"n\":2}");
+    conn.send("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    conn.send("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    let first = conn.recv();
+    let second = conn.recv();
+    assert_eq!(json_str(&first, "type").as_deref(), Some("accepted"));
+    assert_eq!(json_str(&second, "code").as_deref(), Some("quota_exceeded"));
+    assert_eq!(json_u64(&second, "retry_after_ticks"), Some(1));
+    let req = json_u64(&first, "req").expect("req id");
+    let result = conn.roundtrip(&format!("{{\"type\":\"await\",\"req\":{req}}}"));
+    assert_eq!(json_str(&result, "type").as_deref(), Some("result"));
+    shutdown(conn);
+    listening.join().expect("accept loop");
+
+    // queue cap 1: the second slot of a batch sees a full queue.
+    let (_server, listening) = start_server(ServerConfig {
+        queue_cap: 1,
+        ..quick_config()
+    });
+    let mut conn = TestConn::connect(listening.port());
+    conn.send("{\"type\":\"batch\",\"n\":2}");
+    conn.send("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    conn.send("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    let first = conn.recv();
+    let second = conn.recv();
+    assert_eq!(json_str(&first, "type").as_deref(), Some("accepted"));
+    assert_eq!(json_str(&second, "code").as_deref(), Some("queue_full"));
+    assert_eq!(json_u64(&second, "retry_after_ticks"), Some(1));
+    shutdown(conn);
+    listening.join().expect("accept loop");
+}
+
+#[test]
+fn mid_request_disconnect_releases_quota_and_daemon_survives() {
+    let (server, listening) = start_server(ServerConfig {
+        quota: 1,
+        ..quick_config()
+    });
+    let mut conn = TestConn::connect(listening.port());
+    let hello = conn.roundtrip("{\"type\":\"hello\",\"client\":\"ghost\"}");
+    assert_eq!(json_str(&hello, "type").as_deref(), Some("welcome"));
+    let reply = conn.roundtrip("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    assert_eq!(json_str(&reply, "type").as_deref(), Some("accepted"));
+    // Vanish without awaiting the result.
+    drop(conn);
+
+    // The daemon keeps serving, and the ghost's quota slot is
+    // released once its request reaches a terminal state.
+    let mut conn = TestConn::connect(listening.port());
+    let hello = conn.roundtrip("{\"type\":\"hello\",\"client\":\"ghost\"}");
+    assert_eq!(json_str(&hello, "type").as_deref(), Some("welcome"));
+    let mut accepted = false;
+    for _ in 0..400 {
+        let reply = conn.roundtrip("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+        match json_str(&reply, "type").as_deref() {
+            Some("accepted") => {
+                accepted = true;
+                let req = json_u64(&reply, "req").expect("req id");
+                let result = conn.roundtrip(&format!("{{\"type\":\"await\",\"req\":{req}}}"));
+                assert_eq!(json_str(&result, "type").as_deref(), Some("result"));
+                break;
+            }
+            Some("reject") => std::thread::sleep(std::time::Duration::from_millis(25)),
+            other => panic!("unexpected reply {other:?}: {reply}"),
+        }
+    }
+    assert!(accepted, "quota slot never released after disconnect");
+    assert!(server.stats().completed >= 1);
+    shutdown(conn);
+    listening.join().expect("accept loop");
+}
+
+#[test]
+fn await_of_unknown_req_and_double_await_are_typed_errors() {
+    let (_server, listening) = start_server(quick_config());
+    let mut conn = TestConn::connect(listening.port());
+    let reply = conn.roundtrip("{\"type\":\"await\",\"req\":42}");
+    assert_eq!(json_str(&reply, "code").as_deref(), Some("unknown_req"));
+
+    let accepted = conn.roundtrip("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    let req = json_u64(&accepted, "req").expect("req id");
+    let result = conn.roundtrip(&format!("{{\"type\":\"await\",\"req\":{req}}}"));
+    assert_eq!(json_str(&result, "type").as_deref(), Some("result"));
+    // Results are delivered exactly once.
+    let again = conn.roundtrip(&format!("{{\"type\":\"await\",\"req\":{req}}}"));
+    assert_eq!(json_str(&again, "code").as_deref(), Some("unknown_req"));
+    shutdown(conn);
+    listening.join().expect("accept loop");
+}
+
+#[test]
+fn drain_rejects_new_submits_and_second_shutdown_is_idempotent() {
+    let (_server, listening) = start_server(quick_config());
+    let mut conn = TestConn::connect(listening.port());
+    let bye = conn.roundtrip("{\"type\":\"shutdown\"}");
+    assert_eq!(json_str(&bye, "type").as_deref(), Some("bye"));
+    // Shutdown is idempotent on a still-open connection.
+    let bye2 = conn.roundtrip("{\"type\":\"shutdown\"}");
+    assert_eq!(json_str(&bye2, "type").as_deref(), Some("bye"));
+    assert_eq!(json_u64(&bye, "drained"), json_u64(&bye2, "drained"));
+    // New work on the open connection is refused as draining.
+    let reply = conn.roundtrip("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    assert_eq!(json_str(&reply, "code").as_deref(), Some("draining"));
+    drop(conn);
+    listening.join().expect("accept loop");
+}

@@ -1,0 +1,178 @@
+//! End-to-end determinism: real `bcc-serve` + `bcc-client` processes.
+//!
+//! Each daemon run is a fresh OS process, so the process-wide
+//! artifact store starts cold every time — which is exactly what the
+//! byte-identity contract needs: same seed + same script ⇒ identical
+//! transcript, identical metrics dump, identical trace.
+
+mod common;
+
+use common::json_u64;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const SCRIPT: &str = "\
+{\"op\":\"hello\",\"client\":\"e2e\"}
+{\"op\":\"submit\",\"experiment\":\"e2\"}
+{\"op\":\"await\",\"submit\":0}
+{\"op\":\"submit\",\"experiment\":\"e2\"}
+{\"op\":\"await\",\"submit\":1}
+{\"op\":\"stats\"}
+{\"op\":\"shutdown\"}
+";
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("bcc-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills the daemon if a test fails before its graceful shutdown.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// One full daemon lifecycle: start, replay the script, wait for the
+/// graceful exit. Returns (transcript, metrics dump, trace dump).
+fn run_once(dir: &TempDir, run: &str) -> (String, String, String) {
+    let port_file = dir.path(&format!("port-{run}"));
+    let metrics = dir.path(&format!("metrics-{run}.jsonl"));
+    let trace = dir.path(&format!("trace-{run}.jsonl"));
+    let transcript = dir.path(&format!("transcript-{run}.jsonl"));
+    let script = dir.path("script.jsonl");
+    std::fs::write(&script, SCRIPT).expect("write script");
+
+    let daemon = Command::new(env!("CARGO_BIN_EXE_bcc-serve"))
+        .args([
+            "--jobs",
+            "1",
+            "--port-file",
+            path_str(&port_file),
+            "--metrics",
+            path_str(&metrics),
+            "--trace",
+            path_str(&trace),
+            "--trace-level",
+            "spans",
+            "--drain-timeout-secs",
+            "20",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let mut daemon = Reaper(daemon);
+
+    let client = Command::new(env!("CARGO_BIN_EXE_bcc-client"))
+        .args([
+            "--port-file",
+            path_str(&port_file),
+            "--script",
+            path_str(&script),
+            "--seed",
+            "2024",
+            "--transcript",
+            path_str(&transcript),
+            "--strict",
+        ])
+        .status()
+        .expect("run client");
+    assert!(client.success(), "bcc-client failed: {client:?}");
+
+    let status = daemon.0.wait().expect("wait daemon");
+    assert!(status.success(), "daemon did not exit 0: {status:?}");
+
+    (
+        std::fs::read_to_string(&transcript).expect("transcript"),
+        std::fs::read_to_string(&metrics).expect("metrics dump"),
+        std::fs::read_to_string(&trace).expect("trace dump"),
+    )
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().expect("utf-8 path")
+}
+
+#[test]
+fn same_seed_reruns_are_byte_identical_and_second_submit_hits_warm_cache() {
+    let dir = TempDir::new("e2e");
+    let (transcript_a, metrics_a, trace_a) = run_once(&dir, "a");
+    let (transcript_b, metrics_b, trace_b) = run_once(&dir, "b");
+
+    // Byte-identity across same-seed re-runs against fresh daemons.
+    assert_eq!(transcript_a, transcript_b, "transcripts diverged");
+    assert_eq!(metrics_a, metrics_b, "metrics dumps diverged");
+    assert_eq!(trace_a, trace_b, "trace dumps diverged");
+
+    // The script submitted e2 twice with the same seed: the stats
+    // line must show warm-cache hits from the second run.
+    let stats_line = transcript_a
+        .lines()
+        .find(|l| l.contains("\"recv\":{\"type\":\"stats\""))
+        .expect("stats reply in transcript");
+    let hits = json_u64(&extract_recv(stats_line), "cache_hits").expect("cache_hits");
+    let lookups = json_u64(&extract_recv(stats_line), "cache_lookups").expect("cache_lookups");
+    assert!(lookups > 0, "no cache lookups recorded");
+    assert!(hits > 0, "second e2 submit produced no warm-cache hits");
+
+    // Both submits ran to completion and reported the same
+    // deterministic lookup count.
+    let results: Vec<String> = transcript_a
+        .lines()
+        .filter(|l| l.contains("\"recv\":{\"type\":\"result\""))
+        .map(extract_recv)
+        .collect();
+    assert_eq!(results.len(), 2, "expected two result lines");
+    for line in &results {
+        assert_eq!(json_u64(line, "completed"), json_u64(line, "scheduled"));
+        assert!(line.contains("\"status\":\"done\""));
+        assert!(line.contains("\"passed\":true"));
+    }
+    assert_eq!(
+        json_u64(&results[0], "cache_lookups"),
+        json_u64(&results[1], "cache_lookups"),
+        "lookup counts must not depend on cache warmth"
+    );
+
+    // The flushed dump carries the service counters the CI smoke job
+    // and bcc-report key on.
+    let dump = bcc_metrics::MetricsDump::parse_jsonl(&metrics_a).expect("parse dump");
+    assert_eq!(dump.counter("serve.accepted"), Some(2));
+    assert_eq!(dump.counter("serve.completed"), Some(2));
+    assert_eq!(dump.counter("serve.drained"), Some(0));
+    assert!(dump.counter("cache.lookups").unwrap_or(0) > 0);
+    assert!(dump.hists().contains_key("serve.queue.depth"));
+
+    // The trace carries one request span pair per submit.
+    let spans = trace_a
+        .lines()
+        .filter(|l| l.contains("serve.request"))
+        .count();
+    assert_eq!(spans, 4, "expected span start+end per request");
+}
+
+fn extract_recv(transcript_line: &str) -> String {
+    let idx = transcript_line.find("\"recv\":").expect("recv record");
+    let inner = &transcript_line[idx + "\"recv\":".len()..];
+    inner.strip_suffix('}').expect("trailing brace").to_string()
+}
