@@ -58,8 +58,10 @@ impl Algorithm for BoruvkaMinLabel {
             KnowledgeMode::Kt1,
             "BoruvkaMinLabel requires KT-1; wrap in Kt0Upgrade for KT-0"
         );
-        let all_ids = init.all_ids.clone().expect("KT-1 provides all ids");
-        let max_id = *all_ids.last().expect("nonempty network") as usize;
+        // KT-1 guarantees `all_ids` (mode asserted above); a malformed
+        // init degrades to a singleton network instead of panicking.
+        let all_ids = init.all_ids.clone().unwrap_or_else(|| vec![init.id]);
+        let max_id = all_ids.last().copied().unwrap_or(init.id) as usize;
         let id_width = bits_needed(max_id + 1).max(bits_needed(init.n.max(2)));
         let label = init.id;
         Box::new(BoruvkaNode {
@@ -132,7 +134,7 @@ impl BoruvkaNode {
     /// The smallest label different from ours among our input
     /// neighbors, once peer labels are known.
     fn proposal(&self) -> (u64, bool) {
-        let label_of: std::collections::HashMap<u64, u64> =
+        let label_of: std::collections::BTreeMap<u64, u64> =
             self.peer_labels.iter().copied().collect();
         let best = self
             .init
@@ -160,7 +162,7 @@ impl BoruvkaNode {
             self.done = true;
             return;
         }
-        let idx_of: std::collections::HashMap<u64, usize> = self
+        let idx_of: std::collections::BTreeMap<u64, usize> = self
             .all_ids
             .iter()
             .enumerate()
@@ -171,11 +173,12 @@ impl BoruvkaNode {
             uf.union(idx_of[&a], idx_of[&b]);
         }
         let my_root = uf.find(idx_of[&self.label]);
+        // The group always contains us, so the fallback never fires.
         self.label = (0..self.all_ids.len())
             .filter(|&i| uf.find(i) == my_root)
             .map(|i| self.all_ids[i])
             .min()
-            .expect("group nonempty");
+            .unwrap_or(self.label);
     }
 
     /// After a quiescent phase, connectivity is decidable from the
@@ -224,7 +227,9 @@ impl NodeProgram for BoruvkaNode {
         }
         let total = self.payload_len();
         for (label, bits) in &mut self.received {
-            let msg = inbox.by_label(*label).expect("port present");
+            let Some(msg) = inbox.by_label(*label) else {
+                continue;
+            };
             for s in msg.symbols() {
                 if bits.len() < total {
                     if let Some(b) = s.as_bit() {
@@ -254,7 +259,7 @@ impl NodeProgram for BoruvkaNode {
                 let own_to = bits_to_u64(&self.payload[..self.id_width]);
                 let own_flag = self.payload[self.id_width];
                 proposals.push((self.label, own_to, own_flag));
-                let label_of: std::collections::HashMap<u64, u64> =
+                let label_of: std::collections::BTreeMap<u64, u64> =
                     self.peer_labels.iter().copied().collect();
                 let received = std::mem::take(&mut self.received);
                 for (peer_id, bits) in received {

@@ -70,7 +70,7 @@ impl FullBroadcastNode {
             return;
         }
         // rows[j] = list of (sender id, bit for target j).
-        let id_index: std::collections::HashMap<u64, usize> = self
+        let id_index: std::collections::BTreeMap<u64, usize> = self
             .all_ids
             .iter()
             .enumerate()

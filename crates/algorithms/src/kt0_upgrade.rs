@@ -89,7 +89,7 @@ impl<A: Algorithm> UpgradeNode<A> {
         let mut all_ids: Vec<u64> = self.port_id_map.iter().map(|&(_, id)| id).collect();
         all_ids.push(self.outer.id);
         all_ids.sort_unstable();
-        let id_of_label: std::collections::HashMap<u64, u64> =
+        let id_of_label: std::collections::BTreeMap<u64, u64> =
             self.port_id_map.iter().copied().collect();
         let mut input_ids: Vec<u64> = self
             .outer

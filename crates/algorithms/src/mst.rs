@@ -64,21 +64,16 @@ impl Algorithm for BoruvkaMst {
             KnowledgeMode::Kt1,
             "BoruvkaMst requires KT-1; wrap in Kt0Upgrade for KT-0"
         );
-        let all_ids = init.all_ids.clone().expect("KT-1 provides all ids");
+        // KT-1 guarantees `all_ids` (mode asserted above) and every
+        // port label appears in it; the fallbacks keep a malformed
+        // init deterministic instead of panicking.
+        let all_ids = init.all_ids.clone().unwrap_or_else(|| vec![init.id]);
         let n = init.n;
-        let me = all_ids
-            .iter()
-            .position(|&id| id == init.id)
-            .expect("own id present");
+        let me = all_ids.iter().position(|&id| id == init.id).unwrap_or(0);
         let neighbors: Vec<usize> = init
             .input_port_labels
             .iter()
-            .map(|id| {
-                all_ids
-                    .iter()
-                    .position(|x| x == id)
-                    .expect("neighbor id known")
-            })
+            .map(|id| all_ids.iter().position(|x| x == id).unwrap_or(0))
             .collect();
         let pos_width = bits_needed(n);
         Box::new(MstNode {
@@ -146,8 +141,8 @@ impl MstNode {
     /// Applies all proposals (identical at every vertex).
     fn apply_phase(&mut self, proposals: Vec<(usize, Option<(u64, usize)>)>) {
         // Per component: the minimum (weight, endpoints) proposal.
-        let mut best: std::collections::HashMap<usize, (u64, usize, usize)> =
-            std::collections::HashMap::new();
+        let mut best: std::collections::BTreeMap<usize, (u64, usize, usize)> =
+            std::collections::BTreeMap::new();
         let mut any = false;
         for (sender, prop) in proposals {
             if let Some((w, other)) = prop {
@@ -231,7 +226,10 @@ impl NodeProgram for MstNode {
                 if *flag != Some(true) {
                     continue; // silent sender this phase
                 }
-                let sym = inbox.by_label(*label).expect("port present").symbol();
+                let Some(msg) = inbox.by_label(*label) else {
+                    continue;
+                };
+                let sym = msg.symbol();
                 let fed = if r - 1 < WEIGHT_BITS {
                     wacc.push(sym)
                 } else {
@@ -247,15 +245,16 @@ impl NodeProgram for MstNode {
             proposals.push((self.me, self.phase_state.proposal));
             let accs = std::mem::take(&mut self.phase_state.accs);
             for (peer_id, flag, wacc, pacc) in accs {
-                let sender = self
-                    .all_ids
-                    .iter()
-                    .position(|id| *id == peer_id)
-                    .expect("peer id known");
+                let Some(sender) = self.all_ids.iter().position(|id| *id == peer_id) else {
+                    continue;
+                };
+                // A `Some(true)` flag means both accumulators were fed
+                // their full payload; the fallbacks (worst weight,
+                // position 0) never fire on a well-formed transcript.
                 let prop = if flag == Some(true) {
                     Some((
-                        wacc.value().expect("weight payload complete"),
-                        pacc.value().expect("position payload complete") as usize,
+                        wacc.value().unwrap_or(u64::MAX),
+                        pacc.value().unwrap_or(0) as usize,
                     ))
                 } else {
                     None
@@ -282,12 +281,13 @@ impl NodeProgram for MstNode {
 
     fn component_label(&self) -> Option<u64> {
         self.done.then(|| {
+            // Our component contains us, so the fallback never fires.
             let my_label = self.labels[self.me];
             (0..self.n)
                 .filter(|&v| self.labels[v] == my_label)
                 .map(|v| self.all_ids[v])
                 .min()
-                .expect("component nonempty")
+                .unwrap_or(self.all_ids[self.me])
         })
     }
 

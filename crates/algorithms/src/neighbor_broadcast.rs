@@ -120,8 +120,8 @@ impl NeighborNode {
             return;
         }
         // Decode every sender's neighbor list.
-        let deg_of: std::collections::HashMap<u64, usize> = degs.iter().copied().collect();
-        let id_index: std::collections::HashMap<u64, usize> = self
+        let deg_of: std::collections::BTreeMap<u64, usize> = degs.iter().copied().collect();
+        let id_index: std::collections::BTreeMap<u64, usize> = self
             .all_ids
             .iter()
             .enumerate()

@@ -90,8 +90,8 @@ pub fn decide_problem(g: &Graph, problem: Problem) -> Decision {
 pub fn local_component_labels(g: &Graph, ids: &[u64]) -> Vec<u64> {
     let comps = connected_components(g);
     let n = g.num_vertices();
-    let mut min_id_of_label: std::collections::HashMap<usize, u64> =
-        std::collections::HashMap::new();
+    let mut min_id_of_label: std::collections::BTreeMap<usize, u64> =
+        std::collections::BTreeMap::new();
     for (&label, &id) in comps.label.iter().zip(ids) {
         let entry = min_id_of_label.entry(label).or_insert(u64::MAX);
         *entry = (*entry).min(id);

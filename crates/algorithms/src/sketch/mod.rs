@@ -96,16 +96,16 @@ impl Algorithm for SketchConnectivity {
             "SketchConnectivity requires KT-1; wrap in Kt0Upgrade for KT-0"
         );
         let n = init.n;
-        let all_ids = init.all_ids.clone().expect("KT-1 provides all ids");
+        // KT-1 guarantees `all_ids` (mode asserted above); the
+        // fallbacks keep a malformed init deterministic instead of
+        // panicking.
+        let all_ids = init.all_ids.clone().unwrap_or_else(|| vec![init.id]);
         let max_phases = if self.max_phases > 0 {
             self.max_phases
         } else {
             2 * bcc_model::codec::bits_needed(n) + 4
         };
-        let me = all_ids
-            .iter()
-            .position(|&id| id == init.id)
-            .expect("own id among all ids");
+        let me = all_ids.iter().position(|&id| id == init.id).unwrap_or(0);
         // Component labels: everyone starts in their own component,
         // indexed by position in sorted-ID order.
         Box::new(SketchNode {
@@ -116,12 +116,7 @@ impl Algorithm for SketchConnectivity {
             neighbors: init
                 .input_port_labels
                 .iter()
-                .map(|id| {
-                    all_ids
-                        .iter()
-                        .position(|x| x == id)
-                        .expect("neighbor id known")
-                })
+                .map(|id| all_ids.iter().position(|x| x == id).unwrap_or(0))
                 .collect(),
             all_ids,
             coin_seed: init.coin_seed,
@@ -193,18 +188,19 @@ impl SketchNode {
         let mut sketches: Vec<Option<L0Sketch>> = vec![None; self.n];
         sketches[self.me] = Some(L0Sketch::from_bits(m, seed, &self.my_bits));
         for (peer_id, bits) in &self.peer_bits {
-            let pos = self
-                .all_ids
-                .iter()
-                .position(|id| id == peer_id)
-                .expect("peer id known");
+            let Some(pos) = self.all_ids.iter().position(|id| id == peer_id) else {
+                continue;
+            };
             sketches[pos] = Some(L0Sketch::from_bits(m, seed, &bits[..L0Sketch::bits(m)]));
         }
-        // Sum per component.
-        let mut comp_sketch: std::collections::HashMap<usize, L0Sketch> =
-            std::collections::HashMap::new();
+        // Sum per component. A missing slot (unknown peer label) is
+        // skipped rather than panicking.
+        let mut comp_sketch: std::collections::BTreeMap<usize, L0Sketch> =
+            std::collections::BTreeMap::new();
         for (slot, &label) in sketches.iter_mut().zip(&self.labels) {
-            let s = slot.take().expect("all sketches present");
+            let Some(s) = slot.take() else {
+                continue;
+            };
             comp_sketch
                 .entry(label)
                 .and_modify(|acc| acc.add_assign(&s))
@@ -289,7 +285,9 @@ impl NodeProgram for SketchNode {
         }
         let total = L0Sketch::bits(self.m());
         for (label, bits) in &mut self.peer_bits {
-            let msg = inbox.by_label(*label).expect("port present");
+            let Some(msg) = inbox.by_label(*label) else {
+                continue;
+            };
             for s in msg.symbols() {
                 if bits.len() < total {
                     if let Some(b) = s.as_bit() {
@@ -311,12 +309,13 @@ impl NodeProgram for SketchNode {
     fn component_label(&self) -> Option<u64> {
         self.done.then(|| {
             // Minimum ID in our component.
+            // Our component contains us, so the fallback never fires.
             let my_label = self.labels[self.me];
             (0..self.n)
                 .filter(|&v| self.labels[v] == my_label)
                 .map(|v| self.all_ids[v])
                 .min()
-                .expect("component nonempty")
+                .unwrap_or(self.all_ids[self.me])
         })
     }
 

@@ -147,7 +147,7 @@ pub fn exact_deterministic_cc(m: &Matrix) -> usize {
     );
     let full_r: u16 = (1 << rows) - 1;
     let full_c: u16 = (1 << cols) - 1;
-    let mut memo: std::collections::HashMap<(u16, u16), usize> = std::collections::HashMap::new();
+    let mut memo: std::collections::BTreeMap<(u16, u16), usize> = std::collections::BTreeMap::new();
 
     fn monochromatic(m: &Matrix, rmask: u16, cmask: u16) -> bool {
         let mut seen: Option<bool> = None;
@@ -196,7 +196,7 @@ pub fn exact_deterministic_cc(m: &Matrix) -> usize {
         m: &Matrix,
         rmask: u16,
         cmask: u16,
-        memo: &mut std::collections::HashMap<(u16, u16), usize>,
+        memo: &mut std::collections::BTreeMap<(u16, u16), usize>,
     ) -> usize {
         if let Some(&v) = memo.get(&(rmask, cmask)) {
             return v;

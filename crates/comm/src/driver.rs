@@ -259,10 +259,10 @@ fn run_core<Out: Clone>(
             Turn::Alice => alice.send(),
             Turn::Bob => bob.send(),
         };
-        let truncated = budget.is_some_and(|b| bits + msg.len() > b);
+        let truncated = budget.is_some_and(|b| bits.saturating_add(msg.len()) > b);
         if truncated {
             // `budget >= bits` here, or the loop would have broken.
-            msg.truncate(budget.unwrap_or(0) - bits);
+            msg.truncate(budget.unwrap_or(0).saturating_sub(bits));
         }
         if trace.events_enabled() {
             let mut fields = vec![
@@ -277,7 +277,7 @@ fn run_core<Out: Clone>(
             trace.event("message", fields);
             trace.counter("bits_exchanged", msg.len() as u64);
         }
-        bits += msg.len();
+        bits = bits.saturating_add(msg.len());
         match turn {
             Turn::Alice => bob.receive(&msg),
             Turn::Bob => alice.receive(&msg),

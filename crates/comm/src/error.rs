@@ -27,6 +27,14 @@ pub enum CommError {
     /// A protocol run ended without the deciding party producing an
     /// output (message limit or bit budget hit too early).
     ProtocolIncomplete,
+    /// A bit-length computation overflowed `usize` — the requested
+    /// encoding is too large to account for honestly.
+    BitOverflow {
+        /// Left multiplicand.
+        left: usize,
+        /// Right multiplicand.
+        right: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -44,6 +52,12 @@ impl fmt::Display for CommError {
                 write!(
                     f,
                     "protocol ended before the deciding party produced an output"
+                )
+            }
+            CommError::BitOverflow { left, right } => {
+                write!(
+                    f,
+                    "bit-length computation overflowed usize: {left} * {right}"
                 )
             }
         }
@@ -66,5 +80,11 @@ mod tests {
             CommError::BadEncoding { reason: "x".into() }.to_string(),
             "bad encoding: x"
         );
+        assert!(CommError::BitOverflow {
+            left: usize::MAX,
+            right: 2
+        }
+        .to_string()
+        .contains("overflowed"));
     }
 }

@@ -31,11 +31,13 @@ pub fn encode_partition(p: &SetPartition) -> Vec<bool> {
 /// length or does not decode to a valid restricted-growth string.
 pub fn decode_partition(n: usize, bits: &[bool]) -> Result<SetPartition, CommError> {
     let w = bits_needed(n.max(2));
-    if bits.len() != n * w {
+    let expected = n
+        .checked_mul(w)
+        .ok_or(CommError::BitOverflow { left: n, right: w })?;
+    if bits.len() != expected {
         return Err(CommError::BadEncoding {
             reason: format!(
-                "partition encoding for ground size {n} needs {} bits, got {}",
-                n * w,
+                "partition encoding for ground size {n} needs {expected} bits, got {}",
                 bits.len()
             ),
         });
@@ -51,7 +53,7 @@ pub fn decode_partition(n: usize, bits: &[bool]) -> Result<SetPartition, CommErr
 
 /// Bits of the trivial protocol's first message for ground size `n`.
 pub fn trivial_message_bits(n: usize) -> usize {
-    n * bits_needed(n.max(2))
+    n.saturating_mul(bits_needed(n.max(2)))
 }
 
 /// The decision-`Partition` protocol: Alice sends `P_A` (RGS-encoded);

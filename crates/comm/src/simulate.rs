@@ -140,8 +140,8 @@ pub fn simulate_two_party(
         // Characters crossing the Alice/Bob cut: every character is
         // needed by the other side, so each direction carries one
         // character per hosted vertex. Plus one done-flag bit per side.
-        characters += num_vertices;
-        flag_bits += 2;
+        characters = characters.saturating_add(num_vertices);
+        flag_bits = flag_bits.saturating_add(2);
         for (v, program) in programs.iter_mut().enumerate() {
             let entries: Vec<(u64, Message)> = (0..num_vertices)
                 .filter(|&w| w != v)
@@ -149,13 +149,13 @@ pub fn simulate_two_party(
                 .collect();
             program.receive(rounds, &Inbox::new(entries));
         }
-        rounds += 1;
+        rounds = rounds.saturating_add(1);
     }
 
     SimulationReport {
         rounds,
         characters_exchanged: characters,
-        bits_exchanged: 2 * characters + flag_bits,
+        bits_exchanged: characters.saturating_mul(2).saturating_add(flag_bits),
         decisions: programs.iter().map(|p| p.decide()).collect(),
         component_labels: programs.iter().map(|p| p.component_label()).collect(),
     }

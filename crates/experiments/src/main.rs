@@ -151,7 +151,8 @@ fn main() -> ExitCode {
     let ids: Vec<&str> = cli.ids.iter().map(String::as_str).collect();
 
     // Wall-clock here times the whole suite for the stderr summary —
-    // it never reaches report bytes. bcc-lint: allow(D2)
+    // it never reaches report bytes.
+    // bcc-lint: allow(D2, N1): suite timing feeds stderr only
     let started = std::time::Instant::now();
     let suite = match bcc_experiments::run_suite(&ids, &cli.opts) {
         Ok(suite) => suite,

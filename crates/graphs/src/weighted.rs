@@ -28,7 +28,7 @@ use crate::union_find::UnionFind;
 pub struct WeightedGraph {
     graph: Graph,
     /// Weights keyed by normalized `(u, v)` with `u < v`.
-    weights: std::collections::HashMap<(usize, usize), u64>,
+    weights: std::collections::BTreeMap<(usize, usize), u64>,
 }
 
 /// A minimum spanning forest: the chosen edges and their total weight.
@@ -45,7 +45,7 @@ impl WeightedGraph {
     pub fn new(n: usize) -> Self {
         WeightedGraph {
             graph: Graph::new(n),
-            weights: std::collections::HashMap::new(),
+            weights: std::collections::BTreeMap::new(),
         }
     }
 
@@ -129,7 +129,7 @@ impl WeightedGraph {
     /// Returns `true` if all edge weights are distinct (uniqueness of
     /// the MSF).
     pub fn weights_distinct(&self) -> bool {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.weights.values().all(|&w| seen.insert(w))
     }
 }

@@ -181,14 +181,11 @@ impl Baseline {
 /// Interns known rule names so baseline keys can be compared against
 /// the `&'static str` rule ids carried by findings.
 fn rule_id(name: &str) -> &'static str {
-    match name {
-        "D1" => "D1",
-        "D2" => "D2",
-        "P1" => "P1",
-        "K1" => "K1",
-        "R1" => "R1",
-        _ => "?",
-    }
+    crate::rules::ALL_RULES
+        .iter()
+        .find(|r| **r == name)
+        .copied()
+        .unwrap_or("?")
 }
 
 #[cfg(test)]
@@ -203,6 +200,7 @@ mod tests {
             severity: "error",
             message: String::new(),
             snippet: String::new(),
+            chain: Vec::new(),
         }
     }
 

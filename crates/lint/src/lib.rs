@@ -17,12 +17,17 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
 pub mod rules;
 pub mod source;
+pub mod taint;
 
 pub use baseline::Baseline;
+pub use callgraph::Model;
 pub use engine::collect_workspace;
 pub use rules::{run_all, Finding, Workspace};
 pub use source::SourceFile;

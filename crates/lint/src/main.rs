@@ -8,7 +8,12 @@
 //!                       the manifest dir, falling back to `.`)
 //!   --baseline write    regenerate lint-baseline.toml from findings
 //!   --baseline check    fail only on findings beyond the baseline
-//!   --json              emit findings as JSONL on stdout
+//!   --format FMT        output format: text (default), json (JSONL),
+//!                       or sarif (single SARIF 2.1.0 document)
+//!   --json              shorthand for --format json
+//!   --jobs N            parse files on N threads (output is
+//!                       byte-identical at any N)
+//!   --explain RULE      print the rationale for a rule id and exit
 //!
 //! Exit codes follow the runner's conventions: 0 clean, 1 findings,
 //! 2 usage or I/O error.
@@ -18,7 +23,8 @@ use bcc_lint::{baseline::Baseline, engine, rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: bcc-lint [--root DIR] [--baseline write|check] [--json]";
+const USAGE: &str = "usage: bcc-lint [--root DIR] [--baseline write|check] \
+                     [--format text|json|sarif] [--json] [--jobs N] [--explain RULE]";
 
 const BASELINE_FILE: &str = "lint-baseline.toml";
 
@@ -32,16 +38,27 @@ enum BaselineMode {
     Check,
 }
 
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Cli {
     root: PathBuf,
     mode: BaselineMode,
-    json: bool,
+    format: Format,
+    jobs: usize,
+    explain: Option<String>,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     let mut root = None;
     let mut mode = BaselineMode::Off;
-    let mut json = false;
+    let mut format = Format::Text;
+    let mut jobs = 1usize;
+    let mut explain = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -59,14 +76,41 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                     }
                 };
             }
-            "--json" => json = true,
+            "--format" => {
+                format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format needs `text`, `json`, or `sarif`, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--json" => format = Format::Json,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a positive integer".to_string())?;
+                if jobs == 0 {
+                    return Err("--jobs needs a positive integer".to_string());
+                }
+            }
+            "--explain" => {
+                explain = Some(it.next().ok_or("--explain needs a rule id")?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(Cli {
         root: root.unwrap_or_else(default_root),
         mode,
-        json,
+        format,
+        jobs,
+        explain,
     })
 }
 
@@ -90,6 +134,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(rule) = &cli.explain {
+        return match rules::explain(rule) {
+            Some(text) => {
+                println!("{rule}: {text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "error: unknown rule {rule:?}; known rules: {}",
+                    rules::ALL_RULES.join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
     match run(&cli) {
         Ok(code) => code,
         Err(msg) => {
@@ -100,7 +159,7 @@ fn main() -> ExitCode {
 }
 
 fn run(cli: &Cli) -> Result<ExitCode, String> {
-    let ws = engine::collect_workspace(&cli.root)
+    let ws = engine::collect_workspace_jobs(&cli.root, cli.jobs)
         .map_err(|e| format!("walking {}: {e}", cli.root.display()))?;
     let findings = rules::run_all(&ws);
     let baseline_path = cli.root.join(BASELINE_FILE);
@@ -119,8 +178,13 @@ fn run(cli: &Cli) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         BaselineMode::Off => {
-            for f in &findings {
-                print_finding(f, false, cli.json);
+            if cli.format == Format::Sarif {
+                let records: Vec<_> = findings.iter().map(|f| (f, false)).collect();
+                print!("{}", engine::sarif_report(&records));
+            } else {
+                for f in &findings {
+                    print_finding(f, false, cli.format);
+                }
             }
             eprintln!(
                 "bcc-lint: {} findings in {} files",
@@ -136,6 +200,15 @@ fn run(cli: &Cli) -> Result<ExitCode, String> {
                 Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
             let (regressions, ratchets) = baseline.check(&findings);
             let num_new: usize = regressions.iter().map(|r| r.found.len() - r.allowed).sum();
+            let is_new = |f: &rules::Finding| {
+                regressions
+                    .iter()
+                    .any(|r| r.rule == f.rule && r.file == f.file)
+            };
+            if cli.format == Format::Sarif {
+                let records: Vec<_> = findings.iter().map(|f| (f, !is_new(f))).collect();
+                print!("{}", engine::sarif_report(&records));
+            }
             for r in &regressions {
                 eprintln!(
                     "bcc-lint: [{}] {}: {} findings exceed baseline allowance {}:",
@@ -144,18 +217,16 @@ fn run(cli: &Cli) -> Result<ExitCode, String> {
                     r.found.len(),
                     r.allowed
                 );
-                for f in &r.found {
-                    print_finding(f, false, cli.json);
+                if cli.format != Format::Sarif {
+                    for f in &r.found {
+                        print_finding(f, false, cli.format);
+                    }
                 }
             }
-            if cli.json {
+            if cli.format == Format::Json {
                 // Baselined buckets are still emitted for dashboards,
                 // flagged so consumers can filter.
-                for f in findings.iter().filter(|f| {
-                    !regressions
-                        .iter()
-                        .any(|r| r.rule == f.rule && r.file == f.file)
-                }) {
+                for f in findings.iter().filter(|f| !is_new(f)) {
                     println!("{}", engine::json_record(f, true));
                 }
             }
@@ -177,13 +248,17 @@ fn run(cli: &Cli) -> Result<ExitCode, String> {
     }
 }
 
-fn print_finding(f: &rules::Finding, baselined: bool, json: bool) {
-    if json {
-        println!("{}", engine::json_record(f, baselined));
-    } else {
-        println!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message);
-        if !f.snippet.is_empty() {
-            println!("    | {}", f.snippet);
+fn print_finding(f: &rules::Finding, baselined: bool, format: Format) {
+    match format {
+        Format::Json => println!("{}", engine::json_record(f, baselined)),
+        _ => {
+            println!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+            if !f.snippet.is_empty() {
+                println!("    | {}", f.snippet);
+            }
+            for step in &f.chain {
+                println!("    > {step}");
+            }
         }
     }
 }

@@ -62,6 +62,10 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source line.
     pub snippet: String,
+    /// Call-chain evidence for interprocedural rules (N1/L1): the
+    /// qualified functions from the reporting site down to the
+    /// source/conflict. Empty for token-local rules.
+    pub chain: Vec<String>,
 }
 
 /// All lexed workspace files.
@@ -134,7 +138,10 @@ pub const K1_FORBIDDEN: [&str; 7] = [
 
 /// Runs every rule over the workspace; findings are sorted by
 /// (file, line, rule) and inline suppressions are already applied.
+/// The interprocedural rules (N1/L1) share one call-graph
+/// [`Model`](crate::callgraph::Model) built here.
 pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    let model = crate::callgraph::Model::build(ws);
     let mut out = Vec::new();
     for file in &ws.files {
         rule_d1(file, &mut out);
@@ -143,10 +150,92 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
         rule_k1(file, &mut out);
         rule_o1(file, &mut out);
         rule_o2(file, &mut out);
+        rule_a1(file, &mut out);
     }
     rule_r1(ws, &mut out);
+    crate::taint::rule_n1(ws, &model, &mut out);
+    crate::locks::rule_l1(ws, &model, &mut out);
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     out
+}
+
+/// Every rule id, in report order — the baseline and SARIF renderers
+/// iterate this.
+pub const ALL_RULES: &[&str] = &["A1", "D1", "D2", "K1", "L1", "N1", "O1", "O2", "P1", "R1"];
+
+/// One-paragraph rationale per rule, for `--explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "D1" => {
+            "D1 — hash-ordered iteration in report-feeding crates. \
+             `HashMap`/`HashSet` iteration order varies per process, which \
+             breaks the byte-identical `--jobs 1` = `--jobs N` guarantee \
+             (and, via float summation order, the entropy accounting of \
+             Theorem 4.5). Use `BTreeMap`/`BTreeSet` or sort before \
+             iterating."
+        }
+        "D2" => {
+            "D2 — wall-clock or OS-entropy reads outside the runner's \
+             timing layer. A job body reading `Instant::now` or an entropy \
+             source is no longer a pure function of its seed; derive \
+             randomness from the blessed per-job seed path instead."
+        }
+        "P1" => {
+            "P1 — panic paths (`unwrap`/`expect`/`panic!`-family) in \
+             non-test library code. New panic paths are errors; \
+             pre-existing debt lives in lint-baseline.toml and may only \
+             shrink."
+        }
+        "K1" => {
+            "K1 — knowledge-regime hygiene. Protocol modules in \
+             crates/algorithms may see the model only through the node \
+             surface (InitialKnowledge/Inbox/NodeProgram): the KT-0/KT-1 \
+             separation of Section 1.2."
+        }
+        "R1" => {
+            "R1 — experiment-registry completeness. Every exp_*.rs module \
+             must expose jobs()/reduce(), implement Experiment, and be \
+             registered (and quoted) in lib.rs so no series drops out of \
+             `all` runs."
+        }
+        "O1" => {
+            "O1 — trace emission hygiene. Outside crates/trace, rendered \
+             trace bytes exist only through the Collector -> Trace \
+             pipeline; naming a sink type or calling write_event bypasses \
+             the deterministic (unit, seq) merge."
+        }
+        "O2" => {
+            "O2 — metric emission hygiene, O1's twin for bcc-metrics: \
+             rendered metric bytes exist only through the MetricsHub -> \
+             MetricsDump facade."
+        }
+        "N1" => {
+            "N1 — interprocedural nondeterminism taint. Entropy, wall \
+             clock, and hash-iteration sources are propagated through the \
+             workspace call graph; any function that both reaches a source \
+             and emits through a report/trace/metrics sink is flagged with \
+             the full call chain. Subsumes the crate-scoped D1/D2 checks \
+             path-sensitively. Suppress at the source line to bless a \
+             value, or at the sink line to bless one emission."
+        }
+        "L1" => {
+            "L1 — lock-order analysis. Acquisition sequences (with guard \
+             extents modeled from let/drop/scope structure) are propagated \
+             through the call graph; cycles in the held->acquired graph \
+             and inversions of the canonical serve order (server -> \
+             admission -> pool -> store -> hub, DESIGN.md \u{a7}11) are \
+             flagged with witness chains."
+        }
+        "A1" => {
+            "A1 — unchecked arithmetic on bit-accounting quantities \
+             (identifiers with a `bits` segment, or round counters). The \
+             paper's lower-bound accounting (Theorem 4.5) is only evidence \
+             if counters cannot silently wrap: use checked_*/saturating_* \
+             arithmetic, or `// bcc-lint: allow(A1): <why overflow is \
+             impossible>` with a written justification."
+        }
+        _ => return None,
+    })
 }
 
 fn emit(file: &SourceFile, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
@@ -160,6 +249,7 @@ fn emit(file: &SourceFile, out: &mut Vec<Finding>, rule: &'static str, line: u32
         severity: "error",
         message,
         snippet: file.line_text(line).to_string(),
+        chain: Vec::new(),
     });
 }
 
@@ -354,6 +444,105 @@ fn rule_o2(file: &SourceFile, out: &mut Vec<Finding>) {
                 ),
             );
         }
+    }
+}
+
+/// True for identifiers that carry bit-accounting or round-count
+/// semantics: lowercase snake names with a `bits` segment, or the
+/// round counters themselves. Uppercase consts (`WEIGHT_BITS`) are
+/// compile-time and exempt.
+fn is_accounting_ident(text: &str) -> bool {
+    if text.chars().any(|c| c.is_ascii_uppercase()) {
+        return false;
+    }
+    text == "round" || text == "rounds" || text.split('_').any(|s| s == "bits")
+}
+
+/// A1: unchecked `+`/`-`/`*`/`<<` arithmetic on bit-accounting
+/// quantities. Unlike other rules, a bare `allow(A1)` is not enough:
+/// the suppression must carry a justification
+/// (`// bcc-lint: allow(A1): <why overflow is impossible>`).
+fn rule_a1(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code: Vec<_> = file.code().collect();
+    let is_operand_end = |t: Option<&&crate::lexer::Token>| {
+        t.is_some_and(|t| {
+            matches!(t.kind, TokKind::Ident | TokKind::Num) || t.is_punct(')') || t.is_punct(']')
+        })
+    };
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !is_accounting_ident(&t.text) || file.is_test_line(t.line) {
+            continue;
+        }
+        // Followed by an arithmetic operator: `bits + x`, `bits -= x`,
+        // `bits << w` (`->` arrows excluded).
+        let followed = match code.get(i + 1) {
+            Some(n) if n.is_punct('+') || n.is_punct('*') => true,
+            Some(n) if n.is_punct('-') => !code.get(i + 2).is_some_and(|x| x.is_punct('>')),
+            Some(n) if n.is_punct('<') => code.get(i + 2).is_some_and(|x| x.is_punct('<')),
+            _ => false,
+        };
+        // Preceded by a binary operator, walking back over a field
+        // chain (`run.bits_exchanged`): `x + run.bits`, `1 << bits`,
+        // `x += bits`. Unary `-x`/`*x` (no operand before the op)
+        // are excluded.
+        let mut j = i;
+        while j >= 2 && code[j - 1].is_punct('.') && code[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        let preceded = if j == 0 {
+            false
+        } else {
+            let p = code[j - 1];
+            let before = if j >= 2 { code.get(j - 2) } else { None };
+            if p.is_punct('+') || p.is_punct('-') || p.is_punct('*') {
+                is_operand_end(before)
+            } else if p.is_punct('<') {
+                before.is_some_and(|b| b.is_punct('<'))
+            } else if p.is_punct('=') {
+                // Compound-assign RHS: `x += bits`, `x <<= bits`.
+                before.is_some_and(|b| {
+                    b.is_punct('+') || b.is_punct('-') || b.is_punct('*') || b.is_punct('<')
+                })
+            } else {
+                false
+            }
+        };
+        if !followed && !preceded {
+            continue;
+        }
+        if file.is_suppressed("A1", t.line) {
+            if file.suppression_justified("A1", t.line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "A1",
+                file: file.path.clone(),
+                line: t.line,
+                severity: "error",
+                message: format!(
+                    "`allow(A1)` on `{}` has no justification: write \
+                     `// bcc-lint: allow(A1): <why overflow is impossible>`",
+                    t.text
+                ),
+                snippet: file.line_text(t.line).to_string(),
+                chain: Vec::new(),
+            });
+            continue;
+        }
+        out.push(Finding {
+            rule: "A1",
+            file: file.path.clone(),
+            line: t.line,
+            severity: "error",
+            message: format!(
+                "unchecked arithmetic on bit-accounting quantity `{}`: bit \
+                 counts feeding the lower-bound measurements must use \
+                 `checked_*`/`saturating_*` (or a justified allow)",
+                t.text
+            ),
+            snippet: file.line_text(t.line).to_string(),
+            chain: Vec::new(),
+        });
     }
 }
 

@@ -3,7 +3,7 @@
 //! are *suppressed* by an inline `// bcc-lint: allow(<rule>)`.
 
 use crate::lexer::{lex, TokKind, Token};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// A lexed workspace file with rule context.
 #[derive(Debug)]
@@ -17,8 +17,8 @@ pub struct SourceFile {
     /// `test_lines[l]` (1-based) is true inside `#[cfg(test)]` /
     /// `#[test]` item bodies.
     test_lines: Vec<bool>,
-    /// Line → rules allowed on that line and the next.
-    suppressions: BTreeMap<u32, BTreeSet<String>>,
+    /// Line → rule → whether the `allow` carries a `: justification`.
+    suppressions: BTreeMap<u32, BTreeMap<String, bool>>,
     /// Whole-file test status (`tests/`, `benches/`, `examples/`).
     pub is_test_file: bool,
 }
@@ -58,7 +58,20 @@ impl SourceFile {
         [line, line.saturating_sub(1)].iter().any(|l| {
             self.suppressions
                 .get(l)
-                .is_some_and(|rules| rules.contains(rule))
+                .is_some_and(|rules| rules.contains_key(rule))
+        })
+    }
+
+    /// True if a suppression covering `line` for `rule` carries a
+    /// written justification (`// bcc-lint: allow(A1): reason`).
+    /// Rules that demand justified allows (A1) re-emit otherwise.
+    pub fn suppression_justified(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.suppressions
+                .get(l)
+                .and_then(|rules| rules.get(rule))
+                .copied()
+                .unwrap_or(false)
         })
     }
 
@@ -168,9 +181,11 @@ fn item_end_line(code: &[&Token], start: usize) -> u32 {
     code.last().map_or(0, |t| t.line)
 }
 
-/// Extracts `bcc-lint: allow(R1, R2)` directives from comments.
-fn collect_suppressions(tokens: &[Token]) -> BTreeMap<u32, BTreeSet<String>> {
-    let mut out: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+/// Extracts `bcc-lint: allow(R1, R2)` directives from comments. An
+/// optional trailing `: reason` after the closing paren marks the
+/// allow as *justified* (required by A1).
+fn collect_suppressions(tokens: &[Token]) -> BTreeMap<u32, BTreeMap<String, bool>> {
+    let mut out: BTreeMap<u32, BTreeMap<String, bool>> = BTreeMap::new();
     for t in tokens.iter().filter(|t| t.is_comment()) {
         let Some(at) = t.text.find("bcc-lint:") else {
             continue;
@@ -183,11 +198,16 @@ fn collect_suppressions(tokens: &[Token]) -> BTreeMap<u32, BTreeSet<String>> {
         let Some(close) = args.find(')') else {
             continue;
         };
+        let justified = args[close + 1..]
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
         let rules = out.entry(t.line).or_default();
         for rule in args[..close].split(',') {
             let rule = rule.trim();
             if !rule.is_empty() {
-                rules.insert(rule.to_string());
+                // A justified allow wins over a bare one on the line.
+                let slot = rules.entry(rule.to_string()).or_insert(false);
+                *slot = *slot || justified;
             }
         }
     }
@@ -249,6 +269,20 @@ mod tests {
         assert!(f.is_suppressed("D1", 3));
         assert!(!f.is_suppressed("P1", 5));
         assert!(!f.is_suppressed("D2", 2));
+    }
+
+    #[test]
+    fn justified_allows_are_distinguished() {
+        // Blank separators keep each allow's line±1 reach from
+        // overlapping the next case.
+        let src = "let a = x + y; // bcc-lint: allow(A1): counter bounded by n\n\nlet b = x + y; // bcc-lint: allow(A1)\n\nlet c = x + y; // bcc-lint: allow(A1):   \n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.is_suppressed("A1", 1));
+        assert!(f.suppression_justified("A1", 1));
+        assert!(f.is_suppressed("A1", 3));
+        assert!(!f.suppression_justified("A1", 3));
+        // A colon with only whitespace after it is not a justification.
+        assert!(!f.suppression_justified("A1", 5));
     }
 
     #[test]

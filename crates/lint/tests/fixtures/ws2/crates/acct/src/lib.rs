@@ -1,0 +1,20 @@
+//! Fixture: bit-accounting arithmetic (acct). One unchecked add, one
+//! checked add, one justified allow, one bare allow.
+
+pub fn grow(bits_sent: usize, n: usize) -> usize {
+    bits_sent + n
+}
+
+pub fn safe(bits_sent: usize, n: usize) -> usize {
+    bits_sent.saturating_add(n)
+}
+
+pub fn bump(round: usize) -> usize {
+    // bcc-lint: allow(A1): round is bounded by the phase width
+    round + 1
+}
+
+pub fn sneaky(round: usize) -> usize {
+    // bcc-lint: allow(A1)
+    round + 1
+}

@@ -1,0 +1,28 @@
+//! Fixture: nondeterminism sources (alpha). Parsed by the lint's
+//! interprocedural tests; never compiled.
+
+use std::collections::HashMap;
+
+/// Order-sensitive aggregation: the N1 source.
+pub fn shuffled_totals(items: &[(u64, u64)]) -> Vec<u64> {
+    let m: HashMap<u64, u64> = items.iter().copied().collect();
+    m.values().copied().collect()
+}
+
+/// Clean plumbing between source and sink.
+pub fn relay(items: &[(u64, u64)]) -> Vec<u64> {
+    shuffled_totals(items)
+}
+
+/// Source-line suppression blocks every chain from this map.
+pub fn quiet_lookup(items: &[(u64, u64)]) -> usize {
+    // bcc-lint: allow(N1): consumed for membership only, never iterated
+    let m: HashMap<u64, u64> = items.iter().copied().collect();
+    m.len()
+}
+
+/// Emits, but its only source is suppressed above.
+pub fn quiet_report(scope: &Scope, items: &[(u64, u64)]) {
+    let n = quiet_lookup(items);
+    scope.gauge("quiet", n as u64);
+}

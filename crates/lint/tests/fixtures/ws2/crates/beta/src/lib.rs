@@ -1,0 +1,16 @@
+//! Fixture: report surface (beta). The N1 sink side of the
+//! cross-crate taint chain rooted in `alpha`.
+
+/// Emits bytes influenced by alpha's hash iteration: N1 must fire
+/// here with a two-hop cross-crate chain.
+pub fn emit(trace: &Trace, items: &[(u64, u64)]) {
+    let totals = bcc_alpha::relay(items);
+    trace.event("totals", totals.len() as u64);
+}
+
+/// Sink-line suppression blocks this chain only.
+pub fn emit_suppressed(trace: &Trace, items: &[(u64, u64)]) {
+    let totals = bcc_alpha::relay(items);
+    // bcc-lint: allow(N1): order-insensitive length, not contents
+    trace.event("totals", totals.len() as u64);
+}

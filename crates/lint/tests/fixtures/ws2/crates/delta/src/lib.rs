@@ -1,0 +1,30 @@
+//! Fixture: canonical serve-order inversion and a suppressed cycle
+//! (delta).
+
+impl MetricsHub {
+    /// Takes an admission lock while holding the hub: inverts the
+    /// canonical serve order even though no cycle exists.
+    pub fn flush(&self, adm: &Admission) {
+        let g = self.series.lock();
+        let s = adm.state.lock();
+        drop(s);
+        drop(g);
+    }
+}
+
+impl Opposed {
+    pub fn one(&self) {
+        let a = self.x.lock();
+        // bcc-lint: allow(L1): both paths hold a startup-only lock
+        let b = self.y.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn two(&self) {
+        let b = self.y.lock();
+        let a = self.x.lock();
+        drop(a);
+        drop(b);
+    }
+}

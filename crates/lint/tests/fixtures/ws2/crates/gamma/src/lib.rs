@@ -1,0 +1,23 @@
+//! Fixture: opposed lock acquisition orders (gamma). The two methods
+//! take the same pair of locks in opposite orders — an L1 cycle.
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.first.lock();
+        let b = self.second.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.second.lock();
+        let a = self.first.lock();
+        drop(a);
+        drop(b);
+    }
+}

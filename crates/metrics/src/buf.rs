@@ -43,7 +43,7 @@ impl GaugeStat {
 
     /// Folds one observation in.
     pub fn observe(&mut self, value: u64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.sum = self.sum.saturating_add(value);
@@ -55,7 +55,7 @@ impl GaugeStat {
         if other.count == 0 {
             return;
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.sum = self.sum.saturating_add(other.sum);

@@ -117,8 +117,9 @@ impl HistogramSnapshot {
 
     /// Records one sample (single-owner path; no atomics).
     pub fn observe(&mut self, value: u64) {
-        self.buckets[bucket_index(value)] += 1;
-        self.count += 1;
+        let b = bucket_index(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
@@ -127,9 +128,9 @@ impl HistogramSnapshot {
     /// merged result is independent of buffer arrival order.
     pub fn merge_from(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
@@ -160,7 +161,7 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return (1u64 << (i + 1)).min(self.max);
             }

@@ -43,7 +43,7 @@ impl Network {
         port_to_peer: Vec<Vec<usize>>,
     ) -> Result<Self, ModelError> {
         let n = ids.len();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &id in &ids {
             if !seen.insert(id) {
                 return Err(ModelError::DuplicateIds { id });

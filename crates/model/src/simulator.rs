@@ -663,7 +663,7 @@ pub fn try_runs_indistinguishable(a: &RunOutcome, b: &RunOutcome) -> Result<bool
     if a.views.len() != b.views.len() {
         return Ok(false);
     }
-    let mut b_by_id: std::collections::HashMap<u64, &NodeView> =
+    let mut b_by_id: std::collections::BTreeMap<u64, &NodeView> =
         b.views.iter().map(|v| (v.id, v)).collect();
     Ok(a.views
         .iter()
