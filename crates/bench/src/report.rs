@@ -81,6 +81,9 @@ pub struct Inputs {
     pub baseline: Option<MetricsDump>,
     /// Trace shape (`--trace`).
     pub trace: Option<TraceStats>,
+    /// A cost-attribution profile (`--profile`), rendered as the
+    /// hot-path section.
+    pub profile: Option<bcc_prof::Profile>,
     /// Committed benchmark recordings (`--bench`, repeatable).
     pub benches: Vec<BenchFile>,
 }
@@ -241,6 +244,16 @@ pub fn render_markdown(inputs: &Inputs, failures: &[String]) -> String {
             let _ = writeln!(md, "| `{kind}` | {count} |");
         }
     }
+    if let Some(profile) = &inputs.profile {
+        let _ = writeln!(
+            md,
+            "\n## Profile\n\n{} span paths · {} frames · {} counters\n",
+            profile.spans.len(),
+            profile.frames.len(),
+            profile.totals.len()
+        );
+        md.push_str(&bcc_prof::render_hot_paths(profile, 10));
+    }
     for bench in &inputs.benches {
         let _ = writeln!(md, "\n## Bench: {}\n", bench.name);
         md.push_str("| metric | value |\n|---|---:|\n");
@@ -302,6 +315,37 @@ fn render_serve_section(dump: &MetricsDump, md: &mut String) {
     }
 }
 
+/// Renders a profile diff as Markdown — the `--diff` mode's output.
+/// Only changed rows appear; rows outside the tolerance are marked
+/// **BREACH** and make `bcc-report --diff` exit 1.
+pub fn render_diff_markdown(a_name: &str, b_name: &str, diff: &bcc_prof::ProfileDiff) -> String {
+    let mut md = String::from("# bcc profile diff\n\n");
+    let _ = writeln!(md, "baseline `{a_name}` vs `{b_name}`\n");
+    if diff.is_identical() {
+        md.push_str("profiles are identical\n");
+        return md;
+    }
+    let _ = writeln!(
+        md,
+        "{} changed row(s), {} breach(es)\n",
+        diff.rows.len(),
+        diff.breaches()
+    );
+    md.push_str("| kind | key | baseline | current | status |\n|---|---|---:|---:|---|\n");
+    for row in &diff.rows {
+        let _ = writeln!(
+            md,
+            "| {} | `{}` | {} | {} | {} |",
+            row.kind.tag(),
+            row.key,
+            row.a,
+            row.b,
+            if row.within { "within" } else { "**BREACH**" }
+        );
+    }
+    md
+}
+
 /// Renders the merged report as one JSON object.
 pub fn render_json(inputs: &Inputs, failures: &[String]) -> String {
     let mut out = String::from("{");
@@ -322,6 +366,15 @@ pub fn render_json(inputs: &Inputs, failures: &[String]) -> String {
             out,
             "\"trace\":{{\"events\":{},\"units\":{}}},",
             trace.events, trace.units
+        );
+    }
+    if let Some(profile) = &inputs.profile {
+        let _ = write!(
+            out,
+            "\"profile\":{{\"spans\":{},\"frames\":{},\"totals\":{}}},",
+            profile.spans.len(),
+            profile.frames.len(),
+            profile.totals.len()
         );
     }
     let names: Vec<String> = inputs
@@ -525,5 +578,52 @@ mod tests {
                 .and_then(JsonValue::as_u64),
             Some(1)
         );
+    }
+
+    fn tiny_profile(bits: u64) -> bcc_prof::Profile {
+        let collector = bcc_trace::Collector::new(bcc_trace::TraceLevel::Costs);
+        let mut b = collector.buf("e2/n=5");
+        b.span_start("job", vec![]);
+        b.span_start("sim", vec![]);
+        b.counter("sim.bits_broadcast", bits);
+        b.span_end("sim", vec![]);
+        b.span_end("job", vec![]);
+        collector.absorb(b);
+        bcc_prof::Profile::build(collector.finish().events(), None)
+    }
+
+    #[test]
+    fn markdown_report_renders_profile_section() {
+        let inputs = Inputs {
+            profile: Some(tiny_profile(12)),
+            ..Default::default()
+        };
+        let md = render_markdown(&inputs, &[]);
+        assert!(md.contains("## Profile"), "{md}");
+        assert!(md.contains("span paths"), "{md}");
+        assert!(md.contains("e2/job/sim"), "{md}");
+        assert!(md.contains("sim.bits_broadcast"), "{md}");
+
+        // No profile input, no section.
+        let plain = Inputs::default();
+        assert!(!render_markdown(&plain, &[]).contains("## Profile"));
+    }
+
+    #[test]
+    fn diff_markdown_reports_identity_and_breaches() {
+        let a = tiny_profile(12);
+        let same = render_diff_markdown(
+            "a.jsonl",
+            "b.jsonl",
+            &bcc_prof::diff_profiles(&a, &tiny_profile(12), &Default::default()),
+        );
+        assert!(same.contains("profiles are identical"), "{same}");
+
+        let diff = bcc_prof::diff_profiles(&a, &tiny_profile(40), &Default::default());
+        assert!(diff.breaches() > 0);
+        let md = render_diff_markdown("a.jsonl", "b.jsonl", &diff);
+        assert!(md.contains("baseline `a.jsonl` vs `b.jsonl`"), "{md}");
+        assert!(md.contains("**BREACH**"), "{md}");
+        assert!(md.contains("| 12 | 40 |"), "{md}");
     }
 }

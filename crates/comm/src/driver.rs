@@ -275,7 +275,11 @@ fn run_core<Out: Clone>(
                 fields.push(field("truncated", true));
             }
             trace.event("message", fields);
-            trace.counter("bits_exchanged", msg.len() as u64);
+        }
+        // Canonical dotted name matches the `comm.bits_exchanged`
+        // workload counter so the profiler can join by name.
+        if trace.costs_enabled() {
+            trace.counter("comm.bits_exchanged", msg.len() as u64);
         }
         bits = bits.saturating_add(msg.len());
         match turn {

@@ -250,9 +250,11 @@ fn run_batch_impl(
             }
             stats[lane].rounds = round + 1;
         }
-        if trace.events_enabled() {
-            trace.counter("active_lanes", u64::from(active.count_ones()));
-            trace.counter("bits_broadcast", round_bits as u64);
+        // Cost records carry the canonical dotted names so the
+        // profiler can join them against the metrics dump.
+        if trace.costs_enabled() {
+            trace.counter("engine.active_lanes", u64::from(active.count_ones()));
+            trace.counter("engine.round_bits", round_bits as u64);
         }
         if metered {
             round_samples.push((u64::from(active.count_ones()), round_bits as u64));
@@ -326,6 +328,11 @@ fn run_batch_impl(
             buf.counter("engine.batches", 1);
             buf.counter("engine.lanes", l as u64);
             buf.counter("engine.rounds", round_samples.len() as u64);
+            // Core-level total of the same quantity the full-level
+            // histogram samples per round, so profile attribution can
+            // join against core dumps too.
+            let total_bits: u64 = round_samples.iter().map(|&(_, bits)| bits).sum();
+            buf.counter("engine.round_bits", total_bits);
             for &(active_lanes, bits) in &round_samples {
                 buf.gauge("engine.active_lanes", active_lanes);
                 buf.full_observe("engine.round_bits", bits);
@@ -476,7 +483,8 @@ mod tests {
         let events = scope.take().into_events();
         assert_eq!(events[0].name, "batch");
         assert!(events.iter().any(|e| e.name == "round=2"));
-        assert!(events.iter().any(|e| e.name == "active_lanes"));
+        assert!(events.iter().any(|e| e.name == "engine.active_lanes"));
+        assert!(events.iter().any(|e| e.name == "engine.round_bits"));
         // Tracing is an observer: outcome identical to untraced batch.
         let plain = BatchRun::new(SimConfig::bcc1(3)).run(&[(&i, 0), (&i, 1)], &EchoBit);
         assert_eq!(out[0].decisions(), plain[0].decisions());

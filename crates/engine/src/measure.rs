@@ -14,8 +14,10 @@ use bcc_comm::reduction::{gadget_graph, Gadget};
 use bcc_comm::simulate::SimulationReport;
 use bcc_comm::CommError;
 use bcc_core::hard::WeightedInstance;
+use bcc_metrics::MetricScope;
 use bcc_model::{Algorithm, Decision, Instance, ModelError, SimConfig};
 use bcc_partitions::SetPartition;
+use bcc_trace::TraceScope;
 
 /// Failure to assemble a batched measurement's instances.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +67,34 @@ pub fn distributional_error_batched(
     t: usize,
     coin_seed: u64,
 ) -> f64 {
-    let batch = BatchRun::new(SimConfig::bcc1(t).transcripts(false));
+    distributional_error_batched_observed(
+        dist,
+        algorithm,
+        t,
+        coin_seed,
+        TraceScope::disabled(),
+        MetricScope::disabled(),
+    )
+}
+
+/// [`distributional_error_batched`] with observability attached: the
+/// kernel records its round spans and the `engine.*` cost counters
+/// into the given scopes. Observers never change the returned error —
+/// the unobserved form delegates here with both scopes disabled.
+pub fn distributional_error_batched_observed(
+    dist: &[WeightedInstance],
+    algorithm: &dyn Algorithm,
+    t: usize,
+    coin_seed: u64,
+    trace: TraceScope,
+    metrics: MetricScope,
+) -> f64 {
+    let batch = BatchRun::new(
+        SimConfig::bcc1(t)
+            .transcripts(false)
+            .trace(trace)
+            .metrics(metrics),
+    );
     let mut error = 0.0f64;
     let mut i = 0;
     while i < dist.len() {
@@ -140,6 +169,38 @@ pub fn simulate_two_party_batched(
     coin_seed: u64,
     max_rounds: usize,
 ) -> Result<Vec<SimulationReport>, EngineError> {
+    simulate_two_party_batched_observed(
+        gadget,
+        algorithm,
+        pairs,
+        coin_seed,
+        max_rounds,
+        TraceScope::disabled(),
+        MetricScope::disabled(),
+    )
+}
+
+/// [`simulate_two_party_batched`] with observability attached: the
+/// kernel records its round spans and the `engine.*` cost counters
+/// into the given scopes. Observers never change a report field — the
+/// unobserved form delegates here with both scopes disabled.
+///
+/// # Errors
+///
+/// Same contract as [`simulate_two_party_batched`].
+///
+/// # Panics
+///
+/// Same contract as [`simulate_two_party_batched`].
+pub fn simulate_two_party_batched_observed(
+    gadget: Gadget,
+    algorithm: &dyn Algorithm,
+    pairs: &[(SetPartition, SetPartition)],
+    coin_seed: u64,
+    max_rounds: usize,
+    trace: TraceScope,
+    metrics: MetricScope,
+) -> Result<Vec<SimulationReport>, EngineError> {
     if pairs.is_empty() {
         return Ok(Vec::new());
     }
@@ -156,7 +217,12 @@ pub fn simulate_two_party_batched(
         .map(|(pa, pb)| Ok(Instance::new_kt1(gadget_graph(gadget, pa, pb)?)?))
         .collect::<Result<_, EngineError>>()?;
     let lanes: Vec<Lane<'_>> = instances.iter().map(|inst| (inst, coin_seed)).collect();
-    let batch = BatchRun::new(SimConfig::bcc1(max_rounds).transcripts(false));
+    let batch = BatchRun::new(
+        SimConfig::bcc1(max_rounds)
+            .transcripts(false)
+            .trace(trace)
+            .metrics(metrics),
+    );
     let outcomes = batch.run_chunked(&lanes, algorithm);
     Ok(outcomes
         .into_iter()

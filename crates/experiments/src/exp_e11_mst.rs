@@ -28,12 +28,31 @@ pub struct MstRow {
 
 /// Runs one instance.
 pub fn run_one(g: Graph, weight_seed: u64) -> MstRow {
+    run_one_observed(
+        g,
+        weight_seed,
+        bcc_trace::TraceScope::disabled(),
+        bcc_metrics::MetricScope::disabled(),
+    )
+}
+
+/// [`run_one`] with both observers attached: the simulated run
+/// records its `sim` span tree and `sim.*` cost counters into the
+/// given scopes. Observers never change a row field.
+pub fn run_one_observed(
+    g: Graph,
+    weight_seed: u64,
+    trace: bcc_trace::TraceScope,
+    metrics: bcc_metrics::MetricScope,
+) -> MstRow {
     let n = g.num_vertices();
     let m = g.num_edges();
     let algo = BoruvkaMst::new(weight_seed);
     let inst = Instance::new_kt1(g.clone()).expect("instance");
     let out = SimConfig::bcc1(10_000_000)
         .transcripts(false)
+        .trace(trace)
+        .metrics(metrics)
         .run(&inst, &algo, 0);
     let wg = WeightedGraph::from_graph_hashed(&g, weight_seed);
     let oracle = wg.minimum_spanning_forest();
@@ -80,7 +99,8 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 move |ctx| {
                     let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
                     let g = generators::gnm(n, 2 * n, &mut rng);
-                    let row = run_one(g, n as u64);
+                    let row =
+                        run_one_observed(g, n as u64, ctx.trace().clone(), ctx.metrics().clone());
                     let log2 = (n as f64).log2();
                     let text = format!(
                         "{:>5} {:>6} {:>8} {:>9} {:>16.2}\n",

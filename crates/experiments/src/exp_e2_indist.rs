@@ -11,11 +11,30 @@ use bcc_algorithms::{
 use bcc_core::hard::uniform_two_cycle_distribution;
 use bcc_core::indist::{harmonic_tail, lemma_3_9_degree_check, lemma_3_9_t_counts};
 use bcc_engine::artifacts::indist_round_zero;
-use bcc_engine::distributional_error_batched;
+use bcc_engine::distributional_error_batched_observed;
 use bcc_model::testing::ConstantDecision;
 use bcc_trace::field;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+
+/// Distributional error at `t` rounds with the job's observers
+/// attached, so the kernel's round spans and `engine.*` cost counters
+/// land in this job's trace/metrics units.
+fn err(
+    dist: &[bcc_core::hard::WeightedInstance],
+    algorithm: &dyn bcc_model::Algorithm,
+    t: usize,
+    ctx: &bcc_runner::JobCtx,
+) -> f64 {
+    distributional_error_batched_observed(
+        dist,
+        algorithm,
+        t,
+        0,
+        ctx.trace().clone(),
+        ctx.metrics().clone(),
+    )
+}
 
 /// Structural row for one `n`.
 #[derive(Debug, Clone)]
@@ -186,20 +205,17 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 let rows = [
                     (
                         "constant-yes".to_string(),
-                        distributional_error_batched(&dist, &ConstantDecision::yes(), t, 0),
+                        err(&dist, &ConstantDecision::yes(), t, ctx),
                     ),
                     (
                         "hash-vote".to_string(),
-                        distributional_error_batched(&dist, &HashVoteDecider::new(t), t, 0),
+                        err(&dist, &HashVoteDecider::new(t), t, ctx),
                     ),
                     (
                         "parity-vote".to_string(),
-                        distributional_error_batched(&dist, &ParityDecider::new(t), t, 0),
+                        err(&dist, &ParityDecider::new(t), t, ctx),
                     ),
-                    (
-                        "truncated-real".to_string(),
-                        distributional_error_batched(&dist, &trunc, t, 0),
-                    ),
+                    ("truncated-real".to_string(), err(&dist, &trunc, t, ctx)),
                 ];
                 for (name, e) in &rows {
                     ctx.trace().event(

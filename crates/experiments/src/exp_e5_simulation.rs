@@ -7,7 +7,7 @@ use crate::job::{
 use bcc_algorithms::{NeighborIdBroadcast, Problem};
 use bcc_comm::reduction::Gadget;
 use bcc_core::kt1::{simulation_bits_per_round, theorem_4_4_certificate};
-use bcc_engine::simulate_two_party_batched;
+use bcc_engine::simulate_two_party_batched_observed;
 use bcc_partitions::numbers::log2_bell;
 use bcc_partitions::random::uniform_matching_partition;
 use bcc_trace::field;
@@ -36,6 +36,26 @@ pub struct SimRow {
 
 /// Measures one ground-set size with the given sampling RNG.
 pub fn sim_row(n: usize, samples: usize, rng: &mut rand::rngs::StdRng) -> SimRow {
+    sim_row_observed(
+        n,
+        samples,
+        rng,
+        bcc_trace::TraceScope::disabled(),
+        bcc_metrics::MetricScope::disabled(),
+    )
+}
+
+/// [`sim_row`] with observability attached: the lockstep kernel
+/// records its round spans and `engine.*` cost counters into the
+/// given scopes. Observers never change a row field — the unobserved
+/// form delegates here with both scopes disabled.
+pub fn sim_row_observed(
+    n: usize,
+    samples: usize,
+    rng: &mut rand::rngs::StdRng,
+    trace: bcc_trace::TraceScope,
+    metrics: bcc_metrics::MetricScope,
+) -> SimRow {
     let algo = NeighborIdBroadcast::new(Problem::MultiCycle);
     // Draw every sampled pair first, consuming the RNG in the exact
     // sequence the scalar per-pair loop did (the simulations never
@@ -49,8 +69,16 @@ pub fn sim_row(n: usize, samples: usize, rng: &mut rand::rngs::StdRng) -> SimRow
             )
         })
         .collect();
-    let reports = simulate_two_party_batched(Gadget::TwoRegular, &algo, &pairs, 0, 1_000_000)
-        .unwrap_or_default();
+    let reports = simulate_two_party_batched_observed(
+        Gadget::TwoRegular,
+        &algo,
+        &pairs,
+        0,
+        1_000_000,
+        trace,
+        metrics,
+    )
+    .unwrap_or_default();
     let mut worst_rounds = 0;
     let mut worst_bits = 0;
     // Matching partitions on the TwoRegular gadget always form valid
@@ -113,7 +141,13 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
             job_seed(suite_seed, "e5", shard),
             move |ctx| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
-                let r = sim_row(n, samples, &mut rng);
+                let r = sim_row_observed(
+                    n,
+                    samples,
+                    &mut rng,
+                    ctx.trace().clone(),
+                    ctx.metrics().clone(),
+                );
                 ctx.trace().event(
                     "e5.sim",
                     vec![

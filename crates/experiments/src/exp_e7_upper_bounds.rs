@@ -32,18 +32,34 @@ pub struct UpperRow {
 /// Measures every algorithm on the single cycle `C_n` (a YES
 /// instance; each one is verified to answer correctly as it goes).
 pub fn upper_row(n: usize) -> UpperRow {
-    upper_row_metered(n, bcc_metrics::MetricScope::disabled())
+    upper_row_observed(
+        n,
+        bcc_trace::TraceScope::disabled(),
+        bcc_metrics::MetricScope::disabled(),
+    )
 }
 
 /// [`upper_row`] with the simulator's `sim.*` workload counters routed
 /// into `metrics` (the suite passes each job's scope; the row is
 /// identical whether the scope records or not).
 pub fn upper_row_metered(n: usize, metrics: bcc_metrics::MetricScope) -> UpperRow {
+    upper_row_observed(n, bcc_trace::TraceScope::disabled(), metrics)
+}
+
+/// [`upper_row`] with both observers attached: each simulated run
+/// records its `sim` span tree and `sim.*` cost counters into the
+/// given scopes. Observers never change a row field.
+pub fn upper_row_observed(
+    n: usize,
+    trace: bcc_trace::TraceScope,
+    metrics: bcc_metrics::MetricScope,
+) -> UpperRow {
     let g = generators::cycle(n);
     let kt1 = Instance::new_kt1(g.clone()).expect("instance");
     let kt0 = Instance::new_kt0(g, 5).expect("instance");
     let sim = SimConfig::bcc1(1_000_000)
         .transcripts(false)
+        .trace(trace.clone())
         .metrics(metrics.clone());
 
     let run = |i: &Instance, a: &dyn bcc_model::Algorithm| {
@@ -60,6 +76,7 @@ pub fn upper_row_metered(n: usize, metrics: bcc_metrics::MetricScope) -> UpperRo
     let sim_blog = SimConfig::bcc1(1_000_000)
         .bandwidth(blog)
         .transcripts(false)
+        .trace(trace)
         .metrics(metrics);
     let out_blog = sim_blog.run(&kt1, &BoruvkaMinLabel::new(Problem::Connectivity), 0);
     assert_eq!(out_blog.system_decision(), Decision::Yes);
@@ -103,7 +120,7 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 format!("n={n}"),
                 job_seed(suite_seed, "e7", shard),
                 move |ctx| {
-                    let r = upper_row_metered(n, ctx.metrics().clone());
+                    let r = upper_row_observed(n, ctx.trace().clone(), ctx.metrics().clone());
                     let w = bcc_model::codec::bits_needed(n);
                     let ratio = r.neighbor_kt1 as f64 / (n as f64).log2();
                     let text = format!(

@@ -46,8 +46,31 @@ pub fn instance_set(n: usize, trials: usize, seed: u64) -> Vec<(bcc_graphs::Grap
 
 /// Measures one bandwidth on a pre-generated instance set.
 pub fn sketch_row(n: usize, b: usize, graphs: &[(bcc_graphs::Graph, bool)]) -> SketchRow {
+    sketch_row_observed(
+        n,
+        b,
+        graphs,
+        bcc_trace::TraceScope::disabled(),
+        bcc_metrics::MetricScope::disabled(),
+    )
+}
+
+/// [`sketch_row`] with both observers attached: each simulated run
+/// records its `sim` span tree and `sim.*` cost counters into the
+/// given scopes. Observers never change a row field.
+pub fn sketch_row_observed(
+    n: usize,
+    b: usize,
+    graphs: &[(bcc_graphs::Graph, bool)],
+    trace: bcc_trace::TraceScope,
+    metrics: bcc_metrics::MetricScope,
+) -> SketchRow {
     let algo = SketchConnectivity::new(Problem::Connectivity);
-    let sim = SimConfig::bcc1(50_000_000).bandwidth(b).transcripts(false);
+    let sim = SimConfig::bcc1(50_000_000)
+        .bandwidth(b)
+        .transcripts(false)
+        .trace(trace)
+        .metrics(metrics);
     let mut rounds_total = 0usize;
     let mut correct = 0usize;
     for (i, (g, truth)) in graphs.iter().enumerate() {
@@ -102,9 +125,15 @@ pub fn jobs(quick: bool, suite_seed: u64) -> Vec<ExpJob> {
                 shard,
                 format!("b={b}"),
                 job_seed(suite_seed, "e8", shard),
-                move |_ctx| {
+                move |ctx| {
                     let graphs = instance_set(n, trials, input_seed);
-                    let r = sketch_row(n, b, &graphs);
+                    let r = sketch_row_observed(
+                        n,
+                        b,
+                        &graphs,
+                        ctx.trace().clone(),
+                        ctx.metrics().clone(),
+                    );
                     let text = format!(
                         "{:>4} {:>7} {:>12.1} {:>9.2} {:>12}\n",
                         r.n, r.b, r.mean_rounds, r.accuracy, r.sketch_bits

@@ -327,6 +327,7 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         &collector,
         &hub,
     );
+    let suite_lookups = store.lookups() - lookups_before;
     if hub.enabled() {
         // Suite-level unit: workload shape plus the cache *lookup*
         // count. Lookups (hits + misses) are a pure function of the
@@ -336,8 +337,18 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         let mut buf = hub.buf("suite");
         buf.counter("suite.experiments", ids.len() as u64);
         buf.counter("suite.jobs", job_results.len() as u64);
-        buf.counter("cache.lookups", store.lookups() - lookups_before);
+        buf.counter("cache.lookups", suite_lookups);
         hub.absorb(buf);
+    }
+    if collector.enabled() {
+        // Mirror the suite-scope costs into the trace under the same
+        // canonical names, so the profiler can attribute them (they
+        // land at the suite unit's floor, outside any span).
+        let mut tbuf = collector.buf("suite");
+        tbuf.counter("suite.experiments", ids.len() as u64);
+        tbuf.counter("suite.jobs", job_results.len() as u64);
+        tbuf.counter("cache.lookups", suite_lookups);
+        collector.absorb(tbuf);
     }
 
     let mut reports = Vec::with_capacity(ids.len());

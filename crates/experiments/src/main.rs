@@ -12,13 +12,23 @@
 //!                       report, and a final metrics record
 //!   --trace PATH        write the merged event trace as JSONL
 //!                       (implies --trace-level events)
-//!   --trace-level L     off | spans | events (default: off, or
-//!                       events when --trace is given)
+//!   --trace-level L     off | spans | costs | events (default: off;
+//!                       events when --trace is given; costs when
+//!                       only --profile asks for a trace)
 //!   --metrics PATH      write the merged deterministic workload
 //!                       metrics as JSONL (implies --metrics-level
 //!                       core)
 //!   --metrics-level L   off | core | full (default: off, or core
-//!                       when --metrics is given)
+//!                       when --metrics or --profile is given)
+//!   --profile PATH      write the deterministic cost-attribution
+//!                       profile (bcc-prof JSONL) built from this
+//!                       run's trace and metrics dump; implies
+//!                       --trace-level costs and --metrics-level core
+//!                       when those are otherwise off
+//!   --prof-wall PATH    write the wall-clock sidecar (per-job
+//!                       latency bands; separate schema, never
+//!                       deterministic, never read back by any
+//!                       deterministic artifact)
 //!   --cache PATH        persist the artifact cache (ranks, Bell
 //!                       tables, indistinguishability graphs) in
 //!                       PATH; reports are byte-identical with or
@@ -32,8 +42,9 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bcc-experiments [--quick] [--jobs N] [--seed S] \
-[--timeout-secs T] [--json PATH] [--trace PATH] [--trace-level off|spans|events] \
-[--metrics PATH] [--metrics-level off|core|full] [--cache PATH] <id>...\n       \
+[--timeout-secs T] [--json PATH] [--trace PATH] [--trace-level off|spans|costs|events] \
+[--metrics PATH] [--metrics-level off|core|full] [--profile PATH] [--prof-wall PATH] \
+[--cache PATH] <id>...\n       \
 id ∈ {f1, f2, e1..e12, all}";
 
 struct Cli {
@@ -41,6 +52,8 @@ struct Cli {
     json_path: Option<String>,
     trace_path: Option<String>,
     metrics_path: Option<String>,
+    profile_path: Option<String>,
+    prof_wall_path: Option<String>,
     ids: Vec<String>,
 }
 
@@ -51,6 +64,8 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     let mut trace_level: Option<TraceLevel> = None;
     let mut metrics_path: Option<String> = None;
     let mut metrics_level: Option<MetricsLevel> = None;
+    let mut profile_path: Option<String> = None;
+    let mut prof_wall_path: Option<String> = None;
     let mut ids = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -91,13 +106,20 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                 trace_level = Some(match v.as_str() {
                     "off" => TraceLevel::Off,
                     "spans" => TraceLevel::Spans,
+                    "costs" => TraceLevel::Costs,
                     "events" => TraceLevel::Events,
                     other => {
                         return Err(format!(
-                            "--trace-level: expected off, spans, or events, got {other:?}"
+                            "--trace-level: expected off, spans, costs, or events, got {other:?}"
                         ))
                     }
                 });
+            }
+            "--profile" => {
+                profile_path = Some(it.next().ok_or("--profile needs a path")?);
+            }
+            "--prof-wall" => {
+                prof_wall_path = Some(it.next().ok_or("--prof-wall needs a path")?);
             }
             "--metrics" => {
                 metrics_path = Some(it.next().ok_or("--metrics needs a path")?);
@@ -117,25 +139,33 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
-    // --trace without an explicit level records everything; an
-    // explicit --trace-level (even off) always wins.
-    opts.trace_level = match (trace_level, &trace_path) {
-        (Some(level), _) => level,
-        (None, Some(_)) => TraceLevel::Events,
-        (None, None) => TraceLevel::Off,
+    // --trace without an explicit level records everything; --profile
+    // alone needs only the cost stream; an explicit --trace-level
+    // (even off) always wins.
+    opts.trace_level = match (trace_level, &trace_path, &profile_path) {
+        (Some(level), _, _) => level,
+        (None, Some(_), _) => TraceLevel::Events,
+        (None, None, Some(_)) => TraceLevel::Costs,
+        (None, None, None) => TraceLevel::Off,
     };
-    // Same rule for metrics: --metrics alone records core counters; an
+    // Same rule for metrics: --metrics (or --profile, which joins the
+    // dump for authoritative totals) records core counters; an
     // explicit --metrics-level (even off) always wins.
-    opts.metrics_level = match (metrics_level, &metrics_path) {
-        (Some(level), _) => level,
-        (None, Some(_)) => MetricsLevel::Core,
-        (None, None) => MetricsLevel::Off,
+    opts.metrics_level = match (metrics_level, &metrics_path, &profile_path) {
+        (Some(level), _, _) => level,
+        (None, Some(_), _) | (None, None, Some(_)) => MetricsLevel::Core,
+        (None, None, None) => MetricsLevel::Off,
     };
+    if profile_path.is_some() && opts.trace_level == TraceLevel::Off {
+        return Err("--profile needs a trace; drop --trace-level off or raise it".to_string());
+    }
     Ok(Cli {
         opts,
         json_path,
         trace_path,
         metrics_path,
+        profile_path,
+        prof_wall_path,
         ids,
     })
 }
@@ -203,6 +233,40 @@ fn main() -> ExitCode {
         eprint!("{}", suite.trace.summary());
     }
 
+    if let Some(path) = &cli.profile_path {
+        let dump = (!suite.workload.is_empty()).then_some(&suite.workload);
+        let profile = bcc_prof::Profile::build(suite.trace.events(), dump);
+        match write_profile(path, &profile) {
+            Ok(()) => eprintln!(
+                "wrote profile ({} frames, {} counters) to {path}",
+                profile.frames.len(),
+                profile.totals.len()
+            ),
+            Err(err) => {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &cli.prof_wall_path {
+        // Wall-clock sidecar: per-job latencies measured by the
+        // runner. Separate file, separate schema key — no
+        // deterministic artifact ever reads it.
+        let entries: Vec<(String, std::time::Duration)> = suite
+            .job_results
+            .iter()
+            .map(|r| (r.id.clone(), r.latency))
+            .collect();
+        match write_wall(path, &entries) {
+            Ok(()) => eprintln!("wrote wall sidecar ({} jobs) to {path}", entries.len()),
+            Err(err) => {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Some(path) = &cli.metrics_path {
         match write_metrics(path, &suite.workload) {
             Ok(()) => eprintln!(
@@ -266,5 +330,19 @@ fn write_metrics(path: &str, dump: &bcc_metrics::MetricsDump) -> std::io::Result
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     dump.write_jsonl(&mut w)?;
+    w.flush()
+}
+
+fn write_profile(path: &str, profile: &bcc_prof::Profile) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    bcc_prof::write_profile_jsonl(profile, &mut w)?;
+    w.flush()
+}
+
+fn write_wall(path: &str, entries: &[(String, std::time::Duration)]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    bcc_prof::write_wall_sidecar(entries, &mut w)?;
     w.flush()
 }

@@ -1,0 +1,78 @@
+//! The profiler inherits the suite's determinism contract: the
+//! profile built from a run's merged trace and metrics dump — and the
+//! JSONL bytes it encodes to — must be identical across thread counts
+//! and across cold vs warm cache, because it is derived purely from
+//! logical costs. Any wall-clock influence would show up here as a
+//! byte diff.
+
+use bcc_experiments::{run_suite, SuiteOptions, SuiteRun};
+use bcc_metrics::MetricsLevel;
+use bcc_prof::{profile_to_jsonl, Profile};
+use bcc_trace::TraceLevel;
+
+fn opts(threads: usize) -> SuiteOptions {
+    SuiteOptions {
+        quick: true,
+        threads,
+        trace_level: TraceLevel::Costs,
+        metrics_level: MetricsLevel::Core,
+        ..Default::default()
+    }
+}
+
+const IDS: [&str; 5] = ["f1", "e1", "e2", "e5", "e7"];
+
+fn profile_bytes(suite: &SuiteRun) -> String {
+    let profile = Profile::build(suite.trace.events(), Some(&suite.workload));
+    profile_to_jsonl(&profile)
+}
+
+#[test]
+fn profile_bytes_identical_across_thread_counts() {
+    let serial = run_suite(&IDS, &opts(1)).expect("known ids");
+    let parallel = run_suite(&IDS, &opts(8)).expect("known ids");
+    assert_eq!(
+        profile_bytes(&serial),
+        profile_bytes(&parallel),
+        "profile differs between --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn profile_bytes_identical_cold_vs_warm_cache() {
+    // Both runs share the process-wide artifact cache: the first
+    // populates it, the second hits it warm. Only `cache.lookups` is
+    // a cost counter — hits trade recomputation for lookups without
+    // touching any counted quantity — so the profiles must agree.
+    let cold = run_suite(&IDS, &opts(4)).expect("known ids");
+    let warm = run_suite(&IDS, &opts(4)).expect("known ids");
+    assert_eq!(
+        profile_bytes(&cold),
+        profile_bytes(&warm),
+        "profile differs between cold and warm cache"
+    );
+}
+
+#[test]
+fn profile_attributes_cost_counters_to_named_span_paths() {
+    // The acceptance bar from the profiler's design: on a real suite
+    // run, at least 95% of `sim.bits_broadcast` and
+    // `engine.round_bits` must land on named span paths, with the
+    // remainder explicit in the unattributed column.
+    let suite = run_suite(&IDS, &opts(2)).expect("known ids");
+    let profile = Profile::build(suite.trace.events(), Some(&suite.workload));
+    for counter in ["sim.bits_broadcast", "engine.round_bits"] {
+        let total = profile
+            .totals
+            .iter()
+            .find(|t| t.counter == counter)
+            .unwrap_or_else(|| panic!("{counter} missing from profile totals"));
+        assert!(total.total > 0, "{counter} total is zero");
+        let attributed = total.total - total.unattributed.min(total.total);
+        assert!(
+            attributed * 100 >= total.total * 95,
+            "{counter}: only {attributed} of {} attributed to spans",
+            total.total
+        );
+    }
+}

@@ -79,7 +79,7 @@ pub struct Workspace {
 /// `crates/trace` and `crates/metrics` are included because merged
 /// traces and metric dumps carry the same byte-identity guarantee as
 /// reports.
-pub const D1_PATHS: [&str; 9] = [
+pub const D1_PATHS: [&str; 10] = [
     "crates/experiments/",
     "crates/runner/",
     "crates/partitions/",
@@ -89,6 +89,7 @@ pub const D1_PATHS: [&str; 9] = [
     "crates/engine/",
     "crates/metrics/",
     "crates/serve/",
+    "crates/prof/",
 ];
 
 /// Crates allowed to read clocks: the runner owns deadlines, latency

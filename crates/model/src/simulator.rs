@@ -141,8 +141,12 @@ impl<'a> SimRecorder<'a> {
         self.stats.rounds = round + 1;
         self.metrics
             .full_observe("sim.round_bits", self.round_bits as u64);
-        if self.trace.events_enabled() {
-            self.trace.counter("bits_broadcast", self.round_bits as u64);
+        // The per-round cost record carries the same canonical name as
+        // the core `sim.bits_broadcast` workload counter, so the
+        // profiler can join span-attributed costs against dump totals.
+        if self.trace.costs_enabled() {
+            self.trace
+                .counter("sim.bits_broadcast", self.round_bits as u64);
         }
         if self.trace.spans_enabled() {
             self.trace.span_end(&format!("round={round}"), vec![]);
@@ -377,9 +381,10 @@ impl SimConfig {
 
     /// Attaches a trace destination. Each run records a `sim` span
     /// wrapping one `round=r` span per executed round, with per-node
-    /// `broadcast` events, a per-round `bits_broadcast` counter, and
-    /// one final `decision` event per vertex (events at
-    /// [`Events`](TraceLevel::Events) level; spans alone at `Spans`).
+    /// `broadcast` events, a per-round `sim.bits_broadcast` counter,
+    /// and one final `decision` event per vertex (point events at
+    /// [`Events`](TraceLevel::Events) level; the counter from `Costs`;
+    /// spans alone at `Spans`).
     #[must_use]
     pub fn trace(mut self, scope: TraceScope) -> Self {
         self.trace = scope;
@@ -778,7 +783,7 @@ mod tests {
         // Counter totals equal the stats the report sees.
         let counted: u64 = events
             .iter()
-            .filter(|e| e.name == "bits_broadcast")
+            .filter(|e| e.name == "sim.bits_broadcast")
             .filter_map(|e| match e.field("delta") {
                 Some(bcc_trace::FieldValue::UInt(d)) => Some(*d),
                 _ => None,

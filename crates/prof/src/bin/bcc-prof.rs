@@ -1,0 +1,172 @@
+//! CLI for the cost-attribution profiler.
+//!
+//! ```text
+//! bcc-prof --trace T.jsonl [--metrics M.jsonl] [OPTIONS]
+//! bcc-prof --profile P.jsonl [OPTIONS]
+//!
+//! OPTIONS:
+//!   --format F     jsonl (default) | folded | chrome | md
+//!   --counter N    counter for --format folded (default: first
+//!                  attributed counter)
+//!   --top N        rows per counter for --format md (default 10)
+//!   --out PATH     write to PATH instead of stdout
+//! ```
+//!
+//! Builds a deterministic profile from a merged trace (+ optional
+//! metrics dump), or re-renders an existing profile artifact.
+//! `--format chrome` needs the raw trace (`--trace`), since the
+//! timeline is per-event, not per-frame.
+//!
+//! Exit codes: 0 success; 2 usage or unreadable/malformed input;
+//! 1 output write failure.
+
+use bcc_prof::{codec, render, Profile};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bcc-prof (--trace T.jsonl [--metrics M.jsonl] | --profile P.jsonl) \
+[--format jsonl|folded|chrome|md] [--counter NAME] [--top N] [--out PATH]";
+
+struct Cli {
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    profile_path: Option<String>,
+    format: String,
+    counter: Option<String>,
+    top: usize,
+    out: Option<String>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        trace_path: None,
+        metrics_path: None,
+        profile_path: None,
+        format: "jsonl".to_string(),
+        counter: None,
+        top: 10,
+        out: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => cli.trace_path = Some(it.next().ok_or("--trace needs a path")?),
+            "--metrics" => cli.metrics_path = Some(it.next().ok_or("--metrics needs a path")?),
+            "--profile" => cli.profile_path = Some(it.next().ok_or("--profile needs a path")?),
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                match v.as_str() {
+                    "jsonl" | "folded" | "chrome" | "md" => cli.format = v,
+                    other => {
+                        return Err(format!(
+                            "--format: expected jsonl, folded, chrome, or md, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            "--counter" => cli.counter = Some(it.next().ok_or("--counter needs a name")?),
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                cli.top = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--top: not a row count: {v:?}"))?
+                    .max(1);
+            }
+            "--out" => cli.out = Some(it.next().ok_or("--out needs a path")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    match (&cli.trace_path, &cli.profile_path) {
+        (None, None) => return Err("one of --trace or --profile is required".to_string()),
+        (Some(_), Some(_)) => {
+            return Err("--trace and --profile are mutually exclusive".to_string())
+        }
+        _ => {}
+    }
+    if cli.format == "chrome" && cli.trace_path.is_none() {
+        return Err("--format chrome needs the raw trace (--trace)".to_string());
+    }
+    if cli.profile_path.is_some() && cli.metrics_path.is_some() {
+        return Err("--metrics only applies when building from --trace".to_string());
+    }
+    Ok(cli)
+}
+
+fn load_events(path: &str) -> Result<Vec<bcc_trace::Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(
+            bcc_trace::json::parse_event(line)
+                .map_err(|e| format!("{path} line {}: {e}", i + 1))?,
+        );
+    }
+    Ok(events)
+}
+
+fn run(cli: &Cli) -> Result<(), (u8, String)> {
+    let usage_err = |msg: String| (2u8, msg);
+
+    let mut events = Vec::new();
+    let profile = if let Some(path) = &cli.profile_path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| usage_err(format!("reading {path}: {e}")))?;
+        codec::parse_profile_jsonl(&text).map_err(|e| usage_err(format!("{path}: {e}")))?
+    } else {
+        let trace_path = cli.trace_path.as_deref().unwrap_or_default();
+        events = load_events(trace_path).map_err(usage_err)?;
+        let dump = match &cli.metrics_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| usage_err(format!("reading {path}: {e}")))?;
+                Some(
+                    bcc_metrics::MetricsDump::parse_jsonl(&text)
+                        .map_err(|e| usage_err(format!("{path}: {e}")))?,
+                )
+            }
+            None => None,
+        };
+        Profile::build(&events, dump.as_ref())
+    };
+
+    let output = match cli.format.as_str() {
+        "jsonl" => codec::profile_to_jsonl(&profile),
+        "folded" => {
+            let counter = match &cli.counter {
+                Some(c) => c.as_str(),
+                None => render::default_counter(&profile)
+                    .ok_or_else(|| usage_err("profile has no counters to fold".to_string()))?,
+            };
+            render::render_folded(&profile, counter)
+        }
+        "chrome" => bcc_prof::render_chrome(&events),
+        _ => render::render_hot_paths(&profile, cli.top),
+    };
+
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, output).map_err(|e| (1u8, format!("writing {path}: {e}")))?
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            ExitCode::from(code)
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Profile diffing: per-counter and per-span-path deltas between two
+//! profile artifacts, with a relative tolerance, so CI regression
+//! hunting names the offending span instead of the offending binary.
+//!
+//! Comparing every frame's *exclusive* cost is complete: inclusive
+//! totals are sums of descendant exclusives, so any inclusive drift
+//! implies some exclusive drifted. Totals are compared on their
+//! authoritative `total`, span stats on their population — together
+//! the three families cover everything a profile encodes.
+
+use crate::profile::Profile;
+use std::collections::BTreeMap;
+
+/// Tolerance for [`diff_profiles`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffOptions {
+    /// Maximum allowed relative change, in percent of the left-hand
+    /// value. `0.0` (the default) demands byte-level equality of
+    /// every compared quantity; a row whose left value is zero
+    /// breaches on any nonzero right value regardless of tolerance.
+    pub tolerance_pct: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { tolerance_pct: 0.0 }
+    }
+}
+
+/// What a [`DiffRow`] compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffKind {
+    /// A per-counter total (`CounterTotal::total`).
+    Total,
+    /// A frame's exclusive cost.
+    Frame,
+    /// A span population (`SpanStat::count`).
+    Spans,
+}
+
+impl DiffKind {
+    /// Human-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DiffKind::Total => "total",
+            DiffKind::Frame => "frame",
+            DiffKind::Spans => "spans",
+        }
+    }
+}
+
+/// One changed quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// What was compared.
+    pub kind: DiffKind,
+    /// Display key: the counter name, `counter @ path` for frames,
+    /// or the span path.
+    pub key: String,
+    /// Left-hand (baseline) value; zero when absent on that side.
+    pub a: u64,
+    /// Right-hand value; zero when absent on that side.
+    pub b: u64,
+    /// True when the change is inside the tolerance.
+    pub within: bool,
+}
+
+/// The result of [`diff_profiles`]: only *changed* rows are kept
+/// (identical quantities would swamp the output), most severe first
+/// within each family.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileDiff {
+    /// Changed rows: totals, then frames, then span stats; each
+    /// family sorted by key.
+    pub rows: Vec<DiffRow>,
+}
+
+impl ProfileDiff {
+    /// Rows whose change exceeds the tolerance.
+    pub fn breaches(&self) -> usize {
+        self.rows.iter().filter(|r| !r.within).count()
+    }
+
+    /// True when the two profiles were identical.
+    pub fn is_identical(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn within(a: u64, b: u64, tolerance_pct: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a == 0 {
+        return false;
+    }
+    let change = (b.abs_diff(a)) as f64 * 100.0 / a as f64;
+    change <= tolerance_pct
+}
+
+fn diff_family<K: Ord + Clone>(
+    kind: DiffKind,
+    a: &BTreeMap<K, u64>,
+    b: &BTreeMap<K, u64>,
+    opts: &DiffOptions,
+    display: impl Fn(&K) -> String,
+    rows: &mut Vec<DiffRow>,
+) {
+    let keys: std::collections::BTreeSet<&K> = a.keys().chain(b.keys()).collect();
+    for key in keys {
+        let va = a.get(key).copied().unwrap_or(0);
+        let vb = b.get(key).copied().unwrap_or(0);
+        if va != vb {
+            rows.push(DiffRow {
+                kind,
+                key: display(key),
+                a: va,
+                b: vb,
+                within: within(va, vb, opts.tolerance_pct),
+            });
+        }
+    }
+}
+
+/// Compares two profiles; `a` is the baseline.
+pub fn diff_profiles(a: &Profile, b: &Profile, opts: &DiffOptions) -> ProfileDiff {
+    let mut rows = Vec::new();
+
+    let totals = |p: &Profile| -> BTreeMap<String, u64> {
+        p.totals
+            .iter()
+            .map(|t| (t.counter.clone(), t.total))
+            .collect()
+    };
+    diff_family(
+        DiffKind::Total,
+        &totals(a),
+        &totals(b),
+        opts,
+        |k| k.clone(),
+        &mut rows,
+    );
+
+    let frames = |p: &Profile| -> BTreeMap<(String, String), u64> {
+        p.frames
+            .iter()
+            .map(|f| ((f.counter.clone(), f.path.clone()), f.exclusive))
+            .collect()
+    };
+    diff_family(
+        DiffKind::Frame,
+        &frames(a),
+        &frames(b),
+        opts,
+        |(counter, path)| format!("{counter} @ {path}"),
+        &mut rows,
+    );
+
+    let spans = |p: &Profile| -> BTreeMap<String, u64> {
+        p.spans.iter().map(|s| (s.path.clone(), s.count)).collect()
+    };
+    diff_family(
+        DiffKind::Spans,
+        &spans(a),
+        &spans(b),
+        opts,
+        |k| k.clone(),
+        &mut rows,
+    );
+
+    ProfileDiff { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CounterTotal, Frame, SpanStat, TotalSource};
+
+    fn profile(bits: u64) -> Profile {
+        Profile {
+            spans: vec![SpanStat {
+                path: "e2".into(),
+                count: 2,
+            }],
+            frames: vec![Frame {
+                path: "e2/job".into(),
+                counter: "sim.bits_broadcast".into(),
+                inclusive: bits,
+                exclusive: bits,
+            }],
+            totals: vec![CounterTotal {
+                counter: "sim.bits_broadcast".into(),
+                total: bits,
+                attributed: bits,
+                unattributed: 0,
+                source: TotalSource::Trace,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_profiles_diff_clean() {
+        let d = diff_profiles(&profile(100), &profile(100), &DiffOptions::default());
+        assert!(d.is_identical());
+        assert_eq!(d.breaches(), 0);
+    }
+
+    #[test]
+    fn zero_tolerance_flags_any_change() {
+        let d = diff_profiles(&profile(100), &profile(101), &DiffOptions::default());
+        assert_eq!(d.rows.len(), 2); // total + frame
+        assert_eq!(d.breaches(), 2);
+        assert_eq!(d.rows[0].kind, DiffKind::Total);
+        assert_eq!(d.rows[1].key, "sim.bits_broadcast @ e2/job");
+    }
+
+    #[test]
+    fn tolerance_allows_small_drift_both_directions() {
+        let opts = DiffOptions { tolerance_pct: 5.0 };
+        let d = diff_profiles(&profile(100), &profile(104), &opts);
+        assert_eq!(d.breaches(), 0);
+        assert_eq!(d.rows.len(), 2); // changed, but within
+        let d = diff_profiles(&profile(100), &profile(96), &opts);
+        assert_eq!(d.breaches(), 0);
+        let d = diff_profiles(&profile(100), &profile(106), &opts);
+        assert_eq!(d.breaches(), 2);
+    }
+
+    #[test]
+    fn appearing_from_zero_always_breaches() {
+        let mut a = profile(100);
+        a.frames.clear();
+        a.totals.clear();
+        let d = diff_profiles(
+            &a,
+            &profile(100),
+            &DiffOptions {
+                tolerance_pct: 1000.0,
+            },
+        );
+        assert!(d.breaches() >= 2);
+    }
+
+    #[test]
+    fn span_population_changes_are_rows() {
+        let mut b = profile(100);
+        b.spans[0].count = 3;
+        let d = diff_profiles(&profile(100), &b, &DiffOptions::default());
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0].kind, DiffKind::Spans);
+        assert_eq!(d.rows[0].key, "e2");
+    }
+}

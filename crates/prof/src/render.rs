@@ -1,0 +1,154 @@
+//! Human-facing profile renderers: folded flame stacks and the
+//! Markdown hot-path table `bcc-report` embeds.
+
+use crate::profile::Profile;
+use std::fmt::Write as _;
+
+/// Renders one counter's exclusive costs in folded flame-stack
+/// format: one `a;b;c value` line per frame with nonzero exclusive
+/// cost, sorted by path — ready for `flamegraph.pl` or speedscope.
+pub fn render_folded(profile: &Profile, counter: &str) -> String {
+    let mut out = String::new();
+    for f in &profile.frames {
+        if f.counter == counter && f.exclusive > 0 {
+            let _ = writeln!(out, "{} {}", f.path.replace('/', ";"), f.exclusive);
+        }
+    }
+    out
+}
+
+/// The counter the renderers pick when the caller named none: the
+/// first counter (in sorted order) with attributed cost, else the
+/// first counter at all.
+pub fn default_counter(profile: &Profile) -> Option<&str> {
+    profile
+        .totals
+        .iter()
+        .find(|t| t.attributed > 0)
+        .or_else(|| profile.totals.first())
+        .map(|t| t.counter.as_str())
+}
+
+/// Renders the Markdown hot-path table: for every counter, the `top`
+/// frames by inclusive cost plus an explicit `(unattributed)` row
+/// whenever the span tree could not account for the whole dump total.
+pub fn render_hot_paths(profile: &Profile, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str("| counter | span path | inclusive | exclusive | % of total |\n");
+    out.push_str("|---|---|---:|---:|---:|\n");
+    for t in &profile.totals {
+        let mut frames: Vec<_> = profile
+            .frames
+            .iter()
+            .filter(|f| f.counter == t.counter)
+            .collect();
+        // Hottest first; ties broken by path so the table is stable.
+        frames.sort_by(|a, b| b.inclusive.cmp(&a.inclusive).then(a.path.cmp(&b.path)));
+        for f in frames.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "| `{}` | `{}` | {} | {} | {} |",
+                t.counter,
+                f.path,
+                f.inclusive,
+                f.exclusive,
+                pct(f.inclusive, t.total)
+            );
+        }
+        if t.unattributed > 0 {
+            let _ = writeln!(
+                out,
+                "| `{}` | (unattributed) | {} | {} | {} |",
+                t.counter,
+                t.unattributed,
+                t.unattributed,
+                pct(t.unattributed, t.total)
+            );
+        }
+        if frames.is_empty() && t.unattributed == 0 && t.total > 0 {
+            // A dump counter with no frames and no remainder can only
+            // happen when attribution exceeded the total; surface it.
+            let _ = writeln!(
+                out,
+                "| `{}` | (over-attributed) | {} | {} | - |",
+                t.counter, t.attributed, t.attributed
+            );
+        }
+    }
+    out
+}
+
+/// Fixed-precision percentage, deterministic across platforms.
+fn pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        return "-".to_string();
+    }
+    // Two-decimal fixed point computed in integers: no float
+    // formatting in artifact-bound bytes.
+    let scaled = (part as u128 * 10_000) / total as u128;
+    format!("{}.{:02}%", scaled / 100, scaled % 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CounterTotal, Frame, SpanStat, TotalSource};
+
+    fn sample() -> Profile {
+        Profile {
+            spans: vec![SpanStat {
+                path: "e2".into(),
+                count: 2,
+            }],
+            frames: vec![
+                Frame {
+                    path: "e2".into(),
+                    counter: "sim.bits_broadcast".into(),
+                    inclusive: 28,
+                    exclusive: 0,
+                },
+                Frame {
+                    path: "e2/job/sim/round".into(),
+                    counter: "sim.bits_broadcast".into(),
+                    inclusive: 28,
+                    exclusive: 28,
+                },
+            ],
+            totals: vec![CounterTotal {
+                counter: "sim.bits_broadcast".into(),
+                total: 30,
+                attributed: 28,
+                unattributed: 2,
+                source: TotalSource::Dump,
+            }],
+        }
+    }
+
+    #[test]
+    fn folded_emits_semicolon_stacks() {
+        let folded = render_folded(&sample(), "sim.bits_broadcast");
+        assert_eq!(folded, "e2;job;sim;round 28\n");
+        assert_eq!(render_folded(&sample(), "nope"), "");
+    }
+
+    #[test]
+    fn hot_paths_report_unattributed_explicitly() {
+        let md = render_hot_paths(&sample(), 10);
+        assert!(md.contains("| `sim.bits_broadcast` | `e2/job/sim/round` | 28 | 28 | 93.33% |"));
+        assert!(md.contains("(unattributed) | 2 | 2 | 6.66%"));
+    }
+
+    #[test]
+    fn default_counter_prefers_attributed() {
+        assert_eq!(default_counter(&sample()), Some("sim.bits_broadcast"));
+        assert_eq!(default_counter(&Profile::default()), None);
+    }
+
+    #[test]
+    fn pct_is_integer_math() {
+        assert_eq!(pct(1, 3), "33.33%");
+        assert_eq!(pct(0, 3), "0.00%");
+        assert_eq!(pct(3, 3), "100.00%");
+        assert_eq!(pct(1, 0), "-");
+    }
+}

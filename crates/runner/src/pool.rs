@@ -412,6 +412,13 @@ fn run_observed_job<T>(
     };
     let result = run_job(job, run_token, metrics, &scope, &mscope);
     let mut buf = scope.take();
+    // Cost records at the span boundary, under the still-open `job`
+    // span, named identically to the runner.* workload counters so
+    // the profiler can attribute attempts to the job path.
+    buf.counter("runner.jobs", 1);
+    if result.attempts > 1 {
+        buf.counter("runner.retries", u64::from(result.attempts - 1));
+    }
     buf.span_end(
         "job",
         vec![

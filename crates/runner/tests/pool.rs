@@ -260,18 +260,21 @@ mod tracing {
         assert_eq!(results.len(), 2);
         let trace = collector.finish();
         let unit0: Vec<_> = trace.events().iter().filter(|e| e.unit == "t00").collect();
-        assert_eq!(unit0.len(), 4); // span_start, work, items, span_end
+        assert_eq!(unit0.len(), 5); // span_start, work, items, runner.jobs, span_end
         assert_eq!(unit0[0].kind, EventKind::SpanStart);
         assert_eq!(unit0[0].name, "job");
         assert_eq!(unit0[1].name, "work");
         assert_eq!(unit0[1].path, "job");
         assert_eq!(unit0[2].kind, EventKind::Counter);
-        assert_eq!(unit0[3].kind, EventKind::SpanEnd);
+        assert_eq!(unit0[3].kind, EventKind::Counter);
+        assert_eq!(unit0[3].name, "runner.jobs");
+        assert_eq!(unit0[3].path, "job");
+        assert_eq!(unit0[4].kind, EventKind::SpanEnd);
         assert_eq!(
-            unit0[3].field("status"),
+            unit0[4].field("status"),
             Some(&FieldValue::Str("completed".into()))
         );
-        assert_eq!(unit0[3].field("attempts"), Some(&FieldValue::UInt(1)));
+        assert_eq!(unit0[4].field("attempts"), Some(&FieldValue::UInt(1)));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bcc-client --script PATH [OPTIONS]
+//! bcc-client --watch [--every N] [--count M] [OPTIONS]
 //!
 //! OPTIONS:
 //!   --addr HOST:PORT     daemon address (default 127.0.0.1:<port-file>)
@@ -11,25 +12,35 @@
 //!   --transcript PATH    write the replay transcript here
 //!                        (default: stdout)
 //!   --strict             exit 1 if any response was an error/reject
+//!   --watch              live observation: stream stats snapshots
+//!                        (raw JSONL) to stdout on logical ticks
+//!   --every N            ticks between snapshots (default 1)
+//!   --count M            snapshots to stream (default 16)
 //! ```
 //!
 //! The replay runs on logical ticks — the client never sleeps — and
 //! the transcript is byte-identical across same-seed runs against
-//! fresh daemons.
+//! fresh daemons. `--watch` opens a dedicated connection (an
+//! `observe` stream parks the connection thread between ticks) and
+//! ends when the daemon drains or `--count` snapshots arrived.
 
-use bcc_serve::client::{parse_script, run_script};
+use bcc_serve::client::{parse_script, run_script, watch};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bcc-client --script PATH [--addr HOST:PORT] \
-[--port-file PATH] [--seed S] [--transcript PATH] [--strict]";
+[--port-file PATH] [--seed S] [--transcript PATH] [--strict]
+       bcc-client --watch [--every N] [--count M] [--addr HOST:PORT] [--port-file PATH]";
 
 struct Cli {
-    script: String,
+    script: Option<String>,
     addr: Option<String>,
     port_file: Option<String>,
     seed: u64,
     transcript: Option<String>,
     strict: bool,
+    watch: bool,
+    every: u64,
+    count: u64,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Cli, String> {
@@ -39,30 +50,50 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     let mut seed = 2024u64;
     let mut transcript = None;
     let mut strict = false;
+    let mut watch_mode = false;
+    let mut every = 1u64;
+    let mut count = 16u64;
+    let parse_u64 = |flag: &str, v: Option<String>| -> Result<u64, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse::<u64>()
+            .map_err(|_| format!("{flag}: not a u64: {v:?}"))
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--script" => script = Some(it.next().ok_or("--script needs a path")?),
             "--addr" => addr = Some(it.next().ok_or("--addr needs host:port")?),
             "--port-file" => port_file = Some(it.next().ok_or("--port-file needs a path")?),
-            "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                seed = v
-                    .parse::<u64>()
-                    .map_err(|_| format!("--seed: not a u64: {v:?}"))?;
-            }
+            "--seed" => seed = parse_u64("--seed", it.next())?,
             "--transcript" => transcript = Some(it.next().ok_or("--transcript needs a path")?),
             "--strict" => strict = true,
+            "--watch" => watch_mode = true,
+            "--every" => every = parse_u64("--every", it.next())?.max(1),
+            "--count" => count = parse_u64("--count", it.next())?.max(1),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    if watch_mode {
+        if script.is_some() || transcript.is_some() || strict {
+            return Err(
+                "--watch is its own mode; combine it only with --every, --count, \
+--addr and --port-file"
+                    .to_string(),
+            );
+        }
+    } else if script.is_none() {
+        return Err("--script is required (or pass --watch)".to_string());
+    }
     Ok(Cli {
-        script: script.ok_or("--script is required")?,
+        script,
         addr,
         port_file,
         seed,
         transcript,
         strict,
+        watch: watch_mode,
+        every,
+        count,
     })
 }
 
@@ -96,22 +127,36 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match std::fs::read_to_string(&cli.script) {
-        Ok(text) => text,
-        Err(err) => {
-            eprintln!("error: reading {}: {err}", cli.script);
-            return ExitCode::from(2);
-        }
-    };
-    let script = match parse_script(&text) {
-        Ok(script) => script,
+    let addr = match resolve_addr(&cli) {
+        Ok(addr) => addr,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::from(2);
         }
     };
-    let addr = match resolve_addr(&cli) {
-        Ok(addr) => addr,
+    if cli.watch {
+        let mut out = std::io::stdout();
+        return match watch(&addr, cli.every, cli.count, &mut out) {
+            Ok(snapshots) => {
+                eprintln!("bcc-client: watched {snapshots} snapshot(s)");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let script_path = cli.script.as_deref().unwrap_or_default();
+    let text = match std::fs::read_to_string(script_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: reading {script_path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let script = match parse_script(&text) {
+        Ok(script) => script,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::from(2);

@@ -14,7 +14,7 @@
 //!   --metrics-level L      off | core | full (default: core when
 //!                          --metrics is given, else off)
 //!   --trace PATH           flush the merged trace here at drain
-//!   --trace-level L        off | spans | events (default: events when
+//!   --trace-level L        off | spans | costs | events (default: events when
 //!                          --trace is given, else off)
 //!   --cache PATH           persist the artifact cache in PATH
 //!   --max-line-bytes N     longest accepted request line (default 65536)
@@ -34,7 +34,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: bcc-serve [--port N] [--port-file PATH] [--jobs N] \
 [--queue-cap N] [--quota N] [--seed S] [--metrics PATH] [--metrics-level off|core|full] \
-[--trace PATH] [--trace-level off|spans|events] [--cache PATH] [--max-line-bytes N] \
+[--trace PATH] [--trace-level off|spans|costs|events] [--cache PATH] [--max-line-bytes N] \
 [--drain-timeout-secs T]";
 
 struct Cli {
@@ -90,10 +90,11 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                 trace_level = Some(match v.as_str() {
                     "off" => TraceLevel::Off,
                     "spans" => TraceLevel::Spans,
+                    "costs" => TraceLevel::Costs,
                     "events" => TraceLevel::Events,
                     other => {
                         return Err(format!(
-                            "--trace-level: expected off, spans, or events, got {other:?}"
+                            "--trace-level: expected off, spans, costs, or events, got {other:?}"
                         ))
                     }
                 });

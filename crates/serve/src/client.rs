@@ -20,6 +20,7 @@
 //! {"op":"cancel","submit":1}
 //! {"op":"stats"}
 //! {"op":"ping","nonce":7}
+//! {"op":"observe","every":1,"count":3}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -65,6 +66,14 @@ pub enum Op {
     Ping {
         /// Echo value.
         nonce: u64,
+    },
+    /// Stream stats snapshots on logical ticks until the terminating
+    /// `observed` line.
+    Observe {
+        /// Ticks between snapshots.
+        every: u64,
+        /// Snapshots to request.
+        count: u64,
     },
     /// Drain the daemon and collect its `bye`.
     Shutdown,
@@ -178,6 +187,21 @@ pub fn parse_script(text: &str) -> Result<Script, String> {
                     })?,
             },
             "stats" => Op::Stats,
+            "observe" => {
+                let every = get_u64(&v, "every")
+                    .map_err(|e| format!("script line {}: {e}", lineno + 1))?
+                    .unwrap_or(1);
+                let count = get_u64(&v, "count")
+                    .map_err(|e| format!("script line {}: {e}", lineno + 1))?
+                    .unwrap_or(1);
+                if every == 0 || count == 0 {
+                    return Err(format!(
+                        "script line {}: observe \"every\" and \"count\" must be >= 1",
+                        lineno + 1
+                    ));
+                }
+                Op::Observe { every, count }
+            }
             "ping" => Op::Ping {
                 nonce: get_u64(&v, "nonce")
                     .map_err(|e| format!("script line {}: {e}", lineno + 1))?
@@ -314,6 +338,14 @@ fn response_req_id(line: &str) -> Option<u64> {
     }
 }
 
+fn response_type(line: &str) -> Option<String> {
+    json::parse(line)
+        .ok()?
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+}
+
 fn response_is_anomaly(line: &str) -> bool {
     json::parse(line)
         .ok()
@@ -423,12 +455,59 @@ pub fn run_script(
                 let line = format!("{{\"type\":\"ping\",\"nonce\":{nonce}}}");
                 roundtrip(&mut wire, &mut transcript, tick, &line)?;
             }
+            Op::Observe { every, count } => {
+                // One request, a stream of replies: snapshots until
+                // the `observed` terminator.
+                let line = format!("{{\"type\":\"observe\",\"every\":{every},\"count\":{count}}}");
+                wire.send(&line)?;
+                transcript.sent(tick, &line);
+                loop {
+                    let reply = wire.recv()?;
+                    transcript.recv(tick, &reply);
+                    if response_is_anomaly(&reply) {
+                        transcript.anomalies += 1;
+                    }
+                    if response_type(&reply).as_deref() != Some("snapshot") {
+                        break;
+                    }
+                }
+            }
             Op::Shutdown => {
                 roundtrip(&mut wire, &mut transcript, tick, "{\"type\":\"shutdown\"}")?;
             }
         }
     }
     Ok(transcript)
+}
+
+/// The `--watch` mode: a dedicated connection that streams `count`
+/// stats snapshots (one every `every` logical ticks) to `out` as raw
+/// JSONL, returning how many snapshots arrived. Ends early when the
+/// daemon drains.
+///
+/// # Errors
+///
+/// Transport failures abort the watch.
+pub fn watch(addr: &str, every: u64, count: u64, out: &mut dyn Write) -> Result<u64, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    let reader_half = stream.try_clone()?;
+    let mut wire = Wire {
+        reader: BufReader::new(reader_half),
+        writer: stream,
+    };
+    wire.send(&format!(
+        "{{\"type\":\"observe\",\"every\":{every},\"count\":{count}}}"
+    ))?;
+    let mut snapshots = 0u64;
+    loop {
+        let reply = wire.recv()?;
+        writeln!(out, "{reply}").map_err(ClientError::Io)?;
+        out.flush().map_err(ClientError::Io)?;
+        match response_type(&reply).as_deref() {
+            Some("snapshot") => snapshots += 1,
+            _ => return Ok(snapshots),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -456,6 +535,15 @@ mod tests {
         ));
         // Default ticks are the step index.
         assert_eq!(script.steps[6].tick, 6);
+    }
+
+    #[test]
+    fn parses_observe_with_defaults() {
+        let script = parse_script("{\"op\":\"observe\"}").unwrap();
+        assert_eq!(script.steps[0].op, Op::Observe { every: 1, count: 1 });
+        let script = parse_script("{\"op\":\"observe\",\"every\":2,\"count\":4}").unwrap();
+        assert_eq!(script.steps[0].op, Op::Observe { every: 2, count: 4 });
+        assert!(parse_script("{\"op\":\"observe\",\"count\":0}").is_err());
     }
 
     #[test]

@@ -180,6 +180,42 @@ impl<R: BufRead, W: Write> Conn<'_, R, W> {
         Ok(true)
     }
 
+    /// Streams `count` stats snapshots, one every `every` logical
+    /// ticks, then an `observed` terminator. The first snapshot is
+    /// sent immediately at the current tick; the stream ends early
+    /// (with the terminator) when the server drains. Blocking here
+    /// only parks this connection's thread — the scheduler and every
+    /// other connection keep running, which is why `bcc-client
+    /// --watch` uses a dedicated connection.
+    fn handle_observe(&mut self, every: u64, count: u64) -> std::io::Result<bool> {
+        self.record(|buf| buf.counter("serve.observers", 1));
+        let mut tick = self.server.tick();
+        self.send(&Response::Snapshot {
+            tick,
+            stats: self.server.stats(),
+        })?;
+        let mut sent = 1u64;
+        while sent < count {
+            let target = tick + every;
+            match self.server.wait_tick(target - 1) {
+                Some(now) => {
+                    tick = now;
+                    self.send(&Response::Snapshot {
+                        tick,
+                        stats: self.server.stats(),
+                    })?;
+                    sent += 1;
+                }
+                None => break,
+            }
+        }
+        self.send(&Response::Observed {
+            snapshots: sent,
+            tick: self.server.tick(),
+        })?;
+        Ok(true)
+    }
+
     /// Dispatches one parsed request; `false` means close the
     /// connection.
     fn handle(&mut self, request: Request) -> std::io::Result<bool> {
@@ -216,6 +252,7 @@ impl<R: BufRead, W: Write> Conn<'_, R, W> {
                 let stats = self.server.stats();
                 self.send(&Response::Stats(stats))?;
             }
+            Request::Observe { every, count } => return self.handle_observe(every, count),
             Request::Ping { nonce } => self.send(&Response::Pong { nonce })?,
             Request::Shutdown => {
                 let drained = self.server.drain();

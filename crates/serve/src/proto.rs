@@ -66,6 +66,18 @@ pub enum Request {
     },
     /// Live server counters (queue depth, cache stats, …).
     Stats,
+    /// Stream `count` stats snapshots, one every `every` logical
+    /// ticks (a tick = one request reaching a terminal state), then a
+    /// terminating `observed` line. Ends early when the server
+    /// drains. Snapshots are keyed to the logical tick counter, never
+    /// to wall-clock, so an `observe` transcript of a sequential
+    /// script is deterministic.
+    Observe {
+        /// Ticks between snapshots (≥ 1).
+        every: u64,
+        /// Snapshots to stream (≥ 1).
+        count: u64,
+    },
     /// Liveness probe; echoed back in `pong`.
     Ping {
         /// Echo value.
@@ -168,6 +180,16 @@ impl Request {
                 req: require(field_u64(&v, "req")?, "req")?,
             }),
             "stats" => Ok(Request::Stats),
+            "observe" => {
+                let every = field_u64(&v, "every")?.unwrap_or(1);
+                let count = field_u64(&v, "count")?.unwrap_or(1);
+                if every == 0 || count == 0 {
+                    return Err(ProtoError::bad_request(
+                        "observe fields \"every\" and \"count\" must be >= 1",
+                    ));
+                }
+                Ok(Request::Observe { every, count })
+            }
             "ping" => Ok(Request::Ping {
                 nonce: field_u64(&v, "nonce")?.unwrap_or(0),
             }),
@@ -325,6 +347,22 @@ pub enum Response {
     },
     /// Reply to `stats`.
     Stats(StatsMsg),
+    /// One streamed `observe` snapshot: the stats at a logical tick.
+    Snapshot {
+        /// The logical tick (completions + cancellations so far) this
+        /// snapshot was taken at.
+        tick: u64,
+        /// The counters at that tick.
+        stats: StatsMsg,
+    },
+    /// Terminates an `observe` stream.
+    Observed {
+        /// Snapshots actually streamed (may be fewer than requested
+        /// when the server drained mid-stream).
+        snapshots: u64,
+        /// The tick at termination.
+        tick: u64,
+    },
     /// Reply to `ping`.
     Pong {
         /// Echoed nonce.
@@ -399,6 +437,24 @@ impl Response {
                 s.cache_hits,
                 s.cache_entries
             ),
+            Response::Snapshot { tick, stats: s } => format!(
+                "{{\"type\":\"snapshot\",\"tick\":{tick},\"accepted\":{},\"rejected\":{},\
+                 \"completed\":{},\"cancelled\":{},\"drained\":{},\"queue_depth\":{},\
+                 \"draining\":{},\"cache_lookups\":{},\"cache_hits\":{},\"cache_entries\":{}}}",
+                s.accepted,
+                s.rejected,
+                s.completed,
+                s.cancelled,
+                s.drained,
+                s.queue_depth,
+                s.draining,
+                s.cache_lookups,
+                s.cache_hits,
+                s.cache_entries
+            ),
+            Response::Observed { snapshots, tick } => {
+                format!("{{\"type\":\"observed\",\"snapshots\":{snapshots},\"tick\":{tick}}}")
+            }
             Response::Pong { nonce } => format!("{{\"type\":\"pong\",\"nonce\":{nonce}}}"),
             Response::Bye { drained } => {
                 format!("{{\"type\":\"bye\",\"drained\":{drained}}}")
@@ -455,6 +511,20 @@ mod tests {
             Request::Ping { nonce: 9 }
         );
         assert_eq!(
+            Request::parse(r#"{"type":"observe"}"#).unwrap(),
+            Request::Observe { every: 1, count: 1 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"type":"observe","every":2,"count":5}"#).unwrap(),
+            Request::Observe { every: 2, count: 5 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"type":"observe","every":0}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+        assert_eq!(
             Request::parse(r#"{"type":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
@@ -500,10 +570,36 @@ mod tests {
             Response::Welcome,
             Response::Pong { nonce: 1 },
             Response::Stats(StatsMsg::default()),
+            Response::Snapshot {
+                tick: 3,
+                stats: StatsMsg::default(),
+            },
+            Response::Observed {
+                snapshots: 2,
+                tick: 3,
+            },
             Response::Error(ProtoError::bad_request("x\"y")),
         ] {
             assert!(json::parse(&r.to_json()).is_ok(), "bad: {}", r.to_json());
         }
+        let snap = Response::Snapshot {
+            tick: 3,
+            stats: StatsMsg {
+                completed: 3,
+                ..Default::default()
+            },
+        }
+        .to_json();
+        assert!(snap.starts_with(r#"{"type":"snapshot","tick":3,"#));
+        assert!(snap.contains("\"completed\":3"));
+        assert_eq!(
+            Response::Observed {
+                snapshots: 2,
+                tick: 3
+            }
+            .to_json(),
+            r#"{"type":"observed","snapshots":2,"tick":3}"#
+        );
     }
 
     #[test]

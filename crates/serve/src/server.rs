@@ -164,6 +164,11 @@ pub struct Server {
     drain_phase: Mutex<DrainPhase>,
     drain_done_cv: Condvar,
     scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Logical clock for observers: one tick per request reaching a
+    /// terminal state (completed or cancelled-from-queue). `observe`
+    /// streams are keyed to this counter, never to wall-clock.
+    ticks: Mutex<u64>,
+    tick_cv: Condvar,
 }
 
 impl Server {
@@ -180,6 +185,8 @@ impl Server {
             drain_phase: Mutex::new(DrainPhase::Running),
             drain_done_cv: Condvar::new(),
             scheduler: Mutex::new(None),
+            ticks: Mutex::new(0),
+            tick_cv: Condvar::new(),
             config,
         });
         let worker = Arc::clone(&server);
@@ -278,6 +285,7 @@ impl Server {
                     cache_lookups: 0,
                     report_json: None,
                 });
+                self.bump_tick();
                 "cancelled"
             }
             CancelOutcome::NotQueued => {
@@ -292,6 +300,37 @@ impl Server {
                     _ => "unknown",
                 }
             }
+        }
+    }
+
+    /// Advances the logical clock and wakes every observer.
+    fn bump_tick(&self) {
+        let mut ticks = self.ticks.lock().unwrap_or_else(|e| e.into_inner());
+        *ticks += 1;
+        drop(ticks);
+        self.tick_cv.notify_all();
+    }
+
+    /// The current logical tick (requests that reached a terminal
+    /// state so far).
+    pub fn tick(&self) -> u64 {
+        *self.ticks.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until the logical clock passes `after`, returning the
+    /// new tick — or `None` once the server is draining and no
+    /// further tick will come, so observers terminate instead of
+    /// hanging the drain.
+    pub fn wait_tick(&self, after: u64) -> Option<u64> {
+        let mut ticks = self.ticks.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *ticks > after {
+                return Some(*ticks);
+            }
+            if self.admission.is_draining() {
+                return None;
+            }
+            ticks = self.tick_cv.wait(ticks).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -339,6 +378,9 @@ impl Server {
             }
         }
         let drained = self.admission.begin_drain();
+        // Wake observers so they see the drain and terminate their
+        // streams instead of outliving the daemon.
+        self.tick_cv.notify_all();
         self.stats.drained.store(drained, Ordering::Relaxed);
         let mut mbuf = self.hub.buf("serve/sched");
         mbuf.counter("serve.drained", drained);
@@ -484,6 +526,7 @@ impl Server {
             .remove(&ticket.req);
         self.results.post(msg);
         self.admission.finish(&ticket.client);
+        self.bump_tick();
     }
 }
 

@@ -201,3 +201,69 @@ fn drain_rejects_new_submits_and_second_shutdown_is_idempotent() {
     drop(conn);
     listening.join().expect("accept loop");
 }
+
+#[test]
+fn observe_streams_snapshots_on_ticks_and_terminates() {
+    let (_server, listening) = start_server(quick_config());
+
+    // An immediate one-shot observe: snapshot at the current tick,
+    // then the terminator.
+    let mut conn = TestConn::connect(listening.port());
+    let snap = conn.roundtrip("{\"type\":\"observe\"}");
+    assert_eq!(json_str(&snap, "type").as_deref(), Some("snapshot"));
+    assert_eq!(json_u64(&snap, "tick"), Some(0));
+    let end = conn.recv();
+    assert_eq!(json_str(&end, "type").as_deref(), Some("observed"));
+    assert_eq!(json_u64(&end, "snapshots"), Some(1));
+
+    // A watcher on its own connection sees a request complete: the
+    // second snapshot arrives at tick 1 with completed=1.
+    let mut watcher = TestConn::connect(listening.port());
+    watcher.send("{\"type\":\"observe\",\"every\":1,\"count\":2}");
+    let first = watcher.recv();
+    assert_eq!(json_u64(&first, "tick"), Some(0));
+    assert_eq!(json_u64(&first, "completed"), Some(0));
+
+    let accepted = conn.roundtrip("{\"type\":\"submit\",\"experiment\":\"e2\",\"seed\":5}");
+    let req = json_u64(&accepted, "req").expect("req id");
+    let result = conn.roundtrip(&format!("{{\"type\":\"await\",\"req\":{req}}}"));
+    assert_eq!(json_str(&result, "type").as_deref(), Some("result"));
+
+    let second = watcher.recv();
+    assert_eq!(json_str(&second, "type").as_deref(), Some("snapshot"));
+    assert_eq!(json_u64(&second, "tick"), Some(1));
+    assert_eq!(json_u64(&second, "completed"), Some(1));
+    let end = watcher.recv();
+    assert_eq!(json_str(&end, "type").as_deref(), Some("observed"));
+    assert_eq!(json_u64(&end, "snapshots"), Some(2));
+    drop(watcher);
+
+    // Observe rejects zeroes with a typed error.
+    let err = conn.roundtrip("{\"type\":\"observe\",\"every\":0}");
+    assert_eq!(json_str(&err, "code").as_deref(), Some("bad_request"));
+
+    shutdown(conn);
+    listening.join().expect("accept loop");
+}
+
+#[test]
+fn observe_ends_early_when_the_daemon_drains() {
+    let (_server, listening) = start_server(quick_config());
+    // Ask for far more snapshots than will ever tick; drain must
+    // release the watcher with a terminator instead of hanging.
+    let mut watcher = TestConn::connect(listening.port());
+    watcher.send("{\"type\":\"observe\",\"every\":1,\"count\":1000}");
+    let first = watcher.recv();
+    assert_eq!(json_str(&first, "type").as_deref(), Some("snapshot"));
+
+    let mut conn = TestConn::connect(listening.port());
+    let bye = conn.roundtrip("{\"type\":\"shutdown\"}");
+    assert_eq!(json_str(&bye, "type").as_deref(), Some("bye"));
+
+    let end = watcher.recv();
+    assert_eq!(json_str(&end, "type").as_deref(), Some("observed"));
+    assert_eq!(json_u64(&end, "snapshots"), Some(1));
+    drop(watcher);
+    drop(conn);
+    listening.join().expect("accept loop");
+}

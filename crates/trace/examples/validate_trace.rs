@@ -4,10 +4,19 @@
 //! Checks, per file:
 //!
 //! 1. every line parses back through the codec (`parse_event`);
-//! 2. lines appear in merge order — `(unit, seq)` non-decreasing, so
-//!    units are grouped and sequences increase within each unit;
-//! 3. spans balance within each unit: every `span_end` matches the
-//!    innermost open `span_start`, and no span is left open.
+//! 2. lines appear in merge order — units grouped, and `seq` strictly
+//!    increasing within each unit (a duplicate seq means two writers
+//!    shared a unit, which the merge cannot order deterministically);
+//! 3. spans nest within each unit: every `span_end` matches the
+//!    innermost open `span_start`, and no span is left open;
+//! 4. span opens and closes balance per `(unit, name)` pair — a close
+//!    in one unit can never satisfy an open in another, so a
+//!    cross-unit mismatch shows up as one unit with surplus opens and
+//!    another with surplus closes rather than being absorbed silently.
+//!
+//! All violations in a file are reported, not just the first — a
+//! truncated or interleaved trace usually breaks several checks at
+//! once and the full list localises the corruption faster.
 //!
 //! Usage: `validate_trace <trace.jsonl>...`; exits 0 when every file
 //! is valid, 1 on any violation, 2 on usage/IO errors.
@@ -29,8 +38,10 @@ fn main() -> ExitCode {
         match std::fs::read_to_string(path) {
             Ok(text) => match validate(&text) {
                 Ok(stats) => println!("{path}: ok ({stats})"),
-                Err(e) => {
-                    eprintln!("{path}: INVALID: {e}");
+                Err(violations) => {
+                    for v in &violations {
+                        eprintln!("{path}: INVALID: {v}");
+                    }
                     ok = false;
                 }
             },
@@ -47,20 +58,36 @@ fn main() -> ExitCode {
     }
 }
 
-/// Runs all checks over one file's contents; returns a stats line.
-fn validate(text: &str) -> Result<String, String> {
+/// Runs all checks over one file's contents. Returns a stats line on
+/// success, or every violation found (never an empty list) on
+/// failure. A line that fails to parse ends validation at that line —
+/// nothing after it can be trusted as event data — but everything
+/// gathered up to it is still reported.
+fn validate(text: &str) -> Result<String, Vec<String>> {
+    let mut violations: Vec<String> = Vec::new();
     let mut prev: Option<(String, u64)> = None;
-    // Per-unit stack of open span names.
+    // Per-unit stack of open span names, for nesting checks.
     let mut open: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    // Per-(unit, name) open/close tallies, for balance checks that
+    // survive even when nesting is already broken.
+    let mut opens: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut closes: BTreeMap<(String, String), u64> = BTreeMap::new();
     let mut events = 0usize;
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
-        let e = parse_event(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let e = match parse_event(line) {
+            Ok(e) => e,
+            Err(e) => {
+                violations.push(format!("line {lineno}: {e}"));
+                return Err(violations);
+            }
+        };
         let key = (e.unit.clone(), e.seq);
         if let Some(p) = &prev {
-            if *p > key {
-                return Err(format!(
-                    "line {lineno}: out of merge order: ({}, {}) after ({}, {})",
+            if *p >= key {
+                let what = if *p == key { "duplicate" } else { "out of" };
+                violations.push(format!(
+                    "line {lineno}: {what} merge order: ({}, {}) after ({}, {})",
                     key.0, key.1, p.0, p.1
                 ));
             }
@@ -68,30 +95,52 @@ fn validate(text: &str) -> Result<String, String> {
         prev = Some(key);
         let stack = open.entry(e.unit.clone()).or_default();
         match e.kind {
-            EventKind::SpanStart => stack.push(e.name.clone()),
-            EventKind::SpanEnd => match stack.pop() {
-                Some(top) if top == e.name => {}
-                Some(top) => {
-                    return Err(format!(
+            EventKind::SpanStart => {
+                stack.push(e.name.clone());
+                *opens.entry((e.unit.clone(), e.name.clone())).or_default() += 1;
+            }
+            EventKind::SpanEnd => {
+                *closes.entry((e.unit.clone(), e.name.clone())).or_default() += 1;
+                match stack.pop() {
+                    Some(top) if top == e.name => {}
+                    Some(top) => violations.push(format!(
                         "line {lineno}: span_end `{}` closes open span `{top}` in unit `{}`",
                         e.name, e.unit
-                    ));
-                }
-                None => {
-                    return Err(format!(
+                    )),
+                    None => violations.push(format!(
                         "line {lineno}: span_end `{}` with no open span in unit `{}`",
                         e.name, e.unit
-                    ));
+                    )),
                 }
-            },
+            }
             EventKind::Point | EventKind::Counter | EventKind::Gauge => {}
         }
         events += 1;
     }
     for (unit, stack) in &open {
-        if let Some(name) = stack.last() {
-            return Err(format!("span `{name}` left open in unit `{unit}`"));
+        for name in stack {
+            violations.push(format!("span `{name}` left open in unit `{unit}`"));
         }
     }
-    Ok(format!("{events} events, {} units", open.len()))
+    // Cross-check counts per (unit, name): surplus closes here pair
+    // with surplus opens elsewhere when a close landed in the wrong
+    // unit's stream.
+    let mut pairs: Vec<&(String, String)> = opens.keys().chain(closes.keys()).collect();
+    pairs.sort();
+    pairs.dedup();
+    for pair in pairs {
+        let o = opens.get(pair).copied().unwrap_or(0);
+        let c = closes.get(pair).copied().unwrap_or(0);
+        if o != c {
+            violations.push(format!(
+                "span `{}` in unit `{}`: {o} open(s) vs {c} close(s)",
+                pair.1, pair.0
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(format!("{events} events, {} units", open.len()))
+    } else {
+        Err(violations)
+    }
 }

@@ -10,6 +10,11 @@ pub enum TraceLevel {
     Off,
     /// Record span opens/closes only (job lifecycles, rounds).
     Spans,
+    /// Record spans plus the cost stream (counters and gauges) — what
+    /// the profiler needs for span attribution — but not per-message
+    /// point events. This is the cheapest level that still yields a
+    /// complete cost profile.
+    Costs,
     /// Record everything: spans, counters, gauges, and point events.
     Events,
 }
@@ -20,6 +25,7 @@ impl TraceLevel {
         match name {
             "off" => Some(TraceLevel::Off),
             "spans" => Some(TraceLevel::Spans),
+            "costs" => Some(TraceLevel::Costs),
             "events" => Some(TraceLevel::Events),
             _ => None,
         }
@@ -30,6 +36,7 @@ impl TraceLevel {
         match self {
             TraceLevel::Off => "off",
             TraceLevel::Spans => "spans",
+            TraceLevel::Costs => "costs",
             TraceLevel::Events => "events",
         }
     }
@@ -84,7 +91,12 @@ impl TraceBuf {
         self.level >= TraceLevel::Spans
     }
 
-    /// True when counter/gauge/point records are kept.
+    /// True when counter/gauge cost records are kept.
+    pub fn costs_enabled(&self) -> bool {
+        self.level >= TraceLevel::Costs
+    }
+
+    /// True when point records are kept.
     pub fn events_enabled(&self) -> bool {
         self.level >= TraceLevel::Events
     }
@@ -131,7 +143,7 @@ impl TraceBuf {
 
     /// Records a counter increment.
     pub fn counter(&mut self, name: &str, delta: u64) {
-        if self.events_enabled() {
+        if self.costs_enabled() {
             self.record(
                 EventKind::Counter,
                 name,
@@ -142,7 +154,7 @@ impl TraceBuf {
 
     /// Records an instantaneous level.
     pub fn gauge(&mut self, name: &str, value: impl Into<FieldValue>) {
-        if self.events_enabled() {
+        if self.costs_enabled() {
             self.record(EventKind::Gauge, name, vec![("value".into(), value.into())]);
         }
     }
@@ -171,8 +183,14 @@ mod tests {
     #[test]
     fn levels_order_and_parse() {
         assert!(TraceLevel::Off < TraceLevel::Spans);
-        assert!(TraceLevel::Spans < TraceLevel::Events);
-        for l in [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Events] {
+        assert!(TraceLevel::Spans < TraceLevel::Costs);
+        assert!(TraceLevel::Costs < TraceLevel::Events);
+        for l in [
+            TraceLevel::Off,
+            TraceLevel::Spans,
+            TraceLevel::Costs,
+            TraceLevel::Events,
+        ] {
             assert_eq!(TraceLevel::from_name(l.name()), Some(l));
         }
         assert_eq!(TraceLevel::from_name("verbose"), None);

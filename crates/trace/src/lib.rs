@@ -28,6 +28,9 @@
 //! - [`json`]: the JSONL codec, including a parser so traces
 //!   round-trip (used by the determinism proptests and the trace
 //!   validator in CI).
+//! - [`tree`]: span-tree reconstruction — rebuilds each unit's span
+//!   forest (with per-span cost attachment) from the merged stream,
+//!   the substrate for the `bcc-prof` cost-attribution profiler.
 //!
 //! # The invariant
 //!
@@ -63,8 +66,10 @@ mod event;
 pub mod json;
 mod scope;
 pub mod sink;
+pub mod tree;
 
 pub use buf::{TraceBuf, TraceLevel};
 pub use collector::{Collector, Trace};
 pub use event::{field, Event, EventKind, FieldValue};
 pub use scope::TraceScope;
+pub use tree::{build_trees, SpanNode, UnitTree};

@@ -46,9 +46,14 @@ impl TraceScope {
         self.level
     }
 
-    /// True when point events / counters / gauges are kept.
+    /// True when point events are kept.
     pub fn enabled(&self) -> bool {
         self.level >= TraceLevel::Events
+    }
+
+    /// True when counter/gauge cost records are kept.
+    pub fn costs_enabled(&self) -> bool {
+        self.level >= TraceLevel::Costs
     }
 
     /// True when span start/end records are kept.
@@ -73,14 +78,14 @@ impl TraceScope {
 
     /// Records a counter increment (no-op when tracing is off).
     pub fn counter(&self, name: &str, delta: u64) {
-        if self.enabled() {
+        if self.costs_enabled() {
             self.with(|b| b.counter(name, delta));
         }
     }
 
     /// Records an instantaneous level (no-op when tracing is off).
     pub fn gauge(&self, name: &str, value: impl Into<FieldValue>) {
-        if self.enabled() {
+        if self.costs_enabled() {
             self.with(|b| b.gauge(name, value));
         }
     }
