@@ -22,6 +22,7 @@
 //! locality of touching each round's machinery once for 64 runs
 //! instead of 64 times.
 
+use bcc_model::transport::{Routes, Transport, TransportError};
 use bcc_model::{Algorithm, Inbox, Instance, Message, NodeProgram, RunOutcome, RunStats, Symbol};
 use bcc_model::{NodeView, SimConfig, Transcript};
 use bcc_trace::{field, TraceBuf, TraceLevel};
@@ -116,17 +117,77 @@ impl BatchRun {
     /// with `active_lanes` / `bits_broadcast` counters — an aggregate
     /// view, not the per-node scalar trace.
     ///
+    /// Like [`try_run`](Self::try_run), but degrades a transport
+    /// failure into one all-`Undecided`, unrecorded outcome per lane
+    /// (each carrying the error in
+    /// [`transport_failure`](RunOutcome::transport_failure)) instead
+    /// of returning `Err` — mirroring the scalar
+    /// [`SimConfig::run`] / `try_run` split.
+    ///
     /// # Panics
     ///
     /// Panics if `lanes` is empty, has more than [`MAX_LANES`]
     /// entries, or mixes instances with different vertex counts.
     pub fn run(&self, lanes: &[Lane<'_>], algorithm: &dyn Algorithm) -> Vec<RunOutcome> {
-        let scope = self.cfg.trace_scope();
-        if scope.level() > TraceLevel::Off {
-            scope.with(|buf| run_batch_impl(&self.cfg, lanes, algorithm, buf))
-        } else {
-            run_batch_impl(&self.cfg, lanes, algorithm, &mut TraceBuf::disabled())
+        match self.try_run(lanes, algorithm) {
+            Ok(outcomes) => outcomes,
+            Err(err) => lanes
+                .iter()
+                .map(|(inst, _)| RunOutcome::transport_failed(inst.num_vertices(), err.clone()))
+                .collect(),
         }
+    }
+
+    /// Runs `algorithm` on every lane in lockstep and returns one
+    /// outcome per lane, in lane order. Each outcome is byte-identical
+    /// to `self.config().run(instance, algorithm, seed)` for that
+    /// lane.
+    ///
+    /// Message delivery routes through the configuration's
+    /// [`Transport`] factory, one transport per lane (each lane has
+    /// its own wiring, hence its own routes); the trace and all
+    /// accounting stay driver-side, so outcomes do not depend on the
+    /// backend. A transport failure aborts the whole batch with the
+    /// typed error after closing any open spans.
+    ///
+    /// When the configuration carries a trace scope, the batch records
+    /// a `batch` span wrapping one `round=r` span per executed round
+    /// with `active_lanes` / `bits_broadcast` counters — an aggregate
+    /// view, not the per-node scalar trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransportError`] any lane's transport
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty, has more than [`MAX_LANES`]
+    /// entries, or mixes instances with different vertex counts.
+    pub fn try_run(
+        &self,
+        lanes: &[Lane<'_>],
+        algorithm: &dyn Algorithm,
+    ) -> Result<Vec<RunOutcome>, TransportError> {
+        let scope = self.cfg.trace_scope();
+        let factory = self.cfg.transport_factory();
+        let mut transports: Vec<Box<dyn Transport>> =
+            lanes.iter().map(|_| factory.create()).collect();
+        let result = if scope.level() > TraceLevel::Off {
+            scope.with(|buf| run_batch_impl(&self.cfg, &mut transports, lanes, algorithm, buf))
+        } else {
+            run_batch_impl(
+                &self.cfg,
+                &mut transports,
+                lanes,
+                algorithm,
+                &mut TraceBuf::disabled(),
+            )
+        };
+        for transport in &mut transports {
+            transport.teardown();
+        }
+        result
     }
 
     /// Runs an arbitrarily long lane list by splitting it into
@@ -137,14 +198,52 @@ impl BatchRun {
             .flat_map(|chunk| self.run(chunk, algorithm))
             .collect()
     }
+
+    /// Fallible [`run_chunked`](Self::run_chunked): stops at the
+    /// first chunk whose transport fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransportError`] any chunk reports.
+    pub fn try_run_chunked(
+        &self,
+        lanes: &[Lane<'_>],
+        algorithm: &dyn Algorithm,
+    ) -> Result<Vec<RunOutcome>, TransportError> {
+        let mut outcomes = Vec::with_capacity(lanes.len());
+        for chunk in lanes.chunks(MAX_LANES) {
+            outcomes.extend(self.try_run(chunk, algorithm)?);
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Closes any open spans so a transport failure leaves the trace
+/// balanced, mirroring the scalar simulator's abort path.
+fn abort_batch(
+    trace: &mut TraceBuf,
+    open_round: Option<usize>,
+    err: TransportError,
+) -> TransportError {
+    if trace.events_enabled() {
+        trace.event("transport.error", vec![field("error", err.to_string())]);
+    }
+    if trace.spans_enabled() {
+        if let Some(round) = open_round {
+            trace.span_end(&format!("round={round}"), vec![]);
+        }
+        trace.span_end("batch", vec![field("error", err.to_string())]);
+    }
+    err
 }
 
 fn run_batch_impl(
     cfg: &SimConfig,
+    transports: &mut [Box<dyn Transport>],
     lanes: &[Lane<'_>],
     algorithm: &dyn Algorithm,
     trace: &mut TraceBuf,
-) -> Vec<RunOutcome> {
+) -> Result<Vec<RunOutcome>, TransportError> {
     let l = lanes.len();
     assert!(l >= 1, "a batch needs at least one lane");
     assert!(l <= MAX_LANES, "at most {MAX_LANES} lanes per batch");
@@ -153,6 +252,11 @@ fn run_batch_impl(
         lanes.iter().all(|(inst, _)| inst.num_vertices() == n),
         "all lanes must share one vertex count"
     );
+    // Opens happen before the batch span starts, so an open failure
+    // returns with no spans to unwind.
+    for (transport, (inst, _)) in transports.iter_mut().zip(lanes) {
+        transport.open(&Routes::of(inst.network()))?;
+    }
     let b = cfg.bandwidth_per_round();
     let record = cfg.records_transcripts();
     let metrics = cfg.metrics_scope();
@@ -216,13 +320,12 @@ fn run_batch_impl(
             }
         }
         // Phase 2: reconstruct each lane's broadcast vector from the
-        // words and deliver on every port of that lane's own network.
+        // words and deliver it through that lane's transport.
         let mut round_bits = 0usize;
         for lane in 0..l {
             if active >> lane & 1 == 0 {
                 continue;
             }
-            let network = lanes[lane].0.network();
             let broadcasts: Vec<Message> = (0..n).map(|v| packed.unpack(lane, v)).collect();
             for (v, m) in broadcasts.iter().enumerate() {
                 let bits = m.bits_used();
@@ -232,15 +335,30 @@ fn run_batch_impl(
                     transcripts[lane][v].sent.push(m.clone());
                 }
             }
-            for v in 0..n {
-                let entries: Vec<(u64, Message)> = (0..n - 1)
-                    .map(|p| {
-                        (
-                            network.port_label(v, p),
-                            broadcasts[network.peer_of(v, p)].clone(),
-                        )
-                    })
-                    .collect();
+            let view = match transports[lane].exchange(round, &broadcasts) {
+                Ok(view) => view.canonicalized(),
+                Err(err) => return Err(abort_batch(trace, Some(round), err)),
+            };
+            if view.num_nodes() != n {
+                let err = TransportError::Protocol {
+                    detail: format!(
+                        "transport returned {} inboxes for {n} nodes",
+                        view.num_nodes()
+                    ),
+                };
+                return Err(abort_batch(trace, Some(round), err));
+            }
+            for (v, entries) in view.into_inboxes().into_iter().enumerate() {
+                if entries.len() != n - 1 {
+                    let err = TransportError::Protocol {
+                        detail: format!(
+                            "transport delivered {} messages to node {v}, expected {}",
+                            entries.len(),
+                            n - 1
+                        ),
+                    };
+                    return Err(abort_batch(trace, Some(round), err));
+                }
                 if record {
                     transcripts[lane][v].received.push(entries.clone());
                 }
@@ -268,6 +386,12 @@ fn run_batch_impl(
                 all_done[lane] = true;
                 active &= !(1 << lane);
             }
+        }
+    }
+
+    for transport in transports.iter_mut() {
+        if let Err(err) = transport.barrier() {
+            return Err(abort_batch(trace, None, err));
         }
     }
 
@@ -339,7 +463,7 @@ fn run_batch_impl(
             }
         });
     }
-    outcomes
+    Ok(outcomes)
 }
 
 #[cfg(test)]
@@ -438,6 +562,85 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn empty_batch_rejected() {
         let _ = BatchRun::new(SimConfig::bcc1(2)).run(&[], &EchoBit);
+    }
+
+    #[test]
+    fn explicit_local_transport_matches_default() {
+        use bcc_model::transport::LocalFactory;
+        use std::sync::Arc;
+        let i = Instance::new_kt0(generators::cycle(6), 11).unwrap();
+        let cfg = SimConfig::bcc1(10);
+        let explicit = BatchRun::new(cfg.clone().transport(Arc::new(LocalFactory)))
+            .run(&[(&i, 0), (&i, 3)], &IdBroadcast::new());
+        let default = BatchRun::new(cfg).run(&[(&i, 0), (&i, 3)], &IdBroadcast::new());
+        for (a, b) in explicit.iter().zip(&default) {
+            assert_outcomes_equal(a, b);
+        }
+    }
+
+    #[test]
+    fn dead_transport_degrades_every_lane_with_balanced_spans() {
+        use bcc_model::transport::{
+            RoundView, Routes, Transport, TransportError, TransportFactory,
+        };
+        use bcc_trace::{TraceLevel, TraceScope};
+
+        struct Dying;
+        impl Transport for Dying {
+            fn open(&mut self, _: &Routes) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn exchange(
+                &mut self,
+                _round: usize,
+                _outbox: &[Message],
+            ) -> Result<RoundView, TransportError> {
+                Err(TransportError::WorkerDead {
+                    rank: 0,
+                    detail: "test".to_string(),
+                })
+            }
+        }
+        struct DyingFactory;
+        impl TransportFactory for DyingFactory {
+            fn create(&self) -> Box<dyn Transport> {
+                Box::new(Dying)
+            }
+            fn label(&self) -> String {
+                "dying".to_string()
+            }
+        }
+
+        let i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let scope = TraceScope::new(bcc_trace::TraceBuf::new(TraceLevel::Events, "batch-test"));
+        let cfg = SimConfig::bcc1(3)
+            .trace(scope.clone())
+            .transport(std::sync::Arc::new(DyingFactory));
+        let out = BatchRun::new(cfg).run(&[(&i, 0), (&i, 1)], &EchoBit);
+        assert_eq!(out.len(), 2);
+        for o in &out {
+            assert!(matches!(
+                o.transport_failure(),
+                Some(TransportError::WorkerDead { .. })
+            ));
+            assert!(o.decisions().iter().all(|d| *d == Decision::Undecided));
+            assert_eq!(o.system_decision(), Decision::No);
+            assert!(!o.completed());
+            assert!(!o.recorded());
+        }
+        // Every span that opened also closed.
+        let events = scope.take().into_events();
+        use bcc_trace::EventKind;
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanStart))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanEnd))
+            .count();
+        assert_eq!(starts, ends);
+        assert!(events.iter().any(|e| e.name == "transport.error"));
     }
 
     #[test]

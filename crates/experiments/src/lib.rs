@@ -123,10 +123,14 @@ pub fn reduce_for(id: &str, outputs: Vec<JobOutput>) -> Result<Report, UnknownEx
 ///
 /// `quick` trims instance sizes so the whole suite stays test-friendly.
 /// Unknown ids return [`UnknownExperiment`] instead of panicking.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunRequest::new(id, quick, seed).run() and read .report.text"
+)]
 pub fn run(id: &str, quick: bool) -> Result<String, UnknownExperiment> {
-    let jobs = jobs_for(id, quick, DEFAULT_SEED)?;
-    let outputs = job::run_jobs_serial(&jobs);
-    Ok(reduce_for(id, outputs)?.text)
+    RunRequest::new(id, quick, DEFAULT_SEED)
+        .run()
+        .map(|run| run.report.text)
 }
 
 /// Options for a parallel suite run.
@@ -154,6 +158,12 @@ pub struct SuiteOptions {
     /// are byte-identical — the store only trades recomputation for
     /// lookups (see [`cache`]).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Transport backend to install process-wide before running
+    /// (`--transport`); `None` leaves whatever is installed (the
+    /// in-process `local` backend by default). Reports, traces, and
+    /// metrics dumps are byte-identical across backends — that is the
+    /// transport determinism contract (DESIGN.md §14).
+    pub transport: Option<bcc_model::TransportSpec>,
 }
 
 impl Default for SuiteOptions {
@@ -166,6 +176,7 @@ impl Default for SuiteOptions {
             trace_level: TraceLevel::Off,
             metrics_level: MetricsLevel::Off,
             cache_dir: None,
+            transport: None,
         }
     }
 }
@@ -210,12 +221,25 @@ fn degrade_partial(mut report: Report, completed: usize, scheduled: usize) -> Re
     report
 }
 
-/// One registry-dispatched run request: what a caller that owns its
-/// own pool (the `bcc-serve` daemon, a test harness) submits instead
-/// of going through [`run_suite`]. The request is fully described by
-/// logical parameters, so the reduced report is a pure function of
-/// `(id, quick, seed)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One registry-dispatched run request — the single entry point that
+/// replaced the historical `run` / `run_on_pool` / `*_observed`
+/// free-function sprawl. The request is fully described by logical
+/// parameters, so the reduced report is a pure function of
+/// `(id, quick, seed)`; everything else (threads, cache, observers,
+/// transport) only changes *how* it is computed.
+///
+/// ```no_run
+/// use bcc_experiments::RunRequest;
+/// use bcc_model::TransportSpec;
+/// let run = RunRequest::new("e2", true, 42)
+///     .jobs(4)
+///     .cache("/tmp/bcc-cache")
+///     .transport(TransportSpec::Sockets(2))
+///     .run()
+///     .expect("known id");
+/// println!("{}", run.report.text);
+/// ```
+#[derive(Debug, Clone)]
 pub struct RunRequest {
     /// Experiment id (`"e2"`, …).
     pub id: String,
@@ -225,17 +249,149 @@ pub struct RunRequest {
     pub seed: u64,
     /// Optional per-job wall-clock deadline.
     pub timeout: Option<Duration>,
+    threads: usize,
+    cache_dir: Option<std::path::PathBuf>,
+    transport: Option<bcc_model::TransportSpec>,
+    collector: Option<Collector>,
+    hub: Option<MetricsHub>,
 }
 
 impl RunRequest {
-    /// A quick-profile request with the given id and seed.
+    /// A request with the given id, profile, and seed; single-threaded,
+    /// uncached, unobserved, on the process-default transport.
     pub fn new(id: impl Into<String>, quick: bool, seed: u64) -> Self {
         RunRequest {
             id: id.into(),
             quick,
             seed,
             timeout: None,
+            threads: 1,
+            cache_dir: None,
+            transport: None,
+            collector: None,
+            hub: None,
         }
+    }
+
+    /// Worker threads for [`run`](Self::run) (ignored by
+    /// [`run_on_pool`](Self::run_on_pool), where the pool is the
+    /// caller's). Clamped to at least 1.
+    #[must_use]
+    pub fn jobs(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Backs the process-wide artifact cache with this directory
+    /// before running (see [`cache::configure_disk`]).
+    #[must_use]
+    pub fn cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Per-job wall-clock deadline.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Streams traces and workload metrics into caller-owned sinks
+    /// (both are `Arc`-backed handles; the caller finishes them).
+    /// Unobserved requests pay nothing for either.
+    #[must_use]
+    pub fn observed(mut self, collector: Collector, hub: MetricsHub) -> Self {
+        self.collector = Some(collector);
+        self.hub = Some(hub);
+        self
+    }
+
+    /// Installs this transport as the process-wide default before
+    /// running. Left unset, the request runs on whatever is already
+    /// installed (the in-process `local` backend unless a host
+    /// installed something else) — so a daemon-level `--transport`
+    /// is not stomped by per-request submissions.
+    #[must_use]
+    pub fn transport(mut self, spec: bcc_model::TransportSpec) -> Self {
+        self.transport = Some(spec);
+        self
+    }
+
+    /// Runs on a freshly created pool with
+    /// [`jobs`](Self::jobs)-many threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownExperiment`] for an id outside the registry.
+    pub fn run(&self) -> Result<PoolRun, UnknownExperiment> {
+        let pool = bcc_runner::Pool::new(self.threads);
+        self.run_on_pool(&pool, &bcc_runner::CancellationToken::new())
+    }
+
+    /// Runs on a caller-owned pool — the registry-driven submission
+    /// path a long-lived service schedules through. The pool and
+    /// cancellation token outlive the request, so repeat submissions
+    /// share one warm process-wide [`cache`] store and (via
+    /// [`observed`](Self::observed)) one merged observability stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownExperiment`] for an id outside the registry;
+    /// admission layers should reject such requests without
+    /// scheduling.
+    pub fn run_on_pool(
+        &self,
+        pool: &bcc_runner::Pool,
+        token: &bcc_runner::CancellationToken,
+    ) -> Result<PoolRun, UnknownExperiment> {
+        if let Some(spec) = self.transport {
+            bcc_transport::install(spec);
+        }
+        if let Some(dir) = &self.cache_dir {
+            cache::configure_disk(dir.clone());
+        }
+        let jobs = jobs_for(&self.id, self.quick, self.seed)?;
+        let runner_jobs: Vec<bcc_runner::Job<JobOutput>> = jobs
+            .into_iter()
+            .map(|j| j.into_runner_job(self.timeout))
+            .collect();
+        // Disabled sinks cost nothing; using them for unobserved
+        // requests keeps one submission path instead of two.
+        let off_collector;
+        let collector = match &self.collector {
+            Some(c) => c,
+            None => {
+                off_collector = Collector::new(TraceLevel::Off);
+                &off_collector
+            }
+        };
+        let off_hub;
+        let hub = match &self.hub {
+            Some(h) => h,
+            None => {
+                off_hub = MetricsHub::new(MetricsLevel::Off);
+                &off_hub
+            }
+        };
+        let results = pool.execute_observed(runner_jobs, token, collector, hub);
+        let scheduled = results.len();
+        let cancelled = results
+            .iter()
+            .filter(|r| matches!(r.status, bcc_runner::JobStatus::Cancelled))
+            .count();
+        let outputs: Vec<JobOutput> = results
+            .into_iter()
+            .filter_map(|r| r.status.into_output())
+            .collect();
+        let completed = outputs.len();
+        let report = degrade_partial(reduce_for(&self.id, outputs)?, completed, scheduled);
+        Ok(PoolRun {
+            report,
+            scheduled,
+            completed,
+            cancelled,
+        })
     }
 }
 
@@ -254,17 +410,15 @@ pub struct PoolRun {
     pub cancelled: usize,
 }
 
-/// Runs one experiment by id on a caller-owned pool — the
-/// registry-driven submission path a long-lived service schedules
-/// through. Unlike [`run_suite`], the pool, cancellation token,
-/// trace collector, and metrics hub all belong to the caller and
-/// outlive the request, so repeat submissions share one warm
-/// process-wide [`cache`] store and one merged observability stream.
+/// Runs one experiment by id on a caller-owned pool.
 ///
 /// # Errors
 ///
-/// Returns [`UnknownExperiment`] for an id outside the registry;
-/// admission layers should reject such requests without scheduling.
+/// Returns [`UnknownExperiment`] for an id outside the registry.
+#[deprecated(
+    since = "0.1.0",
+    note = "build the request with RunRequest::observed(..) and call RunRequest::run_on_pool"
+)]
 pub fn run_on_pool(
     req: &RunRequest,
     pool: &bcc_runner::Pool,
@@ -272,29 +426,9 @@ pub fn run_on_pool(
     collector: &Collector,
     hub: &MetricsHub,
 ) -> Result<PoolRun, UnknownExperiment> {
-    let jobs = jobs_for(&req.id, req.quick, req.seed)?;
-    let runner_jobs: Vec<bcc_runner::Job<JobOutput>> = jobs
-        .into_iter()
-        .map(|j| j.into_runner_job(req.timeout))
-        .collect();
-    let results = pool.execute_observed(runner_jobs, token, collector, hub);
-    let scheduled = results.len();
-    let cancelled = results
-        .iter()
-        .filter(|r| matches!(r.status, bcc_runner::JobStatus::Cancelled))
-        .count();
-    let outputs: Vec<JobOutput> = results
-        .into_iter()
-        .filter_map(|r| r.status.into_output())
-        .collect();
-    let completed = outputs.len();
-    let report = degrade_partial(reduce_for(&req.id, outputs)?, completed, scheduled);
-    Ok(PoolRun {
-        report,
-        scheduled,
-        completed,
-        cancelled,
-    })
+    req.clone()
+        .observed(collector.clone(), hub.clone())
+        .run_on_pool(pool, token)
 }
 
 /// Runs a set of experiments through one shared pool.
@@ -305,6 +439,9 @@ pub fn run_on_pool(
 /// request order. Shards that failed or timed out simply contribute
 /// no output (the report's checks will reflect the gap).
 pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownExperiment> {
+    if let Some(spec) = opts.transport {
+        bcc_transport::install(spec);
+    }
     if let Some(dir) = &opts.cache_dir {
         cache::configure_disk(dir.clone());
     }
@@ -394,7 +531,7 @@ mod tests {
 
     #[test]
     fn unknown_id_is_an_error() {
-        let err = super::run("zzz", true).unwrap_err();
+        let err = super::RunRequest::new("zzz", true, 0).run().unwrap_err();
         assert_eq!(err.id, "zzz");
         assert!(err.to_string().contains("unknown experiment"));
     }
@@ -414,7 +551,45 @@ mod tests {
         };
         let suite = super::run_suite(&["f1"], &opts).expect("known id");
         assert_eq!(suite.reports.len(), 1);
-        assert_eq!(suite.reports[0].text, super::run("f1", true).unwrap());
+        let serial = super::RunRequest::new("f1", true, super::DEFAULT_SEED)
+            .run()
+            .expect("known id");
+        assert_eq!(suite.reports[0].text, serial.report.text);
         assert_eq!(suite.metrics.completed, suite.job_results.len() as u64);
+    }
+
+    #[test]
+    fn request_builder_is_thread_count_invariant() {
+        let serial = super::RunRequest::new("f1", true, super::DEFAULT_SEED)
+            .run()
+            .expect("known id");
+        let parallel = super::RunRequest::new("f1", true, super::DEFAULT_SEED)
+            .jobs(4)
+            .run()
+            .expect("known id");
+        assert_eq!(serial.report.text, parallel.report.text);
+        assert_eq!(serial.scheduled, parallel.scheduled);
+        assert_eq!(serial.completed, parallel.completed);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_delegate_to_the_builder() {
+        use bcc_metrics::{MetricsHub, MetricsLevel};
+        use bcc_trace::{Collector, TraceLevel};
+        let via_builder = super::RunRequest::new("f1", true, super::DEFAULT_SEED)
+            .run()
+            .expect("known id");
+        assert_eq!(super::run("f1", true).unwrap(), via_builder.report.text);
+        let pool = bcc_runner::Pool::new(1);
+        let pooled = super::run_on_pool(
+            &super::RunRequest::new("f1", true, super::DEFAULT_SEED),
+            &pool,
+            &bcc_runner::CancellationToken::new(),
+            &Collector::new(TraceLevel::Off),
+            &MetricsHub::new(MetricsLevel::Off),
+        )
+        .expect("known id");
+        assert_eq!(pooled.report.text, via_builder.report.text);
     }
 }

@@ -33,6 +33,11 @@
 //!                       tables, indistinguishability graphs) in
 //!                       PATH; reports are byte-identical with or
 //!                       without it
+//!   --transport T       round-delivery backend: local (in-process,
+//!                       default) or sockets:N (N worker subprocesses
+//!                       over loopback TCP). Reports, traces, and
+//!                       metrics dumps are byte-identical across
+//!                       backends (DESIGN.md §14)
 //! ```
 
 use bcc_experiments::{json, SuiteOptions, ALL_EXPERIMENTS};
@@ -44,7 +49,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: bcc-experiments [--quick] [--jobs N] [--seed S] \
 [--timeout-secs T] [--json PATH] [--trace PATH] [--trace-level off|spans|costs|events] \
 [--metrics PATH] [--metrics-level off|core|full] [--profile PATH] [--prof-wall PATH] \
-[--cache PATH] <id>...\n       \
+[--cache PATH] [--transport local|sockets:N] <id>...\n       \
 id ∈ {f1, f2, e1..e12, all}";
 
 struct Cli {
@@ -100,6 +105,12 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             "--cache" => {
                 let v = it.next().ok_or("--cache needs a path")?;
                 opts.cache_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--transport" => {
+                let v = it.next().ok_or("--transport needs a value")?;
+                opts.transport = Some(
+                    bcc_model::TransportSpec::parse(&v).map_err(|e| format!("--transport: {e}"))?,
+                );
             }
             "--trace-level" => {
                 let v = it.next().ok_or("--trace-level needs a value")?;
@@ -171,6 +182,9 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
 }
 
 fn main() -> ExitCode {
+    // Must run before anything else: under `--transport sockets:N`
+    // this binary re-execs itself as the delivery workers.
+    bcc_transport::maybe_run_worker();
     let cli = match parse_args(std::env::args().skip(1).collect()) {
         Ok(cli) => cli,
         Err(msg) => {

@@ -1,0 +1,101 @@
+//! The transport determinism contract, end to end (DESIGN.md §14):
+//! running an experiment under `--transport sockets:N` must produce
+//! **byte-identical** stdout reports, merged traces, and metrics
+//! dumps to `--transport local` for the same seed.
+//!
+//! `--json` is deliberately not compared: its job records carry
+//! wall-clock latencies, which are not deterministic under any
+//! transport. Everything the reproducibility claims rest on —
+//! report text, span tree, counters — is compared byte-for-byte.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct CaseOutput {
+    stdout: Vec<u8>,
+    trace: Vec<u8>,
+    metrics: Vec<u8>,
+}
+
+// Per-id scratch dirs: the e2 and e5 tests run in parallel threads,
+// so each needs its own directory to create and remove.
+fn scratch_dir(id: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcc-transport-eq-{}-{id}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_case(id: &str, transport: &str, dir: &Path) -> CaseOutput {
+    let tag = transport.replace(':', "-");
+    let trace = dir.join(format!("{id}-{tag}.trace.jsonl"));
+    let metrics = dir.join(format!("{id}-{tag}.metrics.jsonl"));
+    let output = Command::new(env!("CARGO_BIN_EXE_bcc-experiments"))
+        .args([
+            "--quick",
+            "--seed",
+            "7",
+            "--transport",
+            transport,
+            "--trace",
+            trace.to_str().expect("utf-8 path"),
+            "--metrics",
+            metrics.to_str().expect("utf-8 path"),
+            id,
+        ])
+        .output()
+        .expect("spawn bcc-experiments");
+    assert!(
+        output.status.success(),
+        "bcc-experiments {id} --transport {transport} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    CaseOutput {
+        stdout: output.stdout,
+        trace: std::fs::read(&trace).expect("read trace dump"),
+        metrics: std::fs::read(&metrics).expect("read metrics dump"),
+    }
+}
+
+fn assert_transports_agree(id: &str) {
+    let dir = scratch_dir(id);
+    let local = run_case(id, "local", &dir);
+    let sockets = run_case(id, "sockets:2", &dir);
+    assert!(!local.trace.is_empty(), "trace dump should not be empty");
+    assert!(
+        !local.metrics.is_empty(),
+        "metrics dump should not be empty"
+    );
+    assert_eq!(
+        local.stdout, sockets.stdout,
+        "{id}: stdout report differs between local and sockets:2"
+    );
+    assert_eq!(
+        local.trace, sockets.trace,
+        "{id}: merged trace differs between local and sockets:2"
+    );
+    assert_eq!(
+        local.metrics, sockets.metrics,
+        "{id}: metrics dump differs between local and sockets:2"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sockets_transport_is_byte_identical_on_e2() {
+    assert_transports_agree("e2");
+}
+
+#[test]
+fn sockets_transport_is_byte_identical_on_e5() {
+    assert_transports_agree("e5");
+}
+
+#[test]
+fn bad_transport_spec_is_a_usage_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_bcc-experiments"))
+        .args(["--quick", "--transport", "sockets:0", "e2"])
+        .output()
+        .expect("spawn bcc-experiments");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--transport"));
+}

@@ -79,7 +79,7 @@ pub struct Workspace {
 /// `crates/trace` and `crates/metrics` are included because merged
 /// traces and metric dumps carry the same byte-identity guarantee as
 /// reports.
-pub const D1_PATHS: [&str; 10] = [
+pub const D1_PATHS: [&str; 11] = [
     "crates/experiments/",
     "crates/runner/",
     "crates/partitions/",
@@ -90,6 +90,7 @@ pub const D1_PATHS: [&str; 10] = [
     "crates/metrics/",
     "crates/serve/",
     "crates/prof/",
+    "crates/transport/",
 ];
 
 /// Crates allowed to read clocks: the runner owns deadlines, latency
@@ -127,7 +128,7 @@ pub const O2_FORBIDDEN: [&str; 3] = ["MetricsJsonlSink", "MetricsSummarySink", "
 
 /// `bcc_model` items a protocol module must not name: everything that
 /// exists outside a single node's KT-0/KT-1 view.
-pub const K1_FORBIDDEN: [&str; 7] = [
+pub const K1_FORBIDDEN: [&str; 8] = [
     "Simulator",
     "SimConfig",
     "Instance",
@@ -135,6 +136,7 @@ pub const K1_FORBIDDEN: [&str; 7] = [
     "NodeView",
     "Transcript",
     "runs_indistinguishable",
+    "Transport",
 ];
 
 /// Runs every rule over the workspace; findings are sorted by

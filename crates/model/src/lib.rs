@@ -37,6 +37,10 @@
 //!   per-node [`Transcript`]s and [`NodeView`]s — the exact "state of
 //!   a vertex" whose equality defines *indistinguishability*
 //!   (Lemma 3.4);
+//! - [`transport`]: the round-delivery surface ([`Transport`]) the
+//!   executor routes every exchange through — in-process
+//!   ([`transport::LocalTransport`]) by default, multi-process via
+//!   `bcc-transport`;
 //! - [`codec`]: bit-encoding helpers shared by the upper-bound
 //!   algorithms.
 //!
@@ -64,6 +68,7 @@ mod program;
 pub mod range;
 mod simulator;
 pub mod testing;
+pub mod transport;
 
 pub use error::ModelError;
 pub use instance::Instance;
@@ -76,5 +81,20 @@ pub use simulator::{
     Transcript,
 };
 pub use symbol::{Message, Symbol};
+pub use transport::{Transport, TransportError, TransportSpec};
+
+/// The curated import surface for writing and running node programs:
+/// `use bcc_model::prelude::*` brings in the broadcast alphabet, the
+/// program traits, the instance/run types, and the transport
+/// vocabulary — everything a typical algorithm or experiment module
+/// touches, nothing it shouldn't (network *construction* stays behind
+/// [`Instance`]).
+pub mod prelude {
+    pub use crate::program::{Algorithm, Decision, Inbox, InitialKnowledge, NodeProgram};
+    pub use crate::simulator::{NodeView, RunOutcome, RunStats, SimConfig, Transcript};
+    pub use crate::symbol::{Message, Symbol};
+    pub use crate::transport::{Transport, TransportError, TransportSpec};
+    pub use crate::{Instance, KnowledgeMode, ModelError};
+}
 
 mod symbol;

@@ -25,6 +25,13 @@ pub enum KnowledgeMode {
 /// (and may be [rewired](Network::swap_peers) — the degree of freedom
 /// behind port-preserving crossings); in KT-1 the port of `u` to `v`
 /// is labeled `ID(v)` and the wiring is rigid.
+///
+/// Construction is crate-private: networks come into existence only
+/// through [`Instance`](crate::Instance) constructors
+/// (`new_kt1`, `new_kt0`, …), which pair a wiring with an input graph
+/// and validate both. Callers inspect a network through the read
+/// accessors here and hand its delivery plan to transports via
+/// [`Routes::of`](crate::transport::Routes::of).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Network {
     mode: KnowledgeMode,
@@ -71,7 +78,7 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if IDs are not distinct.
-    pub fn kt1(ids: Vec<u64>) -> Result<Self, ModelError> {
+    pub(crate) fn kt1(ids: Vec<u64>) -> Result<Self, ModelError> {
         let n = ids.len();
         let port_to_peer: Vec<Vec<usize>> = (0..n)
             .map(|v| {
@@ -89,7 +96,7 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if IDs are not distinct.
-    pub fn kt0_canonical(ids: Vec<u64>) -> Result<Self, ModelError> {
+    pub(crate) fn kt0_canonical(ids: Vec<u64>) -> Result<Self, ModelError> {
         let n = ids.len();
         let port_to_peer: Vec<Vec<usize>> = (0..n)
             .map(|v| (0..n).filter(|&w| w != v).collect())
@@ -103,7 +110,7 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if IDs are not distinct.
-    pub fn kt0_seeded(ids: Vec<u64>, seed: u64) -> Result<Self, ModelError> {
+    pub(crate) fn kt0_seeded(ids: Vec<u64>, seed: u64) -> Result<Self, ModelError> {
         let n = ids.len();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let port_to_peer: Vec<Vec<usize>> = (0..n)

@@ -4,8 +4,11 @@ use crate::error::ModelError;
 use crate::instance::Instance;
 use crate::program::{Algorithm, Decision, Inbox};
 use crate::symbol::Message;
+use crate::transport::{default_factory, Routes, Transport, TransportError, TransportFactory};
 use bcc_metrics::MetricScope;
 use bcc_trace::{field, TraceBuf, TraceLevel, TraceScope};
+use std::fmt;
+use std::sync::Arc;
 
 /// The full communication record of one vertex: what it broadcast and
 /// what it received on each port, round by round.
@@ -165,6 +168,24 @@ impl<'a> SimRecorder<'a> {
         }
     }
 
+    /// Closes any open spans on a transport failure, so traced error
+    /// paths stay balanced: the current `round=r` span (when the
+    /// failure struck mid-round) and the `sim` span, tagged with the
+    /// error text.
+    fn abort(&mut self, open_round: Option<usize>, err: &TransportError) {
+        if self.trace.events_enabled() {
+            self.trace
+                .event("transport.error", vec![field("error", err.to_string())]);
+        }
+        if self.trace.spans_enabled() {
+            if let Some(round) = open_round {
+                self.trace.span_end(&format!("round={round}"), vec![]);
+            }
+            self.trace
+                .span_end("sim", vec![field("error", err.to_string())]);
+        }
+    }
+
     fn run_end(&mut self, completed: bool) -> RunStats {
         if self.metrics.core_enabled() {
             let stats = self.stats;
@@ -202,6 +223,7 @@ pub struct RunOutcome {
     stats: RunStats,
     all_done: bool,
     recorded: bool,
+    transport_failure: Option<TransportError>,
 }
 
 impl RunOutcome {
@@ -278,6 +300,39 @@ impl RunOutcome {
         self.recorded
     }
 
+    /// The transport failure this outcome degraded on, if any. A
+    /// failed outcome has every vertex [`Decision::Undecided`], no
+    /// views, default stats, and [`completed`](Self::completed) false
+    /// — the same "never answers" shape a run that exhausts its round
+    /// budget without deciding has, but attributable.
+    pub fn transport_failure(&self) -> Option<&TransportError> {
+        self.transport_failure.as_ref()
+    }
+
+    /// The degraded outcome of a run whose transport failed: `n`
+    /// undecided vertices and the typed error, never a panic. Used by
+    /// [`SimConfig::run`] and the batched engine when
+    /// [`Transport::exchange`] reports trouble.
+    pub fn transport_failed(n: usize, err: TransportError) -> Self {
+        RunOutcome {
+            decisions: vec![Decision::Undecided; n],
+            component_labels: vec![None; n],
+            spanning_edges: vec![None; n],
+            transcripts: vec![
+                Transcript {
+                    sent: Vec::new(),
+                    received: Vec::new(),
+                };
+                n
+            ],
+            views: Vec::new(),
+            stats: RunStats::default(),
+            all_done: false,
+            recorded: false,
+            transport_failure: Some(err),
+        }
+    }
+
     /// Assembles an outcome from raw parts.
     ///
     /// This is the constructor used by batched executors
@@ -306,6 +361,7 @@ impl RunOutcome {
             stats,
             all_done,
             recorded,
+            transport_failure: None,
         }
     }
 }
@@ -333,13 +389,35 @@ impl RunOutcome {
 /// an observer: the returned outcome is identical whether the scope
 /// records or is disabled, and everything recorded is a pure function
 /// of `(instance, algorithm, coin_seed)`, never of wall-clock time.
-#[derive(Debug, Clone)]
+///
+/// Round delivery goes through a [`Transport`]: explicitly via
+/// [`transport`](Self::transport), else the process-wide default
+/// (`--transport`), else the in-process [`LocalTransport`] oracle.
+/// All accounting stays driver-side, so the outcome, trace, and
+/// metrics are byte-identical across conforming transports.
+///
+/// [`LocalTransport`]: crate::transport::LocalTransport
+#[derive(Clone)]
 pub struct SimConfig {
     max_rounds: usize,
     bandwidth: usize,
     record: bool,
     trace: TraceScope,
     metrics: MetricScope,
+    transport: Option<Arc<dyn TransportFactory>>,
+}
+
+impl fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("max_rounds", &self.max_rounds)
+            .field("bandwidth", &self.bandwidth)
+            .field("record", &self.record)
+            .field("trace", &self.trace)
+            .field("metrics", &self.metrics)
+            .field("transport", &self.transport.as_ref().map(|t| t.label()))
+            .finish()
+    }
 }
 
 impl SimConfig {
@@ -352,6 +430,7 @@ impl SimConfig {
             record: true,
             trace: TraceScope::disabled(),
             metrics: MetricScope::disabled(),
+            transport: None,
         }
     }
 
@@ -428,33 +507,89 @@ impl SimConfig {
         &self.metrics
     }
 
+    /// Attaches an explicit transport factory, overriding the
+    /// process-wide default for runs from this config.
+    #[must_use]
+    pub fn transport(mut self, factory: Arc<dyn TransportFactory>) -> Self {
+        self.transport = Some(factory);
+        self
+    }
+
+    /// The factory runs from this config will draw transports from:
+    /// the explicit [`transport`](Self::transport) override when set,
+    /// else the process-wide default
+    /// ([`crate::transport::default_factory`]).
+    pub fn transport_factory(&self) -> Arc<dyn TransportFactory> {
+        match &self.transport {
+            Some(f) => Arc::clone(f),
+            None => default_factory(),
+        }
+    }
+
     /// Runs `algorithm` on `instance` with the given public-coin
     /// seed, for at most [`max_rounds`](Self::max_rounds) rounds
     /// (stopping early once every vertex reports done).
+    ///
+    /// A transport failure degrades — never panics — into
+    /// [`RunOutcome::transport_failed`]: all vertices undecided and
+    /// the typed error retrievable from
+    /// [`RunOutcome::transport_failure`]. Use [`try_run`](Self::try_run)
+    /// to receive the error as a `Result` instead.
     pub fn run(
         &self,
         instance: &Instance,
         algorithm: &dyn Algorithm,
         coin_seed: u64,
     ) -> RunOutcome {
-        if self.trace.level() > TraceLevel::Off {
-            self.trace
-                .with(|buf| run_impl(self, instance, algorithm, coin_seed, buf))
+        match self.try_run(instance, algorithm, coin_seed) {
+            Ok(outcome) => outcome,
+            Err(err) => RunOutcome::transport_failed(instance.num_vertices(), err),
+        }
+    }
+
+    /// Fallible form of [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TransportError`] the configured transport
+    /// reports (spawn failure, dead worker, protocol violation).
+    /// Trace spans opened before the failure are closed before
+    /// returning, so traced error paths stay balanced.
+    pub fn try_run(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn Algorithm,
+        coin_seed: u64,
+    ) -> Result<RunOutcome, TransportError> {
+        let mut transport = self.transport_factory().create();
+        let result = if self.trace.level() > TraceLevel::Off {
+            self.trace.with(|buf| {
+                try_run_impl(
+                    self,
+                    transport.as_mut(),
+                    instance,
+                    algorithm,
+                    coin_seed,
+                    buf,
+                )
+            })
         } else {
-            run_impl(
+            try_run_impl(
                 self,
+                transport.as_mut(),
                 instance,
                 algorithm,
                 coin_seed,
                 &mut TraceBuf::disabled(),
             )
-        }
+        };
+        transport.teardown();
+        result
     }
 }
 
-/// The one scalar execution path every entry point funnels into —
-/// [`SimConfig::run`], the deprecated [`Simulator`] wrappers, and the
-/// lockstep kernel in `bcc-engine` pin themselves against it.
+/// Legacy trace-buffer entry point behind the deprecated
+/// [`Simulator::run_traced`]: same kernel, degraded error handling.
 fn run_impl(
     cfg: &SimConfig,
     instance: &Instance,
@@ -462,7 +597,40 @@ fn run_impl(
     coin_seed: u64,
     trace: &mut TraceBuf,
 ) -> RunOutcome {
+    let mut transport = cfg.transport_factory().create();
+    let result = try_run_impl(
+        cfg,
+        transport.as_mut(),
+        instance,
+        algorithm,
+        coin_seed,
+        trace,
+    );
+    transport.teardown();
+    match result {
+        Ok(outcome) => outcome,
+        Err(err) => RunOutcome::transport_failed(instance.num_vertices(), err),
+    }
+}
+
+/// The one scalar execution path every entry point funnels into —
+/// [`SimConfig::run`], the deprecated [`Simulator`] wrappers, and the
+/// lockstep kernel in `bcc-engine` pin themselves against it. Round
+/// delivery goes through `transport`; everything observable (spans,
+/// events, `sim.*` metrics, transcripts) is recorded here on the
+/// driver side, so conforming transports cannot perturb it.
+fn try_run_impl(
+    cfg: &SimConfig,
+    transport: &mut dyn Transport,
+    instance: &Instance,
+    algorithm: &dyn Algorithm,
+    coin_seed: u64,
+    trace: &mut TraceBuf,
+) -> Result<RunOutcome, TransportError> {
     let n = instance.num_vertices();
+    // Open before the `sim` span: a spawn/handshake failure leaves no
+    // half-open span behind.
+    transport.open(&Routes::of(instance.network()))?;
     let mut programs: Vec<_> = (0..n)
         .map(|v| algorithm.spawn(instance.initial_knowledge(v, cfg.bandwidth, coin_seed)))
         .collect();
@@ -493,26 +661,50 @@ fn run_impl(
                 transcripts[v].sent.push(m.clone());
             }
         }
-        // Phase 2: everyone receives on every port.
-        for v in 0..n {
-            let entries: Vec<(u64, Message)> = (0..n - 1)
-                .map(|p| {
-                    let peer = instance.network().peer_of(v, p);
-                    (
-                        instance.network().port_label(v, p),
-                        broadcasts[peer].clone(),
-                    )
-                })
-                .collect();
+        // Phase 2: the transport delivers; the canonicalized view is
+        // in port-label order, which for every constructible network
+        // equals the port-index order the in-process loop produced.
+        let view = match transport.exchange(round, &broadcasts) {
+            Ok(view) => view.canonicalized(),
+            Err(err) => {
+                recorder.abort(Some(round), &err);
+                return Err(err);
+            }
+        };
+        if view.num_nodes() != n {
+            let err = TransportError::Protocol {
+                detail: format!("round view covers {} of {n} nodes", view.num_nodes()),
+            };
+            recorder.abort(Some(round), &err);
+            return Err(err);
+        }
+        for (v, entries) in view.into_inboxes().into_iter().enumerate() {
+            if entries.len() != n.saturating_sub(1) {
+                let err = TransportError::Protocol {
+                    detail: format!(
+                        "node {v} received {} messages, expected {}",
+                        entries.len(),
+                        n.saturating_sub(1)
+                    ),
+                };
+                recorder.abort(Some(round), &err);
+                return Err(err);
+            }
+            let delivered = entries.len();
             if cfg.record {
                 transcripts[v].received.push(entries.clone());
             }
             let inbox = Inbox::new(entries);
             programs[v].receive(round, &inbox);
-            recorder.delivered(n - 1);
+            recorder.delivered(delivered);
         }
         recorder.round_end(round);
         all_done = programs.iter().all(|p| p.is_done());
+    }
+
+    if let Err(err) = transport.barrier() {
+        recorder.abort(None, &err);
+        return Err(err);
     }
 
     let views = (0..if cfg.record { n } else { 0 })
@@ -544,7 +736,7 @@ fn run_impl(
     }
     let stats = recorder.run_end(all_done);
 
-    RunOutcome {
+    Ok(RunOutcome {
         decisions,
         component_labels: programs.iter().map(|p| p.component_label()).collect(),
         spanning_edges: programs.iter().map(|p| p.spanning_edges()).collect(),
@@ -553,7 +745,8 @@ fn run_impl(
         stats,
         all_done,
         recorded: cfg.record,
-    }
+        transport_failure: None,
+    })
 }
 
 /// The legacy constructor-sprawl face of the executor, kept so
@@ -877,6 +1070,94 @@ mod tests {
     #[should_panic(expected = "bandwidth must be at least 1")]
     fn zero_bandwidth_rejected() {
         let _ = SimConfig::bcc1(1).bandwidth(0);
+    }
+
+    #[test]
+    fn explicit_local_transport_matches_default() {
+        use crate::transport::LocalFactory;
+        let i = Instance::new_kt0(generators::two_cycles(3, 4), 5).unwrap();
+        let default = SimConfig::bcc1(6).run(&i, &EchoBit, 3);
+        let explicit = SimConfig::bcc1(6)
+            .transport(std::sync::Arc::new(LocalFactory))
+            .run(&i, &EchoBit, 3);
+        assert_eq!(default.decisions(), explicit.decisions());
+        assert_eq!(default.stats(), explicit.stats());
+        assert!(runs_indistinguishable(&default, &explicit));
+        assert!(explicit.transport_failure().is_none());
+    }
+
+    /// A factory whose transports die on the configured round.
+    struct DyingFactory {
+        at_round: usize,
+    }
+
+    struct DyingTransport {
+        inner: crate::transport::LocalTransport,
+        at_round: usize,
+    }
+
+    impl crate::transport::Transport for DyingTransport {
+        fn open(&mut self, routes: &crate::transport::Routes) -> Result<(), TransportError> {
+            self.inner.open(routes)
+        }
+
+        fn exchange(
+            &mut self,
+            round: usize,
+            outbox: &[Message],
+        ) -> Result<crate::transport::RoundView, TransportError> {
+            if round >= self.at_round {
+                return Err(TransportError::WorkerDead {
+                    rank: 0,
+                    detail: "test kill".to_string(),
+                });
+            }
+            self.inner.exchange(round, outbox)
+        }
+    }
+
+    impl TransportFactory for DyingFactory {
+        fn create(&self) -> Box<dyn crate::transport::Transport> {
+            Box::new(DyingTransport {
+                inner: crate::transport::LocalTransport::new(),
+                at_round: self.at_round,
+            })
+        }
+
+        fn label(&self) -> String {
+            "dying".to_string()
+        }
+    }
+
+    #[test]
+    fn dead_transport_degrades_with_typed_error_and_balanced_spans() {
+        let i = Instance::new_kt1(generators::cycle(4)).unwrap();
+        let factory: Arc<dyn TransportFactory> = Arc::new(DyingFactory { at_round: 1 });
+        let scope = TraceScope::new(TraceBuf::new(TraceLevel::Events, "t"));
+        let cfg = SimConfig::bcc1(5)
+            .transport(Arc::clone(&factory))
+            .trace(scope.clone());
+        let err = cfg.try_run(&i, &EchoBit, 0).unwrap_err();
+        assert!(matches!(err, TransportError::WorkerDead { rank: 0, .. }));
+        // The infallible face degrades to all-undecided, never panics.
+        let out = cfg.run(&i, &EchoBit, 0);
+        assert!(out.any_undecided());
+        assert_eq!(out.system_decision(), Decision::No);
+        assert!(!out.completed());
+        assert!(!out.recorded());
+        assert_eq!(out.transport_failure(), Some(&err));
+        // Every span the failing runs opened was closed.
+        let events = scope.take().into_events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e.kind, bcc_trace::EventKind::SpanStart))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e.kind, bcc_trace::EventKind::SpanEnd))
+            .count();
+        assert_eq!(starts, ends);
+        assert!(events.iter().any(|e| e.name == "transport.error"));
     }
 
     #[test]

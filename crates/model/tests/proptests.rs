@@ -2,11 +2,81 @@
 
 use bcc_graphs::{generators, Graph};
 use bcc_model::testing::{ConstantDecision, EchoBit, IdBroadcast};
-use bcc_model::{runs_indistinguishable, Instance, Message, Network, SimConfig, Symbol};
+use bcc_model::{runs_indistinguishable, Instance, Message, SimConfig, Symbol};
 use proptest::prelude::*;
 
 fn arb_cycle_graph() -> impl Strategy<Value = Graph> {
     (3usize..12).prop_map(generators::cycle)
+}
+
+mod permuted {
+    //! A conforming-but-adversarial transport: delivers the right
+    //! message multiset to every node, in an order scrambled by a
+    //! seeded xorshift. The driver's canonicalization must make runs
+    //! over it indistinguishable from the `LocalTransport` oracle.
+
+    use bcc_model::transport::{
+        LocalTransport, RoundView, Routes, Transport, TransportError, TransportFactory,
+    };
+    use bcc_model::Message;
+
+    pub struct PermutingTransport {
+        inner: LocalTransport,
+        state: u64,
+    }
+
+    impl PermutingTransport {
+        fn next(&mut self) -> u64 {
+            // xorshift64: deterministic, seedable, dependency-free.
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x
+        }
+    }
+
+    impl Transport for PermutingTransport {
+        fn open(&mut self, routes: &Routes) -> Result<(), TransportError> {
+            self.inner.open(routes)
+        }
+
+        fn exchange(
+            &mut self,
+            round: usize,
+            outbox: &[Message],
+        ) -> Result<RoundView, TransportError> {
+            let view = self.inner.exchange(round, outbox)?;
+            let mut inboxes = view.into_inboxes();
+            for inbox in &mut inboxes {
+                // Fisher–Yates with the xorshift stream.
+                for i in (1..inbox.len()).rev() {
+                    let j = (self.next() % (i as u64 + 1)) as usize;
+                    inbox.swap(i, j);
+                }
+            }
+            Ok(RoundView::new(inboxes))
+        }
+    }
+
+    pub struct PermutingFactory {
+        pub seed: u64,
+    }
+
+    impl TransportFactory for PermutingFactory {
+        fn create(&self) -> Box<dyn Transport> {
+            Box::new(PermutingTransport {
+                inner: LocalTransport::new(),
+                // xorshift needs a nonzero state.
+                state: self.seed | 1,
+            })
+        }
+
+        fn label(&self) -> String {
+            "permuting".to_string()
+        }
+    }
 }
 
 proptest! {
@@ -17,7 +87,10 @@ proptest! {
     /// peer appears exactly once.
     #[test]
     fn kt0_wiring_consistency(n in 2usize..20, seed in any::<u64>()) {
-        let net = Network::kt0_seeded((0..n as u64).collect(), seed).unwrap();
+        // Networks are built through `Instance`; an edgeless input
+        // graph keeps the wiring the only thing under test.
+        let inst = Instance::new_kt0(Graph::new(n), seed).unwrap();
+        let net = inst.network();
         for v in 0..n {
             let mut seen = std::collections::HashSet::new();
             for p in 0..n - 1 {
@@ -34,7 +107,8 @@ proptest! {
     fn kt1_labels_are_ids(ids in proptest::collection::hash_set(any::<u64>(), 2..12)) {
         let ids: Vec<u64> = ids.into_iter().collect();
         let n = ids.len();
-        let net = Network::kt1(ids.clone()).unwrap();
+        let inst = Instance::new_kt1_with_ids(Graph::new(n), ids.clone()).unwrap();
+        let net = inst.network();
         for v in 0..n {
             for p in 0..n - 1 {
                 prop_assert_eq!(net.port_label(v, p), ids[net.peer_of(v, p)]);
@@ -99,6 +173,32 @@ proptest! {
         let out = SimConfig::bcc1(100).run(&inst, &IdBroadcast::new(), 0);
         prop_assert!(out.completed());
         prop_assert_eq!(out.stats().rounds, bcc_model::codec::bits_needed(n));
+    }
+
+    /// Inbox-ordering guarantee (DESIGN.md §14): a transport that
+    /// delivers each node's messages in a permuted order still yields
+    /// the canonical port-ordered `Inbox` after the driver
+    /// canonicalizes — outcome, stats, transcripts, and views all pin
+    /// to the `LocalTransport` oracle. (`SocketTransport` is pinned
+    /// against the same oracle in `crates/transport`.)
+    #[test]
+    fn permuted_delivery_yields_canonical_inboxes(
+        g in arb_cycle_graph(),
+        wiring in any::<u64>(),
+        perm_seed in any::<u64>(),
+        coin in any::<u64>(),
+    ) {
+        let inst = Instance::new_kt0(g, wiring).unwrap();
+        let oracle = SimConfig::bcc1(4).run(&inst, &EchoBit, coin);
+        let permuted = SimConfig::bcc1(4)
+            .transport(std::sync::Arc::new(permuted::PermutingFactory { seed: perm_seed }))
+            .run(&inst, &EchoBit, coin);
+        prop_assert_eq!(oracle.decisions(), permuted.decisions());
+        prop_assert_eq!(oracle.stats(), permuted.stats());
+        prop_assert!(runs_indistinguishable(&oracle, &permuted));
+        for v in 0..inst.num_vertices() {
+            prop_assert_eq!(oracle.transcript(v), permuted.transcript(v));
+        }
     }
 
     /// Codec roundtrip for arbitrary values and widths.

@@ -16,7 +16,7 @@
 
 use crate::admission::{Admission, CancelOutcome, Popped, Ticket};
 use crate::proto::{Reject, ResultMsg, ResultStatus, StatsMsg, SubmitReq};
-use bcc_experiments::{cache, run_on_pool, RunRequest};
+use bcc_experiments::{cache, RunRequest};
 use bcc_metrics::{MetricsHub, MetricsLevel};
 use bcc_runner::{CancellationToken, Pool};
 use bcc_trace::{field, Collector, TraceLevel};
@@ -448,7 +448,11 @@ impl Server {
             .unwrap_or_else(|e| e.into_inner())
             .insert(ticket.req, ticket.token.clone());
         let seed = ticket.submit.seed.unwrap_or(self.config.default_seed);
-        let mut request = RunRequest::new(&ticket.submit.experiment, ticket.submit.quick, seed);
+        // Observers are the daemon's own collector/hub; the transport
+        // is deliberately left unset so requests run on whatever the
+        // daemon installed at startup (`--transport`).
+        let mut request = RunRequest::new(&ticket.submit.experiment, ticket.submit.quick, seed)
+            .observed(self.collector.clone(), self.hub.clone());
         request.timeout = ticket.submit.timeout_secs.map(Duration::from_secs);
 
         let store = cache::store();
@@ -465,13 +469,7 @@ impl Server {
                 field("quick", ticket.submit.quick),
             ],
         );
-        let outcome = run_on_pool(
-            &request,
-            &self.pool,
-            &ticket.token,
-            &self.collector,
-            &self.hub,
-        );
+        let outcome = request.run_on_pool(&self.pool, &ticket.token);
         let cache_lookups = store.lookups().saturating_sub(lookups_before);
 
         let msg = match outcome {

@@ -1,0 +1,15 @@
+//! Standalone worker binary for the socket transport. Normal hosts
+//! (bcc-experiments, bcc-serve) re-exec *themselves* as workers via
+//! `bcc_transport::maybe_run_worker`; this dedicated binary exists so
+//! integration tests can launch workers without depending on a
+//! particular host binary being built.
+
+fn main() {
+    bcc_transport::maybe_run_worker();
+    eprintln!(
+        "bcc-transport-worker is not meant to be run directly; it is \
+         exec'd with {} <port> <rank> by a SocketFactory coordinator",
+        bcc_transport::WORKER_FLAG
+    );
+    std::process::exit(2);
+}

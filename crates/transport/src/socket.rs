@@ -1,0 +1,589 @@
+//! The coordinator side of the multi-process backend: spawns worker
+//! subprocesses, hands each a contiguous node range, and drives one
+//! JSONL request/reply exchange per round over loopback TCP.
+//!
+//! Determinism obligations (DESIGN.md §14) are met by construction:
+//! the coordinator sends the round to every worker and then reads the
+//! replies **in rank order**, so the merged [`RoundView`] is the
+//! rank-0 slice followed by rank-1's, etc. — exactly node order,
+//! independent of which worker answered first. No wall-clock value
+//! ever crosses the wire; all accounting stays in the driver.
+//!
+//! Any worker failure — spawn error, mid-run death, malformed reply —
+//! becomes a typed [`TransportError`], never a panic, and marks the
+//! whole group dead so later sessions fail fast.
+
+use crate::wire::{self, Command, Reply};
+use bcc_model::transport::{RoundView, Routes, Transport, TransportError, TransportFactory};
+use bcc_model::Message;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Stdio};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How long a blocking read on a worker link may stall before the
+/// worker is declared dead. Generous: a healthy worker answers a
+/// round in microseconds.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Accept-loop patience: `ACCEPT_TICKS × ACCEPT_TICK` bounds how long
+/// spawn waits for all workers to connect.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+const ACCEPT_TICKS: u32 = 2000;
+
+/// How a worker subprocess is launched.
+#[derive(Debug, Clone)]
+pub enum WorkerCmd {
+    /// Re-exec the current executable with
+    /// [`WORKER_FLAG`](crate::WORKER_FLAG) as `argv[1]` — the default
+    /// for binaries that call
+    /// [`maybe_run_worker`](crate::maybe_run_worker) first thing in
+    /// `main`.
+    SelfExec,
+    /// Launch the given binary (which must also dispatch on the
+    /// worker flag). Used by integration tests to point at the
+    /// dedicated `bcc-transport-worker` binary.
+    Bin(PathBuf),
+}
+
+fn spawn_err(detail: String) -> TransportError {
+    TransportError::Spawn { detail }
+}
+
+/// Computes rank `r`'s node range `lo..hi` out of `n` nodes split
+/// over `w` workers: contiguous, ascending, covering `0..n` exactly
+/// (empty ranges when `w > n`).
+pub fn node_range(n: usize, w: usize, r: usize) -> (usize, usize) {
+    if w == 0 {
+        return (0, 0);
+    }
+    (r * n / w, (r + 1) * n / w)
+}
+
+struct Link {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+struct GroupInner {
+    /// One link per worker, index = rank.
+    links: Vec<Link>,
+    children: Vec<Child>,
+    next_session: u64,
+    /// Set on first failure; every later call returns it.
+    dead: Option<TransportError>,
+}
+
+impl GroupInner {
+    fn fail(&mut self, err: TransportError) -> TransportError {
+        self.dead = Some(err.clone());
+        err
+    }
+
+    fn send_line(&mut self, rank: usize, line: &str) -> Result<(), TransportError> {
+        let result = match self.links.get_mut(rank) {
+            Some(link) => link
+                .writer
+                .write_all(line.as_bytes())
+                .and_then(|()| link.writer.write_all(b"\n"))
+                .and_then(|()| link.writer.flush()),
+            None => {
+                return Err(self.fail(TransportError::Protocol {
+                    detail: format!("no link for worker rank {rank}"),
+                }))
+            }
+        };
+        result.map_err(|e| {
+            self.fail(TransportError::WorkerDead {
+                rank,
+                detail: format!("write failed: {e}"),
+            })
+        })
+    }
+
+    fn read_reply(&mut self, rank: usize) -> Result<Reply, TransportError> {
+        let read = match self.links.get_mut(rank) {
+            Some(link) => {
+                let mut line = String::new();
+                link.reader.read_line(&mut line).map(|bytes| (bytes, line))
+            }
+            None => {
+                return Err(self.fail(TransportError::Protocol {
+                    detail: format!("no link for worker rank {rank}"),
+                }))
+            }
+        };
+        match read {
+            Ok((0, _)) => Err(self.fail(TransportError::WorkerDead {
+                rank,
+                detail: "connection closed".to_string(),
+            })),
+            Ok((_, line)) => match wire::parse_reply(line.trim_end()) {
+                Ok(reply) => Ok(reply),
+                Err(detail) => Err(self.fail(TransportError::Protocol {
+                    detail: format!("bad reply from worker {rank}: {detail}"),
+                })),
+            },
+            Err(e) => Err(self.fail(TransportError::WorkerDead {
+                rank,
+                detail: format!("read failed: {e}"),
+            })),
+        }
+    }
+}
+
+impl Drop for GroupInner {
+    fn drop(&mut self) {
+        // Best-effort graceful shutdown, then reap unconditionally.
+        let line = wire::render_command(&Command::Shutdown);
+        for link in &mut self.links {
+            let _ = link
+                .writer
+                .write_all(line.as_bytes())
+                .and_then(|()| link.writer.write_all(b"\n"))
+                .and_then(|()| link.writer.flush());
+        }
+        self.links.clear();
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// A pool of connected worker subprocesses, shared by every
+/// [`SocketTransport`] the owning [`SocketFactory`] creates. Runs are
+/// multiplexed over it as independent sessions.
+pub struct WorkerGroup {
+    workers: usize,
+    inner: Mutex<GroupInner>,
+}
+
+fn kill_all(children: &mut Vec<Child>) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    children.clear();
+}
+
+impl WorkerGroup {
+    fn spawn(workers: usize, cmd: &WorkerCmd) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| spawn_err(format!("bind failed: {e}")))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| spawn_err(format!("local_addr failed: {e}")))?
+            .port();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| spawn_err(format!("set_nonblocking failed: {e}")))?;
+
+        let mut children: Vec<Child> = Vec::with_capacity(workers);
+        for rank in 0..workers {
+            let exe = match cmd {
+                WorkerCmd::SelfExec => std::env::current_exe().map_err(|e| {
+                    kill_all(&mut children);
+                    spawn_err(format!("current_exe failed: {e}"))
+                })?,
+                WorkerCmd::Bin(path) => path.clone(),
+            };
+            match std::process::Command::new(&exe)
+                .arg(crate::WORKER_FLAG)
+                .arg(port.to_string())
+                .arg(rank.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()
+            {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(spawn_err(format!(
+                        "failed to exec worker {rank} ({}): {e}",
+                        exe.display()
+                    )));
+                }
+            }
+        }
+
+        // Nonblocking accept loop with a liveness check, so a worker
+        // that dies before connecting (wrong binary, crash on start)
+        // fails fast with a typed error instead of hanging.
+        let mut pending: Vec<TcpStream> = Vec::with_capacity(workers);
+        let mut ticks = 0u32;
+        while pending.len() < workers {
+            match listener.accept() {
+                Ok((stream, _)) => pending.push(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    for (rank, child) in children.iter_mut().enumerate() {
+                        if let Ok(Some(status)) = child.try_wait() {
+                            kill_all(&mut children);
+                            return Err(spawn_err(format!(
+                                "worker {rank} exited before connecting: {status}"
+                            )));
+                        }
+                    }
+                    if ticks >= ACCEPT_TICKS {
+                        kill_all(&mut children);
+                        return Err(spawn_err(
+                            "timed out waiting for workers to connect".to_string(),
+                        ));
+                    }
+                    ticks += 1;
+                    std::thread::sleep(ACCEPT_TICK);
+                }
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(spawn_err(format!("accept failed: {e}")));
+                }
+            }
+        }
+
+        // Handshake: each worker announces its rank; links are stored
+        // rank-indexed so reply order is always rank order.
+        let mut slots: Vec<Option<Link>> = (0..workers).map(|_| None).collect();
+        for stream in pending {
+            let link = (|| -> Result<(usize, Link), String> {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| format!("set_nonblocking failed: {e}"))?;
+                stream
+                    .set_read_timeout(Some(READ_TIMEOUT))
+                    .map_err(|e| format!("set_read_timeout failed: {e}"))?;
+                let _ = stream.set_nodelay(true);
+                let writer = stream
+                    .try_clone()
+                    .map_err(|e| format!("try_clone failed: {e}"))?;
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("handshake read failed: {e}"))?;
+                match wire::parse_reply(line.trim_end()) {
+                    Ok(Reply::Hello { rank }) if rank < workers => {
+                        Ok((rank, Link { reader, writer }))
+                    }
+                    Ok(Reply::Hello { rank }) => {
+                        Err(format!("hello with out-of-range rank {rank}"))
+                    }
+                    Ok(other) => Err(format!("expected hello, got {other:?}")),
+                    Err(e) => Err(format!("bad hello: {e}")),
+                }
+            })();
+            match link {
+                Ok((rank, link)) => {
+                    if slots[rank].is_some() {
+                        kill_all(&mut children);
+                        return Err(spawn_err(format!("duplicate hello for rank {rank}")));
+                    }
+                    slots[rank] = Some(link);
+                }
+                Err(detail) => {
+                    kill_all(&mut children);
+                    return Err(spawn_err(detail));
+                }
+            }
+        }
+        let mut links = Vec::with_capacity(workers);
+        for (rank, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(link) => links.push(link),
+                None => {
+                    kill_all(&mut children);
+                    return Err(spawn_err(format!("no hello from rank {rank}")));
+                }
+            }
+        }
+
+        Ok(WorkerGroup {
+            workers,
+            inner: Mutex::new(GroupInner {
+                links,
+                children,
+                next_session: 1,
+                dead: None,
+            }),
+        })
+    }
+
+    fn locked(&self) -> MutexGuard<'_, GroupInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn is_dead(&self) -> bool {
+        self.locked().dead.is_some()
+    }
+
+    fn check_live(inner: &GroupInner) -> Result<(), TransportError> {
+        match &inner.dead {
+            Some(err) => Err(err.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn open_session(&self, routes: &Routes) -> Result<u64, TransportError> {
+        let mut inner = self.locked();
+        Self::check_live(&inner)?;
+        let session = inner.next_session;
+        inner.next_session += 1;
+        let n = routes.num_nodes();
+        for rank in 0..self.workers {
+            let (lo, hi) = node_range(n, self.workers, rank);
+            let cmd = Command::Open {
+                session,
+                n,
+                lo,
+                hi,
+                routes: (lo..hi).map(|v| routes.ports(v).to_vec()).collect(),
+            };
+            let line = wire::render_command(&cmd);
+            inner.send_line(rank, &line)?;
+        }
+        for rank in 0..self.workers {
+            match inner.read_reply(rank)? {
+                Reply::Ok { session: s } if s == session => {}
+                Reply::Error { detail } => {
+                    return Err(inner.fail(TransportError::Protocol { detail }))
+                }
+                other => {
+                    return Err(inner.fail(TransportError::Protocol {
+                        detail: format!("unexpected reply to open from worker {rank}: {other:?}"),
+                    }))
+                }
+            }
+        }
+        Ok(session)
+    }
+
+    fn exchange(
+        &self,
+        session: u64,
+        round: usize,
+        outbox: &[Message],
+    ) -> Result<RoundView, TransportError> {
+        let mut inner = self.locked();
+        Self::check_live(&inner)?;
+        let line = wire::render_command(&Command::Round {
+            session,
+            round,
+            outbox: outbox.to_vec(),
+        });
+        for rank in 0..self.workers {
+            inner.send_line(rank, &line)?;
+        }
+        // Rank-order reads make the merge deterministic: slices are
+        // contiguous ascending node ranges, so concatenation in rank
+        // order is node order.
+        let mut inboxes: Vec<Vec<(u64, Message)>> = Vec::with_capacity(outbox.len());
+        for rank in 0..self.workers {
+            match inner.read_reply(rank)? {
+                Reply::View {
+                    session: s,
+                    round: r,
+                    inboxes: part,
+                } if s == session && r == round => inboxes.extend(part),
+                Reply::Error { detail } => {
+                    return Err(inner.fail(TransportError::Protocol { detail }))
+                }
+                other => {
+                    return Err(inner.fail(TransportError::Protocol {
+                        detail: format!("unexpected reply to round from worker {rank}: {other:?}"),
+                    }))
+                }
+            }
+        }
+        Ok(RoundView::new(inboxes))
+    }
+
+    fn close_session(&self, session: u64) -> Result<(), TransportError> {
+        let mut inner = self.locked();
+        Self::check_live(&inner)?;
+        let line = wire::render_command(&Command::Close { session });
+        for rank in 0..self.workers {
+            inner.send_line(rank, &line)?;
+        }
+        for rank in 0..self.workers {
+            match inner.read_reply(rank)? {
+                Reply::Ok { session: s } if s == session => {}
+                Reply::Error { detail } => {
+                    return Err(inner.fail(TransportError::Protocol { detail }))
+                }
+                other => {
+                    return Err(inner.fail(TransportError::Protocol {
+                        detail: format!("unexpected reply to close from worker {rank}: {other:?}"),
+                    }))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`Transport`] whose `open` already failed at worker-spawn time;
+/// it reports the spawn error on first use so failures surface
+/// through the same typed path as mid-run deaths.
+struct FailedTransport(TransportError);
+
+impl Transport for FailedTransport {
+    fn open(&mut self, _routes: &Routes) -> Result<(), TransportError> {
+        Err(self.0.clone())
+    }
+
+    fn exchange(
+        &mut self,
+        _round: usize,
+        _outbox: &[Message],
+    ) -> Result<RoundView, TransportError> {
+        Err(self.0.clone())
+    }
+}
+
+/// One run's view of the shared [`WorkerGroup`]: a session that is
+/// opened with the run's routes and closed at the barrier.
+pub struct SocketTransport {
+    group: Arc<WorkerGroup>,
+    session: Option<u64>,
+}
+
+impl Transport for SocketTransport {
+    fn open(&mut self, routes: &Routes) -> Result<(), TransportError> {
+        if self.session.is_some() {
+            return Err(TransportError::Protocol {
+                detail: "transport opened twice".to_string(),
+            });
+        }
+        self.session = Some(self.group.open_session(routes)?);
+        Ok(())
+    }
+
+    fn exchange(&mut self, round: usize, outbox: &[Message]) -> Result<RoundView, TransportError> {
+        let session = self.session.ok_or_else(|| TransportError::Protocol {
+            detail: "exchange before open".to_string(),
+        })?;
+        self.group.exchange(session, round, outbox)
+    }
+
+    fn barrier(&mut self) -> Result<(), TransportError> {
+        match self.session.take() {
+            Some(session) => self.group.close_session(session),
+            None => Ok(()),
+        }
+    }
+
+    fn teardown(&mut self) {
+        if let Some(session) = self.session.take() {
+            let _ = self.group.close_session(session);
+        }
+    }
+}
+
+enum GroupSlot {
+    Unspawned,
+    Live(Arc<WorkerGroup>),
+    Failed(TransportError),
+}
+
+/// [`TransportFactory`] for the multi-process backend. Workers are
+/// spawned lazily on the first `create` and shared by every transport
+/// the factory hands out; runs multiplex over the group as sessions.
+///
+/// A group whose workers died is respawned on the next `create` (the
+/// failure was transient); a group that never spawned (bad binary) is
+/// cached as failed so repeated runs fail fast instead of re-exec'ing
+/// a broken command.
+pub struct SocketFactory {
+    workers: usize,
+    cmd: WorkerCmd,
+    group: Mutex<GroupSlot>,
+}
+
+impl SocketFactory {
+    /// A factory that re-execs the current binary as its workers. The
+    /// binary must call [`maybe_run_worker`](crate::maybe_run_worker)
+    /// before any other work.
+    pub fn self_exec(workers: usize) -> Self {
+        Self::with_command(workers, WorkerCmd::SelfExec)
+    }
+
+    /// A factory with an explicit worker launch command.
+    pub fn with_command(workers: usize, cmd: WorkerCmd) -> Self {
+        SocketFactory {
+            workers: workers.max(1),
+            cmd,
+            group: Mutex::new(GroupSlot::Unspawned),
+        }
+    }
+
+    fn group(&self) -> Result<Arc<WorkerGroup>, TransportError> {
+        let mut slot = self.group.lock().unwrap_or_else(|e| e.into_inner());
+        if let GroupSlot::Live(group) = &*slot {
+            if !group.is_dead() {
+                return Ok(Arc::clone(group));
+            }
+        }
+        if let GroupSlot::Failed(err) = &*slot {
+            return Err(err.clone());
+        }
+        match WorkerGroup::spawn(self.workers, &self.cmd) {
+            Ok(group) => {
+                let group = Arc::new(group);
+                *slot = GroupSlot::Live(Arc::clone(&group));
+                Ok(group)
+            }
+            Err(err) => {
+                *slot = GroupSlot::Failed(err.clone());
+                Err(err)
+            }
+        }
+    }
+}
+
+impl TransportFactory for SocketFactory {
+    fn create(&self) -> Box<dyn Transport> {
+        match self.group() {
+            Ok(group) => Box::new(SocketTransport {
+                group,
+                session: None,
+            }),
+            Err(err) => Box::new(FailedTransport(err)),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("sockets:{}", self.workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ranges_partition() {
+        for n in 0..12 {
+            for w in 1..6 {
+                let mut covered = 0;
+                for r in 0..w {
+                    let (lo, hi) = node_range(n, w, r);
+                    assert!(lo <= hi && hi <= n);
+                    assert_eq!(lo, covered, "ranges must be contiguous");
+                    covered = hi;
+                }
+                assert_eq!(covered, n, "ranges must cover 0..{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_transport_reports_spawn_error() {
+        let err = TransportError::Spawn {
+            detail: "nope".to_string(),
+        };
+        let mut t = FailedTransport(err.clone());
+        assert_eq!(t.open(&Routes::from_ports(vec![])), Err(err.clone()));
+        assert_eq!(t.exchange(0, &[]), Err(err));
+    }
+}

@@ -1,0 +1,426 @@
+//! The JSONL wire protocol between a [`SocketTransport`] coordinator
+//! and its worker subprocesses — the same hand-rolled codec
+//! discipline as `crates/serve`: one JSON object per line, fixed key
+//! order on the write side, tolerant typed parsing on the read side
+//! (via `bcc_metrics::json`), and every malformed line surfaced as a
+//! typed error, never a panic.
+//!
+//! Messages are the `{0, 1, ⊥}` alphabet rendered as the ASCII
+//! string `'0' | '1' | '_'` per symbol. Port labels ride as JSON
+//! numbers; the parser is `f64`-backed, so labels are faithful up to
+//! `2^53` — far beyond the `0..n` IDs every experiment instance uses.
+//!
+//! [`SocketTransport`]: crate::socket::SocketTransport
+
+use bcc_metrics::json::{self, JsonValue};
+use bcc_model::{Message, Symbol};
+use std::fmt::Write as _;
+
+/// Coordinator → worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Registers one run's delivery plan under a session id. The
+    /// worker receives only its own node range `lo..hi`
+    /// (`routes[i]` = ports of node `lo + i`).
+    Open {
+        /// Session id, unique per coordinator.
+        session: u64,
+        /// Total vertex count of the instance.
+        n: usize,
+        /// First node owned by this worker.
+        lo: usize,
+        /// One past the last node owned by this worker.
+        hi: usize,
+        /// `(port_label, peer)` pairs per owned node, port order.
+        routes: Vec<Vec<(u64, usize)>>,
+    },
+    /// Delivers one round: the full outbox, one message per vertex.
+    Round {
+        /// Session the round belongs to.
+        session: u64,
+        /// Round number (echoed back in the view).
+        round: usize,
+        /// `outbox[v]` = vertex `v`'s broadcast.
+        outbox: Vec<Message>,
+    },
+    /// Ends a session.
+    Close {
+        /// Session to drop.
+        session: u64,
+    },
+    /// Asks the worker to exit cleanly.
+    Shutdown,
+}
+
+/// Worker → coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// First line after connecting: which rank this worker is.
+    Hello {
+        /// The worker's rank, `0..workers`.
+        rank: usize,
+    },
+    /// `Open`/`Close` acknowledged.
+    Ok {
+        /// The session acknowledged.
+        session: u64,
+    },
+    /// One round's deliveries for the worker's node range.
+    View {
+        /// Session echoed.
+        session: u64,
+        /// Round echoed.
+        round: usize,
+        /// `(port_label, message)` entries per owned node, in node
+        /// order `lo..hi`.
+        inboxes: Vec<Vec<(u64, Message)>>,
+    },
+    /// Shutdown acknowledged; the worker exits after sending this.
+    Bye,
+    /// The command could not be served.
+    Error {
+        /// Human-readable cause.
+        detail: String,
+    },
+}
+
+/// Renders a [`Message`] as its wire alphabet (`0`, `1`, `_`).
+pub fn encode_message(m: &Message) -> String {
+    m.symbols()
+        .iter()
+        .map(|s| match s {
+            Symbol::Zero => '0',
+            Symbol::One => '1',
+            Symbol::Silent => '_',
+        })
+        .collect()
+}
+
+/// Parses the wire alphabet back into a [`Message`].
+///
+/// # Errors
+///
+/// Returns an error naming the first character outside `0`/`1`/`_`.
+pub fn decode_message(s: &str) -> Result<Message, String> {
+    let symbols: Vec<Symbol> = s
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(Symbol::Zero),
+            '1' => Ok(Symbol::One),
+            '_' => Ok(Symbol::Silent),
+            other => Err(format!("bad message character {other:?}")),
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(Message::from_symbols(symbols))
+}
+
+/// Escapes a string for a JSON literal. Mirrors
+/// `bcc_experiments::json::escape`; duplicated here because depending
+/// on `bcc-experiments` would close a dependency cycle
+/// (`experiments → transport → experiments`).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_routes(routes: &[Vec<(u64, usize)>]) -> String {
+    let nodes: Vec<String> = routes
+        .iter()
+        .map(|ports| {
+            let entries: Vec<String> = ports
+                .iter()
+                .map(|&(label, peer)| format!("[{label},{peer}]"))
+                .collect();
+            format!("[{}]", entries.join(","))
+        })
+        .collect();
+    format!("[{}]", nodes.join(","))
+}
+
+/// Renders a command as one JSONL line (no trailing newline).
+pub fn render_command(cmd: &Command) -> String {
+    match cmd {
+        Command::Open {
+            session,
+            n,
+            lo,
+            hi,
+            routes,
+        } => format!(
+            "{{\"type\":\"open\",\"session\":{session},\"n\":{n},\"lo\":{lo},\"hi\":{hi},\"routes\":{}}}",
+            render_routes(routes)
+        ),
+        Command::Round {
+            session,
+            round,
+            outbox,
+        } => {
+            let msgs: Vec<String> = outbox
+                .iter()
+                .map(|m| format!("\"{}\"", encode_message(m)))
+                .collect();
+            format!(
+                "{{\"type\":\"round\",\"session\":{session},\"round\":{round},\"outbox\":[{}]}}",
+                msgs.join(",")
+            )
+        }
+        Command::Close { session } => {
+            format!("{{\"type\":\"close\",\"session\":{session}}}")
+        }
+        Command::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
+    }
+}
+
+/// Renders a reply as one JSONL line (no trailing newline).
+pub fn render_reply(reply: &Reply) -> String {
+    match reply {
+        Reply::Hello { rank } => format!("{{\"type\":\"hello\",\"rank\":{rank}}}"),
+        Reply::Ok { session } => format!("{{\"type\":\"ok\",\"session\":{session}}}"),
+        Reply::View {
+            session,
+            round,
+            inboxes,
+        } => {
+            let nodes: Vec<String> = inboxes
+                .iter()
+                .map(|entries| {
+                    let items: Vec<String> = entries
+                        .iter()
+                        .map(|(label, m)| format!("[{label},\"{}\"]", encode_message(m)))
+                        .collect();
+                    format!("[{}]", items.join(","))
+                })
+                .collect();
+            format!(
+                "{{\"type\":\"view\",\"session\":{session},\"round\":{round},\"inboxes\":[{}]}}",
+                nodes.join(",")
+            )
+        }
+        Reply::Bye => "{\"type\":\"bye\"}".to_string(),
+        Reply::Error { detail } => {
+            format!("{{\"type\":\"error\",\"detail\":\"{}\"}}", escape(detail))
+        }
+    }
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not a non-negative integer"))
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    usize::try_from(field_u64(v, key)?).map_err(|_| format!("field {key:?} out of range"))
+}
+
+fn field_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))
+}
+
+fn field_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} is not an array"))
+}
+
+fn parse_label_pair(v: &JsonValue) -> Result<(u64, &JsonValue), String> {
+    let pair = v.as_arr().ok_or("route/inbox entry is not an array")?;
+    if pair.len() != 2 {
+        return Err(format!("entry has {} elements, expected 2", pair.len()));
+    }
+    let label = pair[0]
+        .as_u64()
+        .ok_or("entry label is not a non-negative integer")?;
+    Ok((label, &pair[1]))
+}
+
+/// Parses one command line.
+///
+/// # Errors
+///
+/// Returns a description of the first syntactic or shape problem.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let v = json::parse(line)?;
+    match field_str(&v, "type")? {
+        "open" => {
+            let routes = field_arr(&v, "routes")?
+                .iter()
+                .map(|node| {
+                    node.as_arr()
+                        .ok_or_else(|| "route row is not an array".to_string())?
+                        .iter()
+                        .map(|entry| {
+                            let (label, peer) = parse_label_pair(entry)?;
+                            let peer = peer
+                                .as_u64()
+                                .and_then(|p| usize::try_from(p).ok())
+                                .ok_or("route peer is not an index")?;
+                            Ok((label, peer))
+                        })
+                        .collect::<Result<Vec<_>, String>>()
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Command::Open {
+                session: field_u64(&v, "session")?,
+                n: field_usize(&v, "n")?,
+                lo: field_usize(&v, "lo")?,
+                hi: field_usize(&v, "hi")?,
+                routes,
+            })
+        }
+        "round" => {
+            let outbox = field_arr(&v, "outbox")?
+                .iter()
+                .map(|m| decode_message(m.as_str().ok_or("outbox entry is not a string")?))
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Command::Round {
+                session: field_u64(&v, "session")?,
+                round: field_usize(&v, "round")?,
+                outbox,
+            })
+        }
+        "close" => Ok(Command::Close {
+            session: field_u64(&v, "session")?,
+        }),
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(format!("unknown command type {other:?}")),
+    }
+}
+
+/// Parses one reply line.
+///
+/// # Errors
+///
+/// Returns a description of the first syntactic or shape problem.
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let v = json::parse(line)?;
+    match field_str(&v, "type")? {
+        "hello" => Ok(Reply::Hello {
+            rank: field_usize(&v, "rank")?,
+        }),
+        "ok" => Ok(Reply::Ok {
+            session: field_u64(&v, "session")?,
+        }),
+        "view" => {
+            let inboxes = field_arr(&v, "inboxes")?
+                .iter()
+                .map(|node| {
+                    node.as_arr()
+                        .ok_or_else(|| "inbox row is not an array".to_string())?
+                        .iter()
+                        .map(|entry| {
+                            let (label, msg) = parse_label_pair(entry)?;
+                            let msg = decode_message(
+                                msg.as_str().ok_or("inbox message is not a string")?,
+                            )?;
+                            Ok((label, msg))
+                        })
+                        .collect::<Result<Vec<_>, String>>()
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Reply::View {
+                session: field_u64(&v, "session")?,
+                round: field_usize(&v, "round")?,
+                inboxes,
+            })
+        }
+        "bye" => Ok(Reply::Bye),
+        "error" => Ok(Reply::Error {
+            detail: field_str(&v, "detail")?.to_string(),
+        }),
+        other => Err(format!("unknown reply type {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(s: &str) -> Message {
+        decode_message(s).unwrap()
+    }
+
+    #[test]
+    fn message_codec_round_trips() {
+        for text in ["", "0", "1", "_", "01_10", "___"] {
+            assert_eq!(encode_message(&m(text)), text);
+        }
+        assert!(decode_message("01x").is_err());
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        let cmds = [
+            Command::Open {
+                session: 7,
+                n: 5,
+                lo: 2,
+                hi: 5,
+                routes: vec![vec![(1, 0), (2, 3)], vec![(9, 4)], vec![]],
+            },
+            Command::Round {
+                session: 7,
+                round: 3,
+                outbox: vec![m("0"), m("1_"), m("")],
+            },
+            Command::Close { session: 7 },
+            Command::Shutdown,
+        ];
+        for cmd in cmds {
+            let line = render_command(&cmd);
+            assert_eq!(parse_command(&line), Ok(cmd), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            Reply::Hello { rank: 3 },
+            Reply::Ok { session: 9 },
+            Reply::View {
+                session: 9,
+                round: 0,
+                inboxes: vec![vec![(1, m("0")), (4, m("_"))], vec![]],
+            },
+            Reply::Bye,
+            Reply::Error {
+                detail: "bad \"stuff\"\nhappened".to_string(),
+            },
+        ];
+        for reply in replies {
+            let line = render_reply(&reply);
+            assert!(!line.contains('\n'), "line breaks break JSONL: {line}");
+            assert_eq!(parse_reply(&line), Ok(reply), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(parse_command("not json").is_err());
+        assert!(parse_command("{\"type\":\"warp\"}").is_err());
+        assert!(parse_command("{\"type\":\"round\",\"session\":1}").is_err());
+        assert!(
+            parse_reply("{\"type\":\"view\",\"session\":1,\"round\":0,\"inboxes\":[[[1,2]]]}")
+                .is_err()
+        );
+    }
+}

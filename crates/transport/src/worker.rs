@@ -1,0 +1,204 @@
+//! The worker side of the multi-process backend: a blocking JSONL
+//! read loop over one TCP connection to the coordinator.
+//!
+//! A worker is pure routing — it holds each open session's node range
+//! and routes, and answers every `round` command by assembling
+//! `(port_label, message)` inboxes for its nodes from the full outbox
+//! it was sent. It never looks at a clock, never touches the
+//! simulation state, and never accounts for anything: determinism of
+//! the merged run is the coordinator's job, and the worker has no
+//! state that could perturb it.
+//!
+//! EOF on the command stream is a clean shutdown (the coordinator
+//! dropped the group); every malformed or unserviceable command is
+//! answered with a wire-level `error` reply rather than a crash.
+
+use crate::wire::{self, Command, Reply};
+use bcc_model::Message;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Test knob: when set to `N`, the worker serves `N` `round` commands
+/// and then exits abruptly (no reply, no goodbye) on the next one —
+/// simulating a mid-run crash for dead-worker tests.
+pub const EXIT_AFTER_ENV: &str = "BCC_TRANSPORT_WORKER_EXIT_AFTER";
+
+struct Session {
+    n: usize,
+    /// `routes[i]` = `(port_label, peer)` pairs of node `lo + i`.
+    routes: Vec<Vec<(u64, usize)>>,
+}
+
+/// Entry point for the worker process: `args` are the argv elements
+/// after the worker flag, i.e. `[port, rank]`. Returns the process
+/// exit code.
+pub fn run_from_args(args: &[String]) -> i32 {
+    match parse_and_serve(args) {
+        Ok(()) => 0,
+        Err(detail) => {
+            eprintln!("bcc-transport-worker: {detail}");
+            1
+        }
+    }
+}
+
+fn parse_and_serve(args: &[String]) -> Result<(), String> {
+    let port: u16 = args
+        .first()
+        .ok_or("missing port argument")?
+        .parse()
+        .map_err(|_| "port argument is not a u16".to_string())?;
+    let rank: usize = args
+        .get(1)
+        .ok_or("missing rank argument")?
+        .parse()
+        .map_err(|_| "rank argument is not an integer".to_string())?;
+    serve(port, rank)
+}
+
+fn serve(port: u16, rank: usize) -> Result<(), String> {
+    let stream =
+        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect failed: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("stream clone failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    send(&mut writer, &Reply::Hello { rank })?;
+
+    let mut sessions: BTreeMap<u64, Session> = BTreeMap::new();
+    let mut rounds_left: Option<u64> = std::env::var(EXIT_AFTER_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    loop {
+        let mut line = String::new();
+        let bytes = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if bytes == 0 {
+            // Coordinator closed the connection: clean shutdown.
+            return Ok(());
+        }
+        let reply = match wire::parse_command(line.trim_end()) {
+            Ok(Command::Open {
+                session,
+                n,
+                lo,
+                hi,
+                routes,
+            }) => match validate_open(n, lo, hi, &routes) {
+                Ok(()) => {
+                    sessions.insert(session, Session { n, routes });
+                    Reply::Ok { session }
+                }
+                Err(detail) => Reply::Error { detail },
+            },
+            Ok(Command::Round {
+                session,
+                round,
+                outbox,
+            }) => {
+                if let Some(left) = rounds_left.as_mut() {
+                    if *left == 0 {
+                        // Simulated mid-run crash (see EXIT_AFTER_ENV).
+                        return Ok(());
+                    }
+                    *left -= 1;
+                }
+                match handle_round(&sessions, session, round, &outbox) {
+                    Ok(reply) => reply,
+                    Err(detail) => Reply::Error { detail },
+                }
+            }
+            Ok(Command::Close { session }) => {
+                sessions.remove(&session);
+                Reply::Ok { session }
+            }
+            Ok(Command::Shutdown) => {
+                // Best-effort goodbye: the coordinator may already
+                // have dropped its end by the time this is written.
+                let _ = send(&mut writer, &Reply::Bye);
+                return Ok(());
+            }
+            Err(detail) => Reply::Error { detail },
+        };
+        send(&mut writer, &reply)?;
+    }
+}
+
+fn send(writer: &mut TcpStream, reply: &Reply) -> Result<(), String> {
+    let line = wire::render_reply(reply);
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write failed: {e}"))
+}
+
+/// Shape checks at open time, so round handling can trust the routes.
+fn validate_open(
+    n: usize,
+    lo: usize,
+    hi: usize,
+    routes: &[Vec<(u64, usize)>],
+) -> Result<(), String> {
+    if lo > hi || hi > n {
+        return Err(format!("bad node range {lo}..{hi} for n={n}"));
+    }
+    if routes.len() != hi - lo {
+        return Err(format!(
+            "got {} route rows for node range {lo}..{hi}",
+            routes.len()
+        ));
+    }
+    for ports in routes {
+        for &(_, peer) in ports {
+            if peer >= n {
+                return Err(format!("route peer {peer} out of range for n={n}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle_round(
+    sessions: &BTreeMap<u64, Session>,
+    session: u64,
+    round: usize,
+    outbox: &[Message],
+) -> Result<Reply, String> {
+    let s = sessions
+        .get(&session)
+        .ok_or_else(|| format!("round for unknown session {session}"))?;
+    if outbox.len() != s.n {
+        return Err(format!(
+            "outbox has {} entries for an instance with {} nodes",
+            outbox.len(),
+            s.n
+        ));
+    }
+    let inboxes = s
+        .routes
+        .iter()
+        .map(|ports| {
+            ports
+                .iter()
+                .map(|&(label, peer)| {
+                    // Peers were range-checked at open.
+                    let msg = outbox
+                        .get(peer)
+                        .cloned()
+                        .ok_or_else(|| format!("route peer {peer} out of range"))?;
+                    Ok((label, msg))
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Reply::View {
+        session,
+        round,
+        inboxes,
+    })
+}

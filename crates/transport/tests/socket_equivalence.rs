@@ -1,0 +1,87 @@
+//! The socket backend is pinned against the in-process oracle: for
+//! the same instance, algorithm, and coin, a run over worker
+//! subprocesses must be indistinguishable from a `LocalTransport`
+//! run — same decisions, same stats, same per-vertex transcripts.
+
+use bcc_graphs::generators;
+use bcc_model::testing::{EchoBit, IdBroadcast};
+use bcc_model::{runs_indistinguishable, Instance, SimConfig};
+use bcc_transport::{SocketFactory, TransportFactory, WorkerCmd};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn worker_bin() -> WorkerCmd {
+    WorkerCmd::Bin(PathBuf::from(env!("CARGO_BIN_EXE_bcc-transport-worker")))
+}
+
+fn assert_matches_oracle(workers: usize, n: usize, wiring: u64, coin: u64) {
+    let factory: Arc<dyn TransportFactory> =
+        Arc::new(SocketFactory::with_command(workers, worker_bin()));
+    let inst = Instance::new_kt0(generators::cycle(n), wiring).unwrap();
+    let oracle = SimConfig::bcc1(4).run(&inst, &EchoBit, coin);
+    let socket = SimConfig::bcc1(4)
+        .transport(Arc::clone(&factory))
+        .run(&inst, &EchoBit, coin);
+    assert_eq!(
+        socket.transport_failure(),
+        None,
+        "socket run must not degrade"
+    );
+    assert_eq!(oracle.decisions(), socket.decisions());
+    assert_eq!(oracle.stats(), socket.stats());
+    assert!(runs_indistinguishable(&oracle, &socket));
+    for v in 0..n {
+        assert_eq!(
+            oracle.transcript(v),
+            socket.transcript(v),
+            "transcript of vertex {v} diverged (workers={workers}, n={n})"
+        );
+    }
+}
+
+#[test]
+fn two_worker_runs_match_local_oracle() {
+    for (n, wiring, coin) in [(3, 0, 0), (4, 1, 7), (7, 42, 3), (10, 9, 1)] {
+        assert_matches_oracle(2, n, wiring, coin);
+    }
+}
+
+#[test]
+fn four_worker_runs_match_local_oracle() {
+    // n = 3 with 4 workers exercises empty node ranges.
+    for (n, wiring, coin) in [(3, 5, 0), (8, 2, 11)] {
+        assert_matches_oracle(4, n, wiring, coin);
+    }
+}
+
+#[test]
+fn sessions_multiplex_over_one_worker_group() {
+    // One factory, many runs: each run is its own session on the
+    // shared worker group, and later runs are unaffected by earlier
+    // ones.
+    let factory: Arc<dyn TransportFactory> = Arc::new(SocketFactory::with_command(2, worker_bin()));
+    for seed in 0u64..6 {
+        let inst = Instance::new_kt0(generators::cycle(6), seed).unwrap();
+        let oracle = SimConfig::bcc1(3).run(&inst, &EchoBit, seed);
+        let socket = SimConfig::bcc1(3)
+            .transport(Arc::clone(&factory))
+            .run(&inst, &EchoBit, seed);
+        assert_eq!(socket.transport_failure(), None);
+        assert!(runs_indistinguishable(&oracle, &socket));
+        assert_eq!(oracle.stats(), socket.stats());
+    }
+}
+
+#[test]
+fn multi_round_algorithm_completes_identically() {
+    let factory: Arc<dyn TransportFactory> = Arc::new(SocketFactory::with_command(3, worker_bin()));
+    let inst = Instance::new_kt0(generators::cycle(9), 4).unwrap();
+    let oracle = SimConfig::bcc1(100).run(&inst, &IdBroadcast::new(), 0);
+    let socket = SimConfig::bcc1(100)
+        .transport(factory)
+        .run(&inst, &IdBroadcast::new(), 0);
+    assert_eq!(socket.transport_failure(), None);
+    assert!(socket.completed());
+    assert_eq!(oracle.stats(), socket.stats());
+    assert!(runs_indistinguishable(&oracle, &socket));
+}

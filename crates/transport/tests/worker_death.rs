@@ -1,0 +1,70 @@
+//! Dead workers surface as typed `TransportError`s and degraded
+//! all-Undecided outcomes — never a panic, never a hang.
+//!
+//! This lives in its own integration-test binary because the mid-run
+//! death test sets a process-wide environment knob that spawned
+//! workers inherit; keeping it out of `socket_equivalence.rs` keeps
+//! that knob away from the healthy-path tests.
+
+use bcc_graphs::generators;
+use bcc_model::testing::EchoBit;
+use bcc_model::{Decision, Instance, SimConfig, TransportError};
+use bcc_transport::worker::EXIT_AFTER_ENV;
+use bcc_transport::{SocketFactory, TransportFactory, WorkerCmd};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn worker_bin() -> WorkerCmd {
+    WorkerCmd::Bin(PathBuf::from(env!("CARGO_BIN_EXE_bcc-transport-worker")))
+}
+
+#[test]
+fn spawn_failure_is_a_fast_typed_error() {
+    // /bin/false exits immediately without connecting; the accept
+    // loop's liveness check must fail fast with a Spawn error.
+    let factory: Arc<dyn TransportFactory> = Arc::new(SocketFactory::with_command(
+        2,
+        WorkerCmd::Bin(PathBuf::from("/bin/false")),
+    ));
+    let inst = Instance::new_kt1(generators::cycle(4)).unwrap();
+    let out = SimConfig::bcc1(2)
+        .transport(factory)
+        .run(&inst, &EchoBit, 0);
+    match out.transport_failure() {
+        Some(TransportError::Spawn { .. }) => {}
+        other => panic!("expected a Spawn error, got {other:?}"),
+    }
+    assert!(out.any_undecided());
+    assert_eq!(out.system_decision(), Decision::No);
+    assert!(!out.completed());
+}
+
+#[test]
+fn mid_run_death_degrades_and_respawn_recovers() {
+    let inst = Instance::new_kt1(generators::cycle(5)).unwrap();
+    let oracle = SimConfig::bcc1(4).run(&inst, &EchoBit, 0);
+
+    // Workers serve one round, then die on the next.
+    std::env::set_var(EXIT_AFTER_ENV, "1");
+    let factory: Arc<dyn TransportFactory> = Arc::new(SocketFactory::with_command(2, worker_bin()));
+    let out = SimConfig::bcc1(4)
+        .transport(Arc::clone(&factory))
+        .run(&inst, &EchoBit, 0);
+    std::env::remove_var(EXIT_AFTER_ENV);
+
+    match out.transport_failure() {
+        Some(TransportError::WorkerDead { .. }) => {}
+        other => panic!("expected a WorkerDead error, got {other:?}"),
+    }
+    assert!(out.decisions().iter().all(|d| *d == Decision::Undecided));
+    assert_eq!(out.system_decision(), Decision::No);
+
+    // The knob is gone, so the factory's next create() respawns a
+    // healthy group and the run matches the oracle again.
+    let healed = SimConfig::bcc1(4)
+        .transport(factory)
+        .run(&inst, &EchoBit, 0);
+    assert_eq!(healed.transport_failure(), None);
+    assert_eq!(healed.stats(), oracle.stats());
+    assert_eq!(healed.decisions(), oracle.decisions());
+}

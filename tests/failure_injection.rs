@@ -5,7 +5,7 @@ use bcclique::core::crossing::{cross_instance, DirectedEdge};
 use bcclique::core::CoreError;
 use bcclique::graphs::cycles::{classify_multi_cycle, classify_two_cycle, cycle_structure};
 use bcclique::graphs::GraphError;
-use bcclique::model::{Message, ModelError, Network, Symbol};
+use bcclique::model::{Message, ModelError, Symbol};
 use bcclique::prelude::*;
 
 #[test]
@@ -41,21 +41,26 @@ fn promise_violations_detected() {
 
 #[test]
 fn model_construction_errors() {
+    // Network construction is private to bcc-model; malformed wirings
+    // are rejected at the `Instance` boundary.
     assert!(matches!(
-        Network::kt1(vec![1, 1]),
+        Instance::new_kt1_with_ids(Graph::new(2), vec![1, 1]),
         Err(ModelError::DuplicateIds { id: 1 })
     ));
-    let net = Network::kt1(vec![0, 1, 2]).unwrap();
+    let mut inst = Instance::new_kt1(generators::cycle(3)).unwrap();
     assert!(matches!(
-        Instance::new(net, generators::cycle(5)),
+        inst.set_input(generators::cycle(5)),
         Err(ModelError::GraphTooLarge { .. })
     ));
 }
 
 #[test]
 fn kt1_rewiring_refused() {
-    let mut net = Network::kt1(vec![0, 1, 2, 3]).unwrap();
-    assert_eq!(net.swap_peers(0, 1, 2), Err(ModelError::RewireKt1));
+    let mut inst = Instance::new_kt1(Graph::new(4)).unwrap();
+    assert_eq!(
+        inst.network_mut().swap_peers(0, 1, 2),
+        Err(ModelError::RewireKt1)
+    );
     // And crossings on KT-1 instances are refused end-to-end.
     let inst = Instance::new_kt1(generators::cycle(6)).unwrap();
     assert_eq!(
