@@ -345,6 +345,7 @@ fn run_batch_impl(
                         "transport returned {} inboxes for {n} nodes",
                         view.num_nodes()
                     ),
+                    postmortem: None,
                 };
                 return Err(abort_batch(trace, Some(round), err));
             }
@@ -356,6 +357,7 @@ fn run_batch_impl(
                             entries.len(),
                             n - 1
                         ),
+                        postmortem: None,
                     };
                     return Err(abort_batch(trace, Some(round), err));
                 }
@@ -598,6 +600,7 @@ mod tests {
                 Err(TransportError::WorkerDead {
                     rank: 0,
                     detail: "test".to_string(),
+                    postmortem: None,
                 })
             }
         }

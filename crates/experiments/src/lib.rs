@@ -487,6 +487,12 @@ pub fn run_suite(ids: &[&str], opts: &SuiteOptions) -> Result<SuiteRun, UnknownE
         tbuf.counter("cache.lookups", suite_lookups);
         collector.absorb(tbuf);
     }
+    // Drain worker-shipped transport telemetry into the same sinks
+    // before they finish — a no-op on the local backend, which never
+    // accumulates any (DESIGN.md §15). Sessions are rank-ordered and
+    // canonically sorted on the way in, so the flushed units are
+    // byte-identical at any thread count.
+    bcc_model::transport::default_factory().flush_telemetry(&collector, &hub);
 
     let mut reports = Vec::with_capacity(ids.len());
     for id in ids {

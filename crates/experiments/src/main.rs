@@ -38,6 +38,15 @@
 //!                       over loopback TCP). Reports, traces, and
 //!                       metrics dumps are byte-identical across
 //!                       backends (DESIGN.md §14)
+//!   --transport-wall P  write the transport wall sidecar (spawn
+//!                       counts, accept ticks, worker lifetime
+//!                       totals; separate bcc_transport_wall schema,
+//!                       never deterministic, never read back by any
+//!                       deterministic artifact)
+//!   --postmortem PATH   write worker postmortems (flight-recorder
+//!                       rings frozen at failure time) as a typed
+//!                       JSONL artifact; an empty artifact is still
+//!                       written when the run saw no incident
 //! ```
 
 use bcc_experiments::{json, SuiteOptions, ALL_EXPERIMENTS};
@@ -49,7 +58,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: bcc-experiments [--quick] [--jobs N] [--seed S] \
 [--timeout-secs T] [--json PATH] [--trace PATH] [--trace-level off|spans|costs|events] \
 [--metrics PATH] [--metrics-level off|core|full] [--profile PATH] [--prof-wall PATH] \
-[--cache PATH] [--transport local|sockets:N] <id>...\n       \
+[--cache PATH] [--transport local|sockets:N] [--transport-wall PATH] [--postmortem PATH] \
+<id>...\n       \
 id ∈ {f1, f2, e1..e12, all}";
 
 struct Cli {
@@ -59,6 +69,8 @@ struct Cli {
     metrics_path: Option<String>,
     profile_path: Option<String>,
     prof_wall_path: Option<String>,
+    transport_wall_path: Option<String>,
+    postmortem_path: Option<String>,
     ids: Vec<String>,
 }
 
@@ -71,6 +83,8 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
     let mut metrics_level: Option<MetricsLevel> = None;
     let mut profile_path: Option<String> = None;
     let mut prof_wall_path: Option<String> = None;
+    let mut transport_wall_path: Option<String> = None;
+    let mut postmortem_path: Option<String> = None;
     let mut ids = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -132,6 +146,12 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             "--prof-wall" => {
                 prof_wall_path = Some(it.next().ok_or("--prof-wall needs a path")?);
             }
+            "--transport-wall" => {
+                transport_wall_path = Some(it.next().ok_or("--transport-wall needs a path")?);
+            }
+            "--postmortem" => {
+                postmortem_path = Some(it.next().ok_or("--postmortem needs a path")?);
+            }
             "--metrics" => {
                 metrics_path = Some(it.next().ok_or("--metrics needs a path")?);
             }
@@ -177,6 +197,8 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         metrics_path,
         profile_path,
         prof_wall_path,
+        transport_wall_path,
+        postmortem_path,
         ids,
     })
 }
@@ -281,6 +303,40 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &cli.transport_wall_path {
+        // Transport wall sidecar: spawn/accept/lifetime quantities
+        // measured by the socket factory. Separate file, separate
+        // schema key — no deterministic artifact ever reads it.
+        let stats = bcc_model::transport::default_factory().wall_stats();
+        match write_transport_wall(path, &stats) {
+            Ok(()) => eprintln!(
+                "wrote transport wall sidecar ({} stats) to {path}",
+                stats.len()
+            ),
+            Err(err) => {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &cli.postmortem_path {
+        let incidents = bcc_model::transport::default_factory().take_postmortems();
+        match std::fs::write(
+            path,
+            bcc_model::postmortem::postmortems_to_jsonl(&incidents),
+        ) {
+            Ok(()) => eprintln!(
+                "wrote postmortem artifact ({} incidents) to {path}",
+                incidents.len()
+            ),
+            Err(err) => {
+                eprintln!("error: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Some(path) = &cli.metrics_path {
         match write_metrics(path, &suite.workload) {
             Ok(()) => eprintln!(
@@ -358,5 +414,12 @@ fn write_wall(path: &str, entries: &[(String, std::time::Duration)]) -> std::io:
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     bcc_prof::write_wall_sidecar(entries, &mut w)?;
+    w.flush()
+}
+
+fn write_transport_wall(path: &str, stats: &[(String, u64)]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    bcc_transport::wall::write_transport_wall(stats, &mut w)?;
     w.flush()
 }

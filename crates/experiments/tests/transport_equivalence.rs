@@ -1,12 +1,20 @@
-//! The transport determinism contract, end to end (DESIGN.md §14):
-//! running an experiment under `--transport sockets:N` must produce
-//! **byte-identical** stdout reports, merged traces, and metrics
-//! dumps to `--transport local` for the same seed.
+//! The transport determinism contract, end to end (DESIGN.md §14–§15):
+//!
+//! * the **experiment-side** artifacts — stdout report, job/suite
+//!   trace units, workload counters — are byte-identical between
+//!   `--transport local` and `--transport sockets:N` for the same
+//!   seed;
+//! * the **transport-side** telemetry (`transport.*` counters and
+//!   `transport/worker:<rank>` trace units) exists only where workers
+//!   exist: present in every sockets dump, absent — not zero-valued —
+//!   from every local dump;
+//! * sockets artifacts are themselves deterministic: byte-identical
+//!   across same-seed re-runs and across `--jobs 1` vs `--jobs 8`.
 //!
 //! `--json` is deliberately not compared: its job records carry
 //! wall-clock latencies, which are not deterministic under any
-//! transport. Everything the reproducibility claims rest on —
-//! report text, span tree, counters — is compared byte-for-byte.
+//! transport. Wall-clock transport quantities live in the
+//! `--transport-wall` sidecar, which is likewise never compared.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -25,8 +33,7 @@ fn scratch_dir(id: &str) -> PathBuf {
     dir
 }
 
-fn run_case(id: &str, transport: &str, dir: &Path) -> CaseOutput {
-    let tag = transport.replace(':', "-");
+fn run_case(id: &str, transport: &str, jobs: &str, tag: &str, dir: &Path) -> CaseOutput {
     let trace = dir.join(format!("{id}-{tag}.trace.jsonl"));
     let metrics = dir.join(format!("{id}-{tag}.metrics.jsonl"));
     let output = Command::new(env!("CARGO_BIN_EXE_bcc-experiments"))
@@ -34,6 +41,8 @@ fn run_case(id: &str, transport: &str, dir: &Path) -> CaseOutput {
             "--quick",
             "--seed",
             "7",
+            "--jobs",
+            jobs,
             "--transport",
             transport,
             "--trace",
@@ -46,7 +55,7 @@ fn run_case(id: &str, transport: &str, dir: &Path) -> CaseOutput {
         .expect("spawn bcc-experiments");
     assert!(
         output.status.success(),
-        "bcc-experiments {id} --transport {transport} failed:\n{}",
+        "bcc-experiments {id} --transport {transport} --jobs {jobs} failed:\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
     CaseOutput {
@@ -56,26 +65,80 @@ fn run_case(id: &str, transport: &str, dir: &Path) -> CaseOutput {
     }
 }
 
+/// True for the JSONL lines that only a workered run produces: the
+/// `transport.*` counter family in a metrics dump and the
+/// `transport/worker:<rank>` units in a trace — plus the metrics meta
+/// line, whose `units`/`counters` totals legitimately count them.
+fn is_transport_line(line: &str) -> bool {
+    line.contains("\"type\":\"meta\"")
+        || line.contains("\"name\":\"transport.")
+        || line.contains("\"unit\":\"transport/")
+}
+
+/// The non-transport lines of a JSONL artifact, for comparing the
+/// experiment-side content of a local run against a sockets run.
+fn without_transport_lines(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes)
+        .lines()
+        .filter(|l| !is_transport_line(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 fn assert_transports_agree(id: &str) {
     let dir = scratch_dir(id);
-    let local = run_case(id, "local", &dir);
-    let sockets = run_case(id, "sockets:2", &dir);
+    let local = run_case(id, "local", "1", "local", &dir);
+    let sockets = run_case(id, "sockets:2", "1", "sockets-2", &dir);
     assert!(!local.trace.is_empty(), "trace dump should not be empty");
     assert!(
         !local.metrics.is_empty(),
         "metrics dump should not be empty"
     );
+
+    // The experiment-side artifacts must not depend on the transport:
+    // stdout byte-for-byte, trace and metrics after stripping the
+    // transport-only lines the sockets run legitimately adds.
     assert_eq!(
         local.stdout, sockets.stdout,
         "{id}: stdout report differs between local and sockets:2"
     );
     assert_eq!(
-        local.trace, sockets.trace,
-        "{id}: merged trace differs between local and sockets:2"
+        without_transport_lines(&local.trace),
+        without_transport_lines(&sockets.trace),
+        "{id}: experiment-side trace differs between local and sockets:2"
     );
     assert_eq!(
-        local.metrics, sockets.metrics,
-        "{id}: metrics dump differs between local and sockets:2"
+        without_transport_lines(&local.metrics),
+        without_transport_lines(&sockets.metrics),
+        "{id}: experiment-side metrics differ between local and sockets:2"
+    );
+
+    // Worker telemetry exists exactly where workers exist. A local
+    // dump carrying `transport.* = 0` lines would leak the transport
+    // choice into the artifact; absence is the contract.
+    let local_metrics = String::from_utf8_lossy(&local.metrics).into_owned();
+    let sockets_metrics = String::from_utf8_lossy(&sockets.metrics).into_owned();
+    assert!(
+        !local_metrics.contains("transport."),
+        "{id}: local metrics dump must not mention transport.* at all"
+    );
+    assert!(
+        !String::from_utf8_lossy(&local.trace).contains("transport/worker:"),
+        "{id}: local trace must not contain worker units"
+    );
+    for name in ["sessions", "rounds", "frames", "symbols"] {
+        assert!(
+            sockets_metrics.contains(&format!("\"name\":\"transport.{name}\"")),
+            "{id}: sockets metrics dump is missing transport.{name}"
+        );
+    }
+    assert!(
+        sockets_metrics.contains("\"name\":\"transport.worker:0."),
+        "{id}: sockets metrics dump is missing per-rank worker counters"
+    );
+    assert!(
+        String::from_utf8_lossy(&sockets.trace).contains("\"unit\":\"transport/worker:0\""),
+        "{id}: sockets trace is missing the rank-0 worker unit"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -88,6 +151,35 @@ fn sockets_transport_is_byte_identical_on_e2() {
 #[test]
 fn sockets_transport_is_byte_identical_on_e5() {
     assert_transports_agree("e5");
+}
+
+/// Telemetry included, sockets artifacts are fully deterministic:
+/// same-seed re-runs and `--jobs 1` vs `--jobs 8` produce
+/// byte-identical dumps with no filtering at all.
+#[test]
+fn sockets_artifacts_are_deterministic_across_reruns_and_jobs() {
+    let dir = scratch_dir("e2-det");
+    let first = run_case("e2", "sockets:2", "1", "run1", &dir);
+    let second = run_case("e2", "sockets:2", "1", "run2", &dir);
+    let wide = run_case("e2", "sockets:2", "8", "jobs8", &dir);
+    assert_eq!(
+        first.metrics, second.metrics,
+        "metrics dump differs across same-seed sockets re-runs"
+    );
+    assert_eq!(
+        first.trace, second.trace,
+        "trace differs across same-seed sockets re-runs"
+    );
+    assert_eq!(first.stdout, second.stdout);
+    assert_eq!(
+        first.metrics, wide.metrics,
+        "metrics dump differs between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(
+        first.trace, wide.trace,
+        "trace differs between --jobs 1 and --jobs 8"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -55,6 +55,11 @@ fn rank(class: &str) -> Option<u32> {
         // the worker-group link table sit innermost.
         "SocketFactory" => Some(5),
         "WorkerGroup" => Some(6),
+        // The telemetry buffer is acquired under the group lock while
+        // a `closed` reply is recorded, and is always released before
+        // the flush absorbs into Collector/MetricsHub — so it sits
+        // innermost of all.
+        "TelemetryStore" => Some(7),
         _ => None,
     }
 }

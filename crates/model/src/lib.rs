@@ -64,6 +64,7 @@ pub mod codec;
 mod error;
 mod instance;
 mod network;
+pub mod postmortem;
 mod program;
 pub mod range;
 mod simulator;

@@ -674,6 +674,7 @@ fn try_run_impl(
         if view.num_nodes() != n {
             let err = TransportError::Protocol {
                 detail: format!("round view covers {} of {n} nodes", view.num_nodes()),
+                postmortem: None,
             };
             recorder.abort(Some(round), &err);
             return Err(err);
@@ -686,6 +687,7 @@ fn try_run_impl(
                         entries.len(),
                         n.saturating_sub(1)
                     ),
+                    postmortem: None,
                 };
                 recorder.abort(Some(round), &err);
                 return Err(err);
@@ -1110,6 +1112,7 @@ mod tests {
                 return Err(TransportError::WorkerDead {
                     rank: 0,
                     detail: "test kill".to_string(),
+                    postmortem: None,
                 });
             }
             self.inner.exchange(round, outbox)

@@ -28,7 +28,10 @@
 //!    degrades (see `SimConfig::try_run`).
 
 use crate::network::Network;
+use crate::postmortem::{Postmortem, TransportHealth};
 use crate::symbol::Message;
+use bcc_metrics::MetricsHub;
+use bcc_trace::Collector;
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
@@ -48,6 +51,10 @@ pub enum TransportError {
         rank: usize,
         /// Human-readable cause (EOF, read timeout, exit status, …).
         detail: String,
+        /// Flight-recorder dump frozen when the failure fired; `None`
+        /// for backends without a recorder. Boxed to keep the happy
+        /// path's error size small.
+        postmortem: Option<Box<Postmortem>>,
     },
     /// The transport was driven outside its contract or answered
     /// outside the wire protocol (wrong shape, bad handshake, use
@@ -55,7 +62,21 @@ pub enum TransportError {
     Protocol {
         /// Human-readable cause.
         detail: String,
+        /// Flight-recorder dump frozen when the failure fired; `None`
+        /// for backends without a recorder.
+        postmortem: Option<Box<Postmortem>>,
     },
+}
+
+impl TransportError {
+    /// The flight-recorder dump attached to this error, if any.
+    pub fn postmortem(&self) -> Option<&Postmortem> {
+        match self {
+            TransportError::Spawn { .. } => None,
+            TransportError::WorkerDead { postmortem, .. }
+            | TransportError::Protocol { postmortem, .. } => postmortem.as_deref(),
+        }
+    }
 }
 
 impl fmt::Display for TransportError {
@@ -64,10 +85,10 @@ impl fmt::Display for TransportError {
             TransportError::Spawn { detail } => {
                 write!(f, "transport spawn failed: {detail}")
             }
-            TransportError::WorkerDead { rank, detail } => {
+            TransportError::WorkerDead { rank, detail, .. } => {
                 write!(f, "transport worker {rank} died: {detail}")
             }
-            TransportError::Protocol { detail } => {
+            TransportError::Protocol { detail, .. } => {
                 write!(f, "transport protocol violation: {detail}")
             }
         }
@@ -205,6 +226,34 @@ pub trait TransportFactory: Send + Sync {
 
     /// A short human-readable tag (`"local"`, `"sockets:4"`).
     fn label(&self) -> String;
+
+    /// Drains any cross-process telemetry the factory has accumulated
+    /// (worker-origin trace spans and `transport.*` counters) into the
+    /// run's shared sinks, in rank order. Backends without workers
+    /// have nothing to flush. Callers must flush at most once per
+    /// collector lifetime — foreign events are re-sequenced per call,
+    /// so a second flush into the same collector would collide.
+    fn flush_telemetry(&self, _collector: &Collector, _hub: &MetricsHub) {}
+
+    /// Live per-worker health (no flight rings), for observation
+    /// surfaces such as `bcc-serve`'s `observe` snapshots. `None` for
+    /// backends without workers.
+    fn health(&self) -> Option<TransportHealth> {
+        None
+    }
+
+    /// Drains the postmortems recorded by this factory's flight
+    /// recorder since the last call (empty for backends without one).
+    fn take_postmortems(&self) -> Vec<Postmortem> {
+        Vec::new()
+    }
+
+    /// Wall-clock-ish transport counters (accept retries, spawns,
+    /// respawns, …) for the `--transport-wall` sidecar. Never merged
+    /// into deterministic artifacts.
+    fn wall_stats(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// The in-process oracle: delivers straight out of the outbox slice
@@ -235,11 +284,13 @@ impl Transport for LocalTransport {
             .as_ref()
             .ok_or_else(|| TransportError::Protocol {
                 detail: "exchange before open".to_string(),
+                postmortem: None,
             })?;
         let n = routes.num_nodes();
         if outbox.len() != n {
             return Err(TransportError::Protocol {
                 detail: format!("outbox has {} entries for {n} nodes", outbox.len()),
+                postmortem: None,
             });
         }
         Ok(RoundView::new(
@@ -451,7 +502,9 @@ mod tests {
         let e = TransportError::WorkerDead {
             rank: 1,
             detail: "EOF".to_string(),
+            postmortem: None,
         };
+        assert!(e.postmortem().is_none());
         assert_eq!(e.to_string(), "transport worker 1 died: EOF");
         let s = TransportError::Spawn {
             detail: "no exe".to_string(),

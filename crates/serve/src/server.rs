@@ -395,7 +395,7 @@ impl Server {
         }
         self.pool.begin_drain();
         self.pool.wait_idle(None);
-        if let Err(err) = self.flush() {
+        if let Err(err) = self.flush_dumps() {
             eprintln!("bcc-serve: flush failed: {err}");
         }
         let mut phase = self.drain_phase.lock().unwrap_or_else(|e| e.into_inner());
@@ -414,7 +414,12 @@ impl Server {
         )
     }
 
-    fn flush(&self) -> std::io::Result<()> {
+    fn flush_dumps(&self) -> std::io::Result<()> {
+        // Drain worker-shipped transport telemetry (a no-op on the
+        // local backend) before the sinks finish, so daemon dumps
+        // carry the same rank-ordered transport.* family as batch
+        // runs (DESIGN.md §15).
+        bcc_model::transport::default_factory().flush_telemetry(&self.collector, &self.hub);
         if let Some(path) = &self.config.metrics_path {
             let file = std::fs::File::create(path)?;
             let mut w = std::io::BufWriter::new(file);

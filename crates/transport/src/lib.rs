@@ -37,8 +37,26 @@
 //! [`TransportError::WorkerDead`] on the driver side — never a panic
 //! — and the run degrades to an all-`Undecided` outcome exactly like
 //! any other transport failure.
+//!
+//! ## Cross-process telemetry
+//!
+//! Workers additionally keep *logical* telemetry (frames routed,
+//! symbols forwarded, rounds served per session) and ship it home
+//! inside the `closed` acknowledgement. The factory accumulates these
+//! buffers per rank and replays them — rank-ordered, canonically
+//! sorted — into the run's shared `Collector`/`MetricsHub` when the
+//! driver calls [`TransportFactory::flush_telemetry`], yielding the
+//! deterministic `transport.*` counter family and
+//! `transport/worker:<rank>` trace units (DESIGN.md §15). Wall-ish
+//! quantities go to [`TransportFactory::wall_stats`] for the
+//! `--transport-wall` sidecar only. Each worker link also keeps a
+//! flight-recorder ring of recent wire events; on a worker death the
+//! rings are frozen into a
+//! [`Postmortem`](bcc_model::postmortem::Postmortem) that travels on
+//! the error and via [`TransportFactory::take_postmortems`].
 
 pub mod socket;
+pub mod wall;
 pub mod wire;
 pub mod worker;
 
@@ -47,6 +65,7 @@ pub use bcc_model::transport::{
     TransportSpec,
 };
 pub use socket::{SocketFactory, SocketTransport, WorkerCmd, WorkerGroup};
+pub use worker::{worker_unit, EXIT_AFTER_ENV, TELEMETRY_ENV};
 
 use std::sync::Arc;
 

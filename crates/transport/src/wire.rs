@@ -52,6 +52,46 @@ pub enum Command {
     Shutdown,
 }
 
+/// The telemetry block a worker ships back with a [`Reply::Closed`]:
+/// logical counters (frames routed, symbols forwarded, rounds
+/// served) plus a compact numeric session summary from which the
+/// coordinator synthesizes the session's trace events at flush time.
+/// Shipping five integers instead of serialized event lines keeps
+/// the close path allocation-light — the ≤ 2% `BENCH_PR10.json`
+/// budget is won here. Everything on this surface is a pure function
+/// of the commands served; nothing wall-clock-shaped is allowed
+/// (those quantities stay driver-side, in the `--transport-wall`
+/// sidecar).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerTelemetry {
+    /// `(name, value)` counter pairs in the worker's canonical
+    /// (sorted) order.
+    pub counters: Vec<(String, u64)>,
+    /// The session's trace summary; `None` when telemetry is
+    /// disabled worker-side.
+    pub span: Option<SessionSpan>,
+}
+
+/// One closed session's numeric trace summary. The coordinator
+/// renders it as a `session` span (`n`/`nodes` fields on the start,
+/// `rounds` on the end) holding `frames` and `symbols` counter
+/// events, under the owning `transport/worker:<rank>` unit. Ordered
+/// field-by-field so a rank's sessions sort canonically,
+/// independent of close order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SessionSpan {
+    /// Total vertex count of the instance.
+    pub n: u64,
+    /// Nodes owned by this worker (`hi - lo`).
+    pub nodes: u64,
+    /// Rounds served in the session.
+    pub rounds: u64,
+    /// Inbox entries assembled.
+    pub frames: u64,
+    /// Symbols forwarded inside those frames.
+    pub symbols: u64,
+}
+
 /// Worker → coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
@@ -74,6 +114,25 @@ pub enum Reply {
         /// `(port_label, message)` entries per owned node, in node
         /// order `lo..hi`.
         inboxes: Vec<Vec<(u64, Message)>>,
+    },
+    /// `Close` acknowledged, carrying the session's telemetry. This
+    /// is the close-path counterpart of [`Reply::Ok`]: the session is
+    /// dropped worker-side and its trace/metrics buffers ride home in
+    /// the acknowledgement.
+    Closed {
+        /// The session closed.
+        session: u64,
+        /// The session's telemetry block.
+        telemetry: WorkerTelemetry,
+    },
+    /// Lifetime counter totals, sent once right before [`Reply::Bye`]
+    /// when a shutdown is acknowledged — the coordinator's last
+    /// chance to account for sessions that were never closed.
+    Telemetry {
+        /// The sending worker's rank.
+        rank: usize,
+        /// `(name, value)` lifetime totals, canonical order.
+        counters: Vec<(String, u64)>,
     },
     /// Shutdown acknowledged; the worker exits after sending this.
     Bye,
@@ -209,11 +268,60 @@ pub fn render_reply(reply: &Reply) -> String {
                 nodes.join(",")
             )
         }
+        Reply::Closed { session, telemetry } => {
+            // The span is a fixed-position array, not a keyed object:
+            // the close path runs once per session, and five bare
+            // numbers parse with no per-key string allocations.
+            let span = telemetry.span.as_ref().map_or_else(String::new, |s| {
+                format!(
+                    ",\"span\":[{},{},{},{},{}]",
+                    s.n, s.nodes, s.rounds, s.frames, s.symbols
+                )
+            });
+            // The counters key is omitted when empty (the common
+            // case: the span carries the numbers), keeping the
+            // close-path line short.
+            let counters = if telemetry.counters.is_empty() {
+                String::new()
+            } else {
+                format!(",\"counters\":{}", render_counters(&telemetry.counters))
+            };
+            format!("{{\"type\":\"closed\",\"session\":{session}{counters}{span}}}")
+        }
+        Reply::Telemetry { rank, counters } => format!(
+            "{{\"type\":\"telemetry\",\"rank\":{rank},\"counters\":{}}}",
+            render_counters(counters)
+        ),
         Reply::Bye => "{\"type\":\"bye\"}".to_string(),
         Reply::Error { detail } => {
             format!("{{\"type\":\"error\",\"detail\":\"{}\"}}", escape(detail))
         }
     }
+}
+
+fn render_counters(counters: &[(String, u64)]) -> String {
+    let entries: Vec<String> = counters
+        .iter()
+        .map(|(name, value)| format!("[\"{}\",{value}]", escape(name)))
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn parse_counters(v: &JsonValue, key: &str) -> Result<Vec<(String, u64)>, String> {
+    field_arr(v, key)?
+        .iter()
+        .map(|entry| {
+            let pair = entry.as_arr().ok_or("counter entry is not an array")?;
+            if pair.len() != 2 {
+                return Err(format!("counter entry has {} elements", pair.len()));
+            }
+            let name = pair[0].as_str().ok_or("counter name is not a string")?;
+            let value = pair[1]
+                .as_u64()
+                .ok_or("counter value is not a non-negative integer")?;
+            Ok((name.to_string(), value))
+        })
+        .collect()
 }
 
 fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
@@ -343,6 +451,42 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
                 inboxes,
             })
         }
+        "closed" => {
+            let span = match v.get("span") {
+                None => None,
+                Some(s) => {
+                    let nums = s.as_arr().ok_or("span is not an array")?;
+                    let at = |i: usize| -> Result<u64, String> {
+                        nums.get(i)
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("span element {i} is not a u64"))
+                    };
+                    if nums.len() != 5 {
+                        return Err(format!("span has {} elements", nums.len()));
+                    }
+                    Some(SessionSpan {
+                        n: at(0)?,
+                        nodes: at(1)?,
+                        rounds: at(2)?,
+                        frames: at(3)?,
+                        symbols: at(4)?,
+                    })
+                }
+            };
+            let counters = if v.get("counters").is_some() {
+                parse_counters(&v, "counters")?
+            } else {
+                Vec::new()
+            };
+            Ok(Reply::Closed {
+                session: field_u64(&v, "session")?,
+                telemetry: WorkerTelemetry { counters, span },
+            })
+        }
+        "telemetry" => Ok(Reply::Telemetry {
+            rank: field_usize(&v, "rank")?,
+            counters: parse_counters(&v, "counters")?,
+        }),
         "bye" => Ok(Reply::Bye),
         "error" => Ok(Reply::Error {
             detail: field_str(&v, "detail")?.to_string(),
@@ -400,6 +544,27 @@ mod tests {
                 session: 9,
                 round: 0,
                 inboxes: vec![vec![(1, m("0")), (4, m("_"))], vec![]],
+            },
+            Reply::Closed {
+                session: 9,
+                telemetry: WorkerTelemetry {
+                    counters: vec![("frames".to_string(), 12), ("rounds".to_string(), 3)],
+                    span: Some(SessionSpan {
+                        n: 5,
+                        nodes: 2,
+                        rounds: 3,
+                        frames: 12,
+                        symbols: 24,
+                    }),
+                },
+            },
+            Reply::Closed {
+                session: 2,
+                telemetry: WorkerTelemetry::default(),
+            },
+            Reply::Telemetry {
+                rank: 1,
+                counters: vec![("sessions".to_string(), 4)],
             },
             Reply::Bye,
             Reply::Error {

@@ -4,16 +4,20 @@
 //! A worker is pure routing — it holds each open session's node range
 //! and routes, and answers every `round` command by assembling
 //! `(port_label, message)` inboxes for its nodes from the full outbox
-//! it was sent. It never looks at a clock, never touches the
-//! simulation state, and never accounts for anything: determinism of
-//! the merged run is the coordinator's job, and the worker has no
-//! state that could perturb it.
+//! it was sent. It never looks at a clock and never touches the
+//! simulation state; the only records it keeps are *logical*
+//! telemetry (frames routed, symbols forwarded, rounds served per
+//! session) — pure functions of the commands served — which ride
+//! home inside the `closed` acknowledgement and are absorbed by the
+//! driver in rank order (DESIGN.md §15). Determinism of the merged
+//! run stays the coordinator's job; the worker has no state that
+//! could perturb it.
 //!
 //! EOF on the command stream is a clean shutdown (the coordinator
 //! dropped the group); every malformed or unserviceable command is
 //! answered with a wire-level `error` reply rather than a crash.
 
-use crate::wire::{self, Command, Reply};
+use crate::wire::{self, Command, Reply, SessionSpan, WorkerTelemetry};
 use bcc_model::Message;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -21,13 +25,61 @@ use std::net::TcpStream;
 
 /// Test knob: when set to `N`, the worker serves `N` `round` commands
 /// and then exits abruptly (no reply, no goodbye) on the next one —
-/// simulating a mid-run crash for dead-worker tests.
+/// simulating a mid-run crash for dead-worker tests. The form `N@R`
+/// restricts the crash to rank `R`, so surviving-worker paths (buffer
+/// salvage, truncation marking) are testable too.
 pub const EXIT_AFTER_ENV: &str = "BCC_TRANSPORT_WORKER_EXIT_AFTER";
+
+/// Telemetry knob: set to `0` or `off` to disable worker-side
+/// trace/metrics recording entirely (the overhead-measurement
+/// baseline for `BENCH_PR10.json`). Any other value — including
+/// unset — leaves telemetry on.
+pub const TELEMETRY_ENV: &str = "BCC_TRANSPORT_TELEMETRY";
+
+/// The unit-class prefix of worker-origin telemetry: a worker's
+/// trace events land under `transport/worker:<rank>`, so the
+/// profiler files them under the `transport` unit class while the
+/// rank stays visible in the unit name.
+pub fn worker_unit(rank: usize) -> String {
+    format!("transport/worker:{rank}")
+}
+
+struct SessionTelemetry {
+    /// Instance size and owned-node count, captured at open for the
+    /// session's trace summary.
+    n: u64,
+    nodes: u64,
+    rounds: u64,
+    frames: u64,
+    symbols: u64,
+}
 
 struct Session {
     n: usize,
     /// `routes[i]` = `(port_label, peer)` pairs of node `lo + i`.
     routes: Vec<Vec<(u64, usize)>>,
+    telemetry: Option<SessionTelemetry>,
+}
+
+/// Lifetime totals across every session the worker ever served;
+/// shipped as a `telemetry` reply right before `bye`.
+#[derive(Default)]
+struct Lifetime {
+    frames: u64,
+    rounds: u64,
+    sessions: u64,
+    symbols: u64,
+}
+
+impl Lifetime {
+    fn counters(&self) -> Vec<(String, u64)> {
+        vec![
+            ("frames".to_string(), self.frames),
+            ("rounds".to_string(), self.rounds),
+            ("sessions".to_string(), self.sessions),
+            ("symbols".to_string(), self.symbols),
+        ]
+    }
 }
 
 /// Entry point for the worker process: `args` are the argv elements
@@ -57,6 +109,29 @@ fn parse_and_serve(args: &[String]) -> Result<(), String> {
     serve(port, rank)
 }
 
+/// Parses the crash knob for this rank: `"N"` applies to every rank,
+/// `"N@R"` only to rank `R`.
+fn exit_after_for(value: &str, rank: usize) -> Option<u64> {
+    match value.split_once('@') {
+        None => value.parse().ok(),
+        Some((rounds, target)) => {
+            let target: usize = target.parse().ok()?;
+            if target == rank {
+                rounds.parse().ok()
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn telemetry_enabled() -> bool {
+    !matches!(
+        std::env::var(TELEMETRY_ENV).ok().as_deref(),
+        Some("0") | Some("off")
+    )
+}
+
 fn serve(port: u16, rank: usize) -> Result<(), String> {
     let stream =
         TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect failed: {e}"))?;
@@ -67,10 +142,12 @@ fn serve(port: u16, rank: usize) -> Result<(), String> {
     let mut reader = BufReader::new(stream);
     send(&mut writer, &Reply::Hello { rank })?;
 
+    let telemetry_on = telemetry_enabled();
     let mut sessions: BTreeMap<u64, Session> = BTreeMap::new();
+    let mut lifetime = Lifetime::default();
     let mut rounds_left: Option<u64> = std::env::var(EXIT_AFTER_ENV)
         .ok()
-        .and_then(|v| v.parse().ok());
+        .and_then(|v| exit_after_for(&v, rank));
 
     loop {
         let mut line = String::new();
@@ -90,7 +167,25 @@ fn serve(port: u16, rank: usize) -> Result<(), String> {
                 routes,
             }) => match validate_open(n, lo, hi, &routes) {
                 Ok(()) => {
-                    sessions.insert(session, Session { n, routes });
+                    // No session ids in the recorded content: ids
+                    // depend on how runs interleave on the driver,
+                    // which would break byte-identity under --jobs.
+                    let telemetry = telemetry_on.then(|| SessionTelemetry {
+                        n: n as u64,
+                        nodes: (hi - lo) as u64,
+                        rounds: 0,
+                        frames: 0,
+                        symbols: 0,
+                    });
+                    lifetime.sessions += 1;
+                    sessions.insert(
+                        session,
+                        Session {
+                            n,
+                            routes,
+                            telemetry,
+                        },
+                    );
                     Reply::Ok { session }
                 }
                 Err(detail) => Reply::Error { detail },
@@ -107,24 +202,55 @@ fn serve(port: u16, rank: usize) -> Result<(), String> {
                     }
                     *left -= 1;
                 }
-                match handle_round(&sessions, session, round, &outbox) {
+                match handle_round(&mut sessions, session, round, &outbox, &mut lifetime) {
                     Ok(reply) => reply,
                     Err(detail) => Reply::Error { detail },
                 }
             }
             Ok(Command::Close { session }) => {
-                sessions.remove(&session);
-                Reply::Ok { session }
+                let telemetry = sessions
+                    .remove(&session)
+                    .and_then(|s| s.telemetry)
+                    .map_or_else(WorkerTelemetry::default, close_telemetry);
+                Reply::Closed { session, telemetry }
             }
             Ok(Command::Shutdown) => {
-                // Best-effort goodbye: the coordinator may already
-                // have dropped its end by the time this is written.
+                // Best-effort goodbyes: the coordinator may already
+                // have dropped its end by the time these are written.
+                if telemetry_on {
+                    let _ = send(
+                        &mut writer,
+                        &Reply::Telemetry {
+                            rank,
+                            counters: lifetime.counters(),
+                        },
+                    );
+                }
                 let _ = send(&mut writer, &Reply::Bye);
                 return Ok(());
             }
             Err(detail) => Reply::Error { detail },
         };
         send(&mut writer, &reply)?;
+    }
+}
+
+/// Seals a session's telemetry: one compact numeric summary. The
+/// coordinator derives the session's `frames`/`rounds`/`symbols`
+/// counters from it and turns it into a `session` trace span at
+/// flush time, so nothing is shipped twice (the counters vec stays
+/// empty on this path; the wire still carries explicit counters for
+/// the lifetime `telemetry` reply).
+fn close_telemetry(t: SessionTelemetry) -> WorkerTelemetry {
+    WorkerTelemetry {
+        counters: Vec::new(),
+        span: Some(SessionSpan {
+            n: t.n,
+            nodes: t.nodes,
+            rounds: t.rounds,
+            frames: t.frames,
+            symbols: t.symbols,
+        }),
     }
 }
 
@@ -164,13 +290,14 @@ fn validate_open(
 }
 
 fn handle_round(
-    sessions: &BTreeMap<u64, Session>,
+    sessions: &mut BTreeMap<u64, Session>,
     session: u64,
     round: usize,
     outbox: &[Message],
+    lifetime: &mut Lifetime,
 ) -> Result<Reply, String> {
     let s = sessions
-        .get(&session)
+        .get_mut(&session)
         .ok_or_else(|| format!("round for unknown session {session}"))?;
     if outbox.len() != s.n {
         return Err(format!(
@@ -196,9 +323,38 @@ fn handle_round(
                 .collect::<Result<Vec<_>, String>>()
         })
         .collect::<Result<Vec<_>, String>>()?;
+    if let Some(t) = s.telemetry.as_mut() {
+        let frames: u64 = inboxes.iter().map(|e| e.len() as u64).sum();
+        let symbols: u64 = inboxes
+            .iter()
+            .flatten()
+            .map(|(_, m)| m.symbols().len() as u64)
+            .sum();
+        t.rounds = t.rounds.saturating_add(1);
+        t.frames += frames;
+        t.symbols += symbols;
+        lifetime.rounds = lifetime.rounds.saturating_add(1);
+        lifetime.frames += frames;
+        lifetime.symbols += symbols;
+    }
     Ok(Reply::View {
         session,
         round,
         inboxes,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_after_knob_parses_global_and_per_rank_forms() {
+        assert_eq!(exit_after_for("3", 0), Some(3));
+        assert_eq!(exit_after_for("3", 7), Some(3));
+        assert_eq!(exit_after_for("1@0", 0), Some(1));
+        assert_eq!(exit_after_for("1@0", 1), None);
+        assert_eq!(exit_after_for("garbage", 0), None);
+        assert_eq!(exit_after_for("2@x", 0), None);
+    }
 }

@@ -7,8 +7,10 @@
 //! that knob away from the healthy-path tests.
 
 use bcc_graphs::generators;
+use bcc_metrics::{MetricsHub, MetricsLevel};
 use bcc_model::testing::EchoBit;
 use bcc_model::{Decision, Instance, SimConfig, TransportError};
+use bcc_trace::{Collector, TraceLevel};
 use bcc_transport::worker::EXIT_AFTER_ENV;
 use bcc_transport::{SocketFactory, TransportFactory, WorkerCmd};
 use std::path::PathBuf;
@@ -67,4 +69,69 @@ fn mid_run_death_degrades_and_respawn_recovers() {
     assert_eq!(healed.transport_failure(), None);
     assert_eq!(healed.stats(), oracle.stats());
     assert_eq!(healed.decisions(), oracle.decisions());
+}
+
+/// Regression test for the silent-drop bug: when one worker dies, the
+/// survivors' telemetry must be salvaged (their open sessions closed
+/// and their buffers merged), the dead rank marked with an explicit
+/// `truncated` counter, and the incident frozen into a postmortem —
+/// both on the error itself and via the factory.
+#[test]
+fn survivor_telemetry_is_salvaged_and_dead_rank_truncated() {
+    let inst = Instance::new_kt1(generators::cycle(5)).unwrap();
+
+    // Only rank 0 dies (after serving one round); rank 1 survives.
+    std::env::set_var(EXIT_AFTER_ENV, "1@0");
+    let factory = Arc::new(SocketFactory::with_command(2, worker_bin()));
+    let out = SimConfig::bcc1(4)
+        .transport(Arc::clone(&factory) as Arc<dyn TransportFactory>)
+        .run(&inst, &EchoBit, 0);
+    std::env::remove_var(EXIT_AFTER_ENV);
+
+    // The error carries the frozen flight recorder.
+    let err = match out.transport_failure() {
+        Some(err @ TransportError::WorkerDead { rank: 0, .. }) => err,
+        other => panic!("expected rank 0 WorkerDead, got {other:?}"),
+    };
+    let pm = err.postmortem().expect("postmortem travels on the error");
+    assert_eq!(pm.backend, "sockets:2");
+    assert_eq!(pm.workers.len(), 2);
+    assert!(!pm.workers[0].alive, "rank 0 died");
+    assert!(pm.workers[1].alive, "rank 1 survived");
+    assert!(
+        !pm.workers[0].ring.is_empty(),
+        "dead rank's ring holds its last wire events"
+    );
+
+    // The same incident is queryable from the factory.
+    let incidents = factory.take_postmortems();
+    assert_eq!(incidents.len(), 1);
+    assert_eq!(&incidents[0], pm);
+    assert!(factory.take_postmortems().is_empty(), "drained once");
+
+    // Survivor telemetry was salvaged, not dropped: rank 1's closed
+    // session flushes as counters and a trace unit, while rank 0's
+    // lost session is marked truncated.
+    let collector = Collector::new(TraceLevel::Events);
+    let hub = MetricsHub::new(MetricsLevel::Core);
+    factory.flush_telemetry(&collector, &hub);
+    let dump = hub.finish();
+    assert_eq!(dump.counter("transport.worker:0.truncated"), Some(1));
+    assert_eq!(dump.counter("transport.worker:0.sessions"), None);
+    assert_eq!(dump.counter("transport.worker:1.sessions"), Some(1));
+    assert!(dump.counter("transport.worker:1.frames").unwrap_or(0) > 0);
+    assert_eq!(dump.counter("transport.truncated"), Some(1));
+    let trace = collector.finish();
+    let units: std::collections::BTreeSet<&str> =
+        trace.events().iter().map(|e| e.unit.as_str()).collect();
+    assert!(units.contains("transport/worker:1"));
+    assert!(
+        !units.contains("transport/worker:0"),
+        "a dead worker's unsent buffers cannot appear in the trace"
+    );
+
+    // Wall stats recorded the spawn; the wall sidecar is where
+    // respawn counts surface, never the deterministic dump.
+    let wall = factory.wall_stats();
+    assert!(wall.iter().any(|(k, v)| k == "spawns" && *v >= 1));
 }
